@@ -1,0 +1,644 @@
+// Benchmarks: one per table and figure of the paper (the regeneration
+// harness, sized down so the full suite runs in minutes), plus the
+// ablations DESIGN.md calls out and micro-benchmarks of the OCSP/CRL
+// codecs the whole system stands on.
+package muststaple
+
+import (
+	"crypto"
+	"math/big"
+	"net/http"
+	"testing"
+	"time"
+
+	"crypto/x509"
+
+	"github.com/netmeasure/muststaple/internal/browser"
+	"github.com/netmeasure/muststaple/internal/census"
+	"github.com/netmeasure/muststaple/internal/chaincheck"
+	"github.com/netmeasure/muststaple/internal/clock"
+	"github.com/netmeasure/muststaple/internal/consistency"
+	"github.com/netmeasure/muststaple/internal/ctlog"
+	"github.com/netmeasure/muststaple/internal/impact"
+	"github.com/netmeasure/muststaple/internal/netsim"
+	"github.com/netmeasure/muststaple/internal/ocsp"
+	"github.com/netmeasure/muststaple/internal/pki"
+	"github.com/netmeasure/muststaple/internal/pkixutil"
+	"github.com/netmeasure/muststaple/internal/responder"
+	"github.com/netmeasure/muststaple/internal/scanner"
+	"github.com/netmeasure/muststaple/internal/vulnwindow"
+	"github.com/netmeasure/muststaple/internal/webserver"
+	"github.com/netmeasure/muststaple/internal/world"
+)
+
+// benchWorldConfig is a reduced fleet that keeps every named population
+// (the index layout tops out just under 120) while fitting a benchmark
+// iteration into a second or two.
+func benchWorldConfig(seed int64) world.Config {
+	return world.Config{
+		Seed:                   seed,
+		Responders:             160,
+		CertsPerResponder:      2,
+		AlexaDomains:           10_000,
+		ConsistentCAs:          4,
+		SerialsPerConsistentCA: 25,
+		Table1Scale:            50,
+	}
+}
+
+func benchCampaign(b *testing.B, w *world.World, targets []scanner.Target, hours int, aggs ...scanner.Aggregator) int {
+	b.Helper()
+	camp := &scanner.Campaign{
+		Client:  &scanner.Client{Transport: w.Network},
+		Clock:   w.Clock,
+		Targets: targets,
+		Start:   w.Config.Start,
+		End:     w.Config.Start.Add(time.Duration(hours) * time.Hour),
+		Stride:  time.Hour,
+	}
+	n, err := camp.Run(aggs...)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return n
+}
+
+// BenchmarkSection4Census regenerates the §4 deployment statistics.
+func BenchmarkSection4Census(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		snap := census.GenerateSnapshot(census.SnapshotConfig{Seed: int64(i)})
+		st := snap.Stats()
+		if st.MustStaple != census.PaperMustStapleCerts {
+			b.Fatalf("MustStaple = %d", st.MustStaple)
+		}
+	}
+}
+
+// BenchmarkFigure2 regenerates the HTTPS/OCSP adoption-vs-rank curves.
+func BenchmarkFigure2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		domains := census.GenerateAlexa(census.AlexaConfig{Seed: int64(i), Domains: 50_000})
+		https, ocspBins := census.Figure2(domains, 5_000)
+		if len(https) == 0 || len(ocspBins) == 0 {
+			b.Fatal("empty figure")
+		}
+	}
+}
+
+// BenchmarkFigure3Hourly runs a day of the Hourly availability campaign.
+func BenchmarkFigure3Hourly(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		w, err := world.Build(benchWorldConfig(int64(i)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		avail := scanner.NewAvailabilitySeries(time.Hour)
+		ra := scanner.NewResponderAvailability()
+		n := benchCampaign(b, w, w.Targets, 24, avail, ra)
+		b.ReportMetric(float64(n), "lookups/op")
+		if len(ra.AlwaysDead()) != 2 {
+			b.Fatalf("always-dead = %v", ra.AlwaysDead())
+		}
+	}
+}
+
+// BenchmarkFigure4AlexaImpact measures the domain-impact join across the
+// April 25 Comodo outage window.
+func BenchmarkFigure4AlexaImpact(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		w, err := world.Build(benchWorldConfig(int64(i)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		impact := scanner.NewDomainImpact(time.Hour, 1)
+		benchCampaign(b, w, w.AlexaTargets, 24, impact)
+		if _, peak := impact.Peak("Oregon"); peak == 0 {
+			b.Fatal("Comodo outage not visible")
+		}
+	}
+}
+
+// BenchmarkFigure5Validity runs the unusable-response classification over
+// the sheca "0"-body episode (April 29).
+func BenchmarkFigure5Validity(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		w, err := world.Build(benchWorldConfig(int64(i)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		w.Clock.Set(time.Date(2018, 4, 29, 0, 0, 0, 0, time.UTC))
+		camp := &scanner.Campaign{
+			Client:  &scanner.Client{Transport: w.Network},
+			Clock:   w.Clock,
+			Targets: w.Targets,
+			Start:   time.Date(2018, 4, 29, 0, 0, 0, 0, time.UTC),
+			End:     time.Date(2018, 4, 30, 0, 0, 0, 0, time.UTC),
+			Stride:  time.Hour,
+		}
+		b.StartTimer()
+		u := scanner.NewUnusableSeries(time.Hour)
+		if _, err := camp.Run(u); err != nil {
+			b.Fatal(err)
+		}
+		asn1, _, _, total := u.Totals()
+		if asn1 == 0 || total == 0 {
+			b.Fatal("sheca episode not observed")
+		}
+	}
+}
+
+// BenchmarkFigures6to9Quality runs the per-responder quality aggregation
+// (certificate counts, serial counts, validity periods, margins) behind
+// Figures 6–9 and the on-demand analysis.
+func BenchmarkFigures6to9Quality(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		w, err := world.Build(benchWorldConfig(int64(i)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		q := scanner.NewQualityAggregator()
+		benchCampaign(b, w, w.Targets, 12, q)
+		if q.NumResponders() == 0 || q.BlankNextUpdateCount() == 0 {
+			b.Fatal("quality populations missing")
+		}
+		_ = q.CertCountCDF().Points(50)
+		_ = q.SerialCountCDF().Points(50)
+		_ = q.ValidityCDF().Points(50)
+		_ = q.MarginCDF().Points(50)
+		_ = q.OnDemand()
+	}
+}
+
+// BenchmarkTable1Figure10Consistency runs the full CRL/OCSP cross-check.
+func BenchmarkTable1Figure10Consistency(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		w, err := world.Build(benchWorldConfig(int64(i)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		study := &consistency.Study{Network: w.Network, Vantage: netsim.PaperVantages()[1]}
+		rep, err := study.Run(w.Config.Start, w.ConsistencySources)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rep.DiscrepantRows()) != 7 {
+			b.Fatalf("discrepant rows = %d", len(rep.DiscrepantRows()))
+		}
+	}
+}
+
+// BenchmarkTable2Browsers runs the 16-browser matrix over real TLS
+// handshakes.
+func BenchmarkTable2Browsers(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		h, err := browser.NewHarness(time.Date(2018, 6, 1, 0, 0, 0, 0, time.UTC))
+		if err != nil {
+			b.Fatal(err)
+		}
+		rows, err := h.RunTable2(browser.Table2Behaviors())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) != 16 {
+			b.Fatalf("rows = %d", len(rows))
+		}
+	}
+}
+
+// BenchmarkTable3Servers runs the Apache/Nginx/correct experiment matrix
+// over real TLS handshakes.
+func BenchmarkTable3Servers(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		results, err := webserver.Table3()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(results) != 3 {
+			b.Fatalf("results = %d", len(results))
+		}
+	}
+}
+
+// BenchmarkFigure11Stapling regenerates the stapling-adoption curve.
+func BenchmarkFigure11Stapling(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		domains := census.GenerateAlexa(census.AlexaConfig{Seed: int64(i), Domains: 50_000})
+		if bins := census.Figure11(domains, 5_000); len(bins) == 0 {
+			b.Fatal("empty figure")
+		}
+	}
+}
+
+// BenchmarkFigure12History regenerates the 2016–2018 adoption history.
+func BenchmarkFigure12History(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		h := census.GenerateHistory(int64(i))
+		if before, after := census.CloudflareJump(h); before != 11_675 || after != 78_907 {
+			b.Fatal("Cloudflare jump miscalibrated")
+		}
+	}
+}
+
+// BenchmarkCDNPerspective replays CDN OCSP traffic through the cache model.
+func BenchmarkCDNPerspective(b *testing.B) {
+	w, err := world.Build(benchWorldConfig(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	client := &scanner.Client{Transport: w.Network}
+	targets := w.AlexaTargets
+	if len(targets) > 20 {
+		targets = targets[:20]
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cdn := census.NewCDNCache(client, w.Clock, netsim.PaperVantages()[1])
+		for round := 0; round < 50; round++ {
+			for _, tgt := range targets {
+				cdn.Lookup(tgt)
+			}
+		}
+		if cdn.Stats().HitRate() < 0.9 {
+			b.Fatalf("hit rate = %v", cdn.Stats().HitRate())
+		}
+	}
+}
+
+// --- Ablations (DESIGN.md §5) ---
+
+type respFixture struct {
+	ca   *pki.CA
+	db   *responder.DB
+	clk  *clock.Simulated
+	leaf *pki.Leaf
+}
+
+func newRespFixture(b *testing.B, alg pki.KeyAlgorithm) *respFixture {
+	b.Helper()
+	t0 := time.Date(2018, 5, 1, 0, 0, 0, 0, time.UTC)
+	ca, err := pki.NewRootCA(pki.Config{Name: "Bench CA", KeyAlgorithm: alg, OCSPURL: "http://ocsp.bench.test"})
+	if err != nil {
+		b.Fatal(err)
+	}
+	leaf, err := ca.IssueLeaf(pki.LeafOptions{DNSNames: []string{"bench.test"}, NotBefore: t0.AddDate(0, -1, 0)})
+	if err != nil {
+		b.Fatal(err)
+	}
+	db := responder.NewDB()
+	db.AddIssued(leaf.Certificate.SerialNumber, leaf.Certificate.NotAfter)
+	return &respFixture{ca: ca, db: db, clk: clock.NewSimulated(t0), leaf: leaf}
+}
+
+func (f *respFixture) requestDER(b *testing.B, h crypto.Hash) []byte {
+	b.Helper()
+	req, err := ocsp.NewRequest(f.leaf.Certificate, f.ca.Certificate, h)
+	if err != nil {
+		b.Fatal(err)
+	}
+	der, err := req.Marshal()
+	if err != nil {
+		b.Fatal(err)
+	}
+	return der
+}
+
+// BenchmarkAblationResponderCache compares on-demand signing against
+// pre-generated (cached) responses — the §5.4 design split: 51.7% of real
+// responders cache.
+func BenchmarkAblationResponderCache(b *testing.B) {
+	for _, mode := range []struct {
+		name    string
+		profile responder.Profile
+	}{
+		{"on-demand", responder.Profile{}},
+		{"cached", responder.Profile{CacheResponses: true, Validity: 24 * time.Hour}},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			f := newRespFixture(b, pki.ECDSAP256)
+			r := responder.New("ocsp.bench.test", f.ca, f.db, f.clk, mode.profile)
+			reqDER := f.requestDER(b, crypto.SHA1)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				// Advance the clock so the on-demand memoization
+				// for same-instant duplicates does not mask the
+				// signing cost being measured.
+				f.clk.Advance(time.Second)
+				if der, _ := r.Respond(reqDER); len(der) == 0 {
+					b.Fatal("empty response")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationCertIDHash compares SHA-1 (the RFC-interoperable
+// default) and SHA-256 CertID hashing on the request path.
+func BenchmarkAblationCertIDHash(b *testing.B) {
+	f := newRespFixture(b, pki.ECDSAP256)
+	for _, h := range []struct {
+		name string
+		hash crypto.Hash
+	}{{"sha1", crypto.SHA1}, {"sha256", crypto.SHA256}} {
+		b.Run(h.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				req, err := ocsp.NewRequest(f.leaf.Certificate, f.ca.Certificate, h.hash)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := req.Marshal(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationSignAlg compares ECDSA P-256 and RSA-2048 response
+// signing plus verification — the responder fleet's key-family choice.
+func BenchmarkAblationSignAlg(b *testing.B) {
+	for _, alg := range []struct {
+		name string
+		alg  pki.KeyAlgorithm
+	}{{"ecdsa-p256", pki.ECDSAP256}, {"rsa-2048", pki.RSA2048}} {
+		b.Run(alg.name, func(b *testing.B) {
+			f := newRespFixture(b, alg.alg)
+			id, err := ocsp.NewCertID(f.leaf.Certificate, f.ca.Certificate, crypto.SHA1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			single := ocsp.SingleResponse{
+				CertID: id, Status: ocsp.Good,
+				ThisUpdate: f.clk.Now(), NextUpdate: f.clk.Now().Add(24 * time.Hour),
+				Reason: pkixutil.ReasonAbsent,
+			}
+			tmpl := &ocsp.ResponderTemplate{Signer: f.ca.Key, Certificate: f.ca.Certificate}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				der, err := ocsp.CreateResponse(tmpl, f.clk.Now(), []ocsp.SingleResponse{single}, nil)
+				if err != nil {
+					b.Fatal(err)
+				}
+				resp, err := ocsp.ParseResponse(der)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := resp.CheckSignatureFrom(f.ca.Certificate); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationHTTPMethod compares the POST (paper default) and GET
+// transport encodings over a live HTTP round trip.
+func BenchmarkAblationHTTPMethod(b *testing.B) {
+	for _, method := range []string{http.MethodPost, http.MethodGet} {
+		b.Run(method, func(b *testing.B) {
+			f := newRespFixture(b, pki.ECDSAP256)
+			r := responder.New("ocsp.bench.test", f.ca, f.db, f.clk, responder.Profile{CacheResponses: true, Validity: 24 * time.Hour})
+			n := netsim.New()
+			n.RegisterHost("ocsp.bench.test", "", r)
+			client := &scanner.Client{Transport: n, Method: method, DisableVerifyCache: true}
+			tgt := scanner.Target{
+				ResponderURL: "http://ocsp.bench.test",
+				Responder:    "ocsp.bench.test",
+				Issuer:       f.ca.Certificate,
+				Serial:       f.leaf.Certificate.SerialNumber,
+			}
+			oregon := netsim.PaperVantages()[0]
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if obs := client.Scan(oregon, f.clk.Now(), tgt); obs.Class != scanner.ClassOK {
+					b.Fatalf("class = %v", obs.Class)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationStaplePolicy measures the first-client handshake cost
+// under each stapling policy — the latency penalty §7.2 attributes to
+// Apache's pause-and-fetch versus prefetching.
+func BenchmarkAblationStaplePolicy(b *testing.B) {
+	for _, policy := range []webserver.Policy{webserver.ApachePolicy(), webserver.NginxPolicy(), webserver.CorrectPolicy()} {
+		b.Run(policy.Name, func(b *testing.B) {
+			f := newRespFixture(b, pki.ECDSAP256)
+			r := responder.New("ocsp.bench.test", f.ca, f.db, f.clk, responder.Profile{ThisUpdateOffset: time.Minute})
+			fetch, err := webserver.ResponderFetcher(r, f.leaf)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				eng := webserver.NewEngine(f.leaf, policy, fetch, f.clk)
+				if err := eng.Start(); err != nil {
+					b.Fatal(err)
+				}
+				_ = eng.StapleForHandshake() // the first client
+				eng.WaitIdle()
+			}
+		})
+	}
+}
+
+// --- Codec micro-benchmarks ---
+
+func BenchmarkOCSPCreateResponse(b *testing.B) {
+	f := newRespFixture(b, pki.ECDSAP256)
+	id, err := ocsp.NewCertID(f.leaf.Certificate, f.ca.Certificate, crypto.SHA1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	single := ocsp.SingleResponse{CertID: id, Status: ocsp.Good, ThisUpdate: f.clk.Now(), NextUpdate: f.clk.Now().Add(time.Hour), Reason: pkixutil.ReasonAbsent}
+	tmpl := &ocsp.ResponderTemplate{Signer: f.ca.Key, Certificate: f.ca.Certificate}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ocsp.CreateResponse(tmpl, f.clk.Now(), []ocsp.SingleResponse{single}, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkOCSPParseResponse(b *testing.B) {
+	f := newRespFixture(b, pki.ECDSAP256)
+	r := responder.New("ocsp.bench.test", f.ca, f.db, f.clk, responder.Profile{})
+	der, _ := r.Respond(f.requestDER(b, crypto.SHA1))
+	b.SetBytes(int64(len(der)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ocsp.ParseResponse(der); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCRLCreateAndParse(b *testing.B) {
+	f := newRespFixture(b, pki.ECDSAP256)
+	for i := 0; i < 1000; i++ {
+		serial := big.NewInt(int64(50_000 + i))
+		f.db.AddIssued(serial, f.clk.Now().AddDate(1, 0, 0))
+		f.db.Revoke(serial, f.clk.Now(), pkixutil.ReasonAbsent)
+	}
+	pub := responder.NewCRLPublisher(f.ca, f.db, f.clk)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.clk.Advance(pub.Validity + 7*24*time.Hour) // force regeneration
+		der, err := pub.Current()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.SetBytes(int64(len(der)))
+	}
+}
+
+// BenchmarkHardFailImpact replays two days of the campaign through the §8
+// what-if analysis (hard-failing clients vs server stapling models).
+func BenchmarkHardFailImpact(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		w, err := world.Build(benchWorldConfig(int64(i)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		hf := impact.NewHardFail()
+		benchCampaign(b, w, w.Targets, 48, hf)
+		results := hf.Results()
+		if len(results) != 3 {
+			b.Fatal("model results missing")
+		}
+		// Invariant: the correct policy never loses to no-cache.
+		var nocache, correct float64
+		for _, r := range results {
+			switch r.Model {
+			case impact.ModelNoCache:
+				nocache = r.BrokenFraction
+			case impact.ModelCorrect:
+				correct = r.BrokenFraction
+			}
+		}
+		if correct > nocache+1e-9 {
+			b.Fatalf("correct (%v) must not break more than no-cache (%v)", correct, nocache)
+		}
+	}
+}
+
+// BenchmarkChainBundle measures RFC 6961-style whole-chain bundle
+// construction plus full client-side verification.
+func BenchmarkChainBundle(b *testing.B) {
+	t0 := time.Date(2018, 6, 1, 0, 0, 0, 0, time.UTC)
+	clk := clock.NewSimulated(t0)
+	root, err := pki.NewRootCA(pki.Config{Name: "Bench Chain Root", OCSPURL: "http://ocsp.bcroot.test"})
+	if err != nil {
+		b.Fatal(err)
+	}
+	inter, err := root.NewIntermediate(pki.Config{Name: "Bench Chain Inter", OCSPURL: "http://ocsp.bcinter.test"})
+	if err != nil {
+		b.Fatal(err)
+	}
+	leaf, err := inter.IssueLeaf(pki.LeafOptions{DNSNames: []string{"bc.test"}, NotBefore: t0.AddDate(0, -1, 0)})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rootDB, interDB := responder.NewDB(), responder.NewDB()
+	rootDB.AddIssued(inter.Certificate.SerialNumber, inter.Certificate.NotAfter)
+	interDB.AddIssued(leaf.Certificate.SerialNumber, leaf.Certificate.NotAfter)
+	rootResp := responder.New("ocsp.bcroot.test", root, rootDB, clk, responder.Profile{ThisUpdateOffset: time.Minute})
+	interResp := responder.New("ocsp.bcinter.test", inter, interDB, clk, responder.Profile{ThisUpdateOffset: time.Minute})
+	fetch := func(cert, issuer *x509.Certificate) ([]byte, error) {
+		req, err := ocsp.NewRequest(cert, issuer, crypto.SHA1)
+		if err != nil {
+			return nil, err
+		}
+		reqDER, err := req.Marshal()
+		if err != nil {
+			return nil, err
+		}
+		r := interResp
+		if issuer.Subject.CommonName == "Bench Chain Root" {
+			r = rootResp
+		}
+		der, _ := r.Respond(reqDER)
+		return der, nil
+	}
+	chain := []*x509.Certificate{leaf.Certificate, inter.Certificate, root.Certificate}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		clk.Advance(time.Second) // force fresh on-demand responses
+		bundle, err := chaincheck.BuildBundle(chain, fetch)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := chaincheck.VerifyChain(chain, bundle, clk.Now())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.AllGood() {
+			b.Fatalf("chain not good: %v", res.Elements)
+		}
+	}
+}
+
+// BenchmarkCTLogPipeline measures the Censys-substitute CT pipeline:
+// append certificates, sign a tree head, and scan everything back with
+// verified inclusion proofs.
+func BenchmarkCTLogPipeline(b *testing.B) {
+	key, err := pki.GenerateKey(nil, pki.ECDSAP256)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ca, err := pki.NewRootCA(pki.Config{Name: "Bench Log CA", OCSPURL: "http://ocsp.benchlog.test"})
+	if err != nil {
+		b.Fatal(err)
+	}
+	log := ctlog.New(key)
+	if _, err := census.PopulateLog(log, ca, 200, 1); err != nil {
+		b.Fatal(err)
+	}
+	at := time.Date(2018, 4, 24, 0, 0, 0, 0, time.UTC)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sth, err := log.SignTreeHead(at)
+		if err != nil {
+			b.Fatal(err)
+		}
+		st, err := census.ScanLog(log, key.Public(), sth, "Bench Log CA")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if st.ProofsVerified != 200 {
+			b.Fatalf("proofs = %d", st.ProofsVerified)
+		}
+	}
+}
+
+// BenchmarkVulnWindow runs the window-of-vulnerability Monte Carlo over
+// the fleet's validity distribution.
+func BenchmarkVulnWindow(b *testing.B) {
+	w, err := world.Build(benchWorldConfig(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	validities := w.ResponderValidities()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		results := vulnwindow.Simulate(vulnwindow.Config{
+			Seed:                int64(i),
+			Trials:              5000,
+			ResponderValidities: validities,
+		})
+		if len(results) != 6 {
+			b.Fatal("mechanism results missing")
+		}
+	}
+}

@@ -1,0 +1,30 @@
+// Command browsercheck reruns the paper's §6 browser test suite: every
+// browser model of Table 2 performs a real TLS handshake against a server
+// holding a Must-Staple certificate with the staple withheld, and the
+// measured matrix is printed.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"github.com/netmeasure/muststaple/internal/browser"
+	"github.com/netmeasure/muststaple/internal/report"
+)
+
+func main() {
+	flag.Parse()
+	h, err := browser.NewHarness(time.Date(2018, 6, 1, 0, 0, 0, 0, time.UTC))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "browsercheck: %v\n", err)
+		os.Exit(1)
+	}
+	rows, err := h.RunTable2(browser.Table2Behaviors())
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "browsercheck: %v\n", err)
+		os.Exit(1)
+	}
+	report.Table2(os.Stdout, rows)
+}

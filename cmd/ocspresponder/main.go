@@ -1,0 +1,127 @@
+// Command ocspresponder runs a standalone RFC 6960 OCSP responder (plus a
+// CRL endpoint) over real HTTP for a freshly generated CA — the test
+// harness the paper's authors promise to release (§8): point any OCSP
+// client at it and exercise both correct behavior and, via flags, every
+// misbehavior the measurement study catalogues.
+//
+// On startup it prints the CA certificate and one issued leaf (PEM) so a
+// client has something to ask about.
+//
+// Usage:
+//
+//	ocspresponder [-listen :8889] [-validity 168h] [-blank-next-update]
+//	              [-zero-margin] [-malformed zero|empty|js] [-bad-signature]
+//	              [-serial-mismatch] [-extra-serials 19] [-error-status trylater]
+//	              [-revoke-leaf] [-cached] [-update-interval 1h]
+package main
+
+import (
+	"encoding/pem"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"time"
+
+	"github.com/netmeasure/muststaple/internal/clock"
+	"github.com/netmeasure/muststaple/internal/ocsp"
+	"github.com/netmeasure/muststaple/internal/pki"
+	"github.com/netmeasure/muststaple/internal/pkixutil"
+	"github.com/netmeasure/muststaple/internal/responder"
+)
+
+func main() {
+	listen := flag.String("listen", ":8889", "listen address")
+	validity := flag.Duration("validity", 7*24*time.Hour, "response validity period")
+	blank := flag.Bool("blank-next-update", false, "omit nextUpdate (responses never expire)")
+	zeroMargin := flag.Bool("zero-margin", false, "set thisUpdate to the request time (no clock-skew margin)")
+	malformed := flag.String("malformed", "", "serve malformed bodies: zero, empty, js, or truncated")
+	badSig := flag.Bool("bad-signature", false, "corrupt response signatures")
+	mismatch := flag.Bool("serial-mismatch", false, "answer about the wrong serial")
+	extraSerials := flag.Int("extra-serials", 0, "unsolicited serials per response")
+	errorStatus := flag.String("error-status", "", "always return an OCSP error: trylater, internal, unauthorized")
+	revokeLeaf := flag.Bool("revoke-leaf", false, "revoke the issued leaf (keyCompromise)")
+	cached := flag.Bool("cached", false, "pre-generate responses per update window instead of signing on demand")
+	updateInterval := flag.Duration("update-interval", 0, "cache update interval (with -cached)")
+	flag.Parse()
+
+	profile := responder.Profile{
+		Validity:        *validity,
+		BlankNextUpdate: *blank,
+		NoDefaultMargin: *zeroMargin,
+		BadSignature:    *badSig,
+		SerialMismatch:  *mismatch,
+		ExtraSerials:    *extraSerials,
+		CacheResponses:  *cached,
+		UpdateInterval:  *updateInterval,
+	}
+	switch *malformed {
+	case "":
+	case "zero":
+		profile.Malformed = responder.MalformedZero
+	case "empty":
+		profile.Malformed = responder.MalformedEmpty
+	case "js":
+		profile.Malformed = responder.MalformedJavaScript
+	case "truncated":
+		profile.Malformed = responder.MalformedTruncated
+	default:
+		fail("unknown -malformed kind %q", *malformed)
+	}
+	switch *errorStatus {
+	case "":
+	case "trylater":
+		profile.ErrorStatus = ocsp.StatusTryLater
+	case "internal":
+		profile.ErrorStatus = ocsp.StatusInternalError
+	case "unauthorized":
+		profile.ErrorStatus = ocsp.StatusUnauthorized
+	default:
+		fail("unknown -error-status %q", *errorStatus)
+	}
+
+	ca, err := pki.NewRootCA(pki.Config{
+		Name:      "Standalone OCSP Test CA",
+		OCSPURL:   "http://localhost" + *listen,
+		NotBefore: time.Now().Add(-time.Hour),
+	})
+	if err != nil {
+		fail("create CA: %v", err)
+	}
+	leaf, err := ca.IssueLeaf(pki.LeafOptions{
+		DNSNames:   []string{"test.localhost"},
+		NotBefore:  time.Now().Add(-time.Hour),
+		NotAfter:   time.Now().AddDate(0, 3, 0),
+		MustStaple: true,
+	})
+	if err != nil {
+		fail("issue leaf: %v", err)
+	}
+	db := responder.NewDB()
+	db.AddIssued(leaf.Certificate.SerialNumber, leaf.Certificate.NotAfter)
+	if *revokeLeaf {
+		db.Revoke(leaf.Certificate.SerialNumber, time.Now().Add(-30*time.Minute), pkixutil.ReasonKeyCompromise)
+	}
+
+	r := responder.New("localhost", ca, db, clock.Real{}, profile)
+	crlPub := responder.NewCRLPublisher(ca, db, clock.Real{})
+
+	pem.Encode(os.Stdout, &pem.Block{Type: "CERTIFICATE", Bytes: ca.Certificate.Raw})
+	pem.Encode(os.Stdout, &pem.Block{Type: "CERTIFICATE", Bytes: leaf.Certificate.Raw})
+	fmt.Printf("# CA above, leaf below. leaf serial: %v\n", leaf.Certificate.SerialNumber)
+	fmt.Printf("# OCSP endpoint: http://localhost%s/  CRL: http://localhost%s/ca.crl\n", *listen, *listen)
+	fmt.Printf("# try: openssl ocsp -issuer ca.pem -serial %v -url http://localhost%s -resp_text\n",
+		leaf.Certificate.SerialNumber, *listen)
+
+	mux := http.NewServeMux()
+	mux.Handle("/ca.crl", crlPub)
+	mux.Handle("/", r)
+	if err := http.ListenAndServe(*listen, mux); err != nil {
+		fail("listen: %v", err)
+	}
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "ocspresponder: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,139 @@
+// Command ocspscan is the measurement client as a standalone tool: it
+// repeatedly checks one or more (responder URL, issuer certificate,
+// serial) triples over real HTTP, classifying every outcome the way §5 of
+// the paper does, and prints per-round classification lines plus a final
+// summary.
+//
+// Usage:
+//
+//	ocspscan -issuer ca.pem -serial 123456 -url http://ocsp.example.com \
+//	         [-rounds 24] [-interval 1h] [-method POST|GET]
+//
+// With -demo, it instead spins up an in-process misbehaving responder and
+// scans that, so the tool is demonstrable offline.
+package main
+
+import (
+	"crypto/x509"
+	"encoding/pem"
+	"flag"
+	"fmt"
+	"math/big"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"time"
+
+	"github.com/netmeasure/muststaple/internal/clock"
+	"github.com/netmeasure/muststaple/internal/netsim"
+	"github.com/netmeasure/muststaple/internal/pki"
+	"github.com/netmeasure/muststaple/internal/responder"
+	"github.com/netmeasure/muststaple/internal/scanner"
+)
+
+func main() {
+	issuerPath := flag.String("issuer", "", "PEM file with the issuer certificate")
+	serialStr := flag.String("serial", "", "certificate serial number (decimal)")
+	url := flag.String("url", "", "OCSP responder URL")
+	rounds := flag.Int("rounds", 1, "number of scan rounds")
+	interval := flag.Duration("interval", time.Hour, "wall-clock interval between rounds (paper: hourly)")
+	method := flag.String("method", http.MethodPost, "HTTP method: POST (paper default) or GET")
+	demo := flag.Bool("demo", false, "scan a built-in demo responder instead of a real one")
+	flag.Parse()
+
+	var tgt scanner.Target
+	var cleanup func()
+	switch {
+	case *demo:
+		tgt, cleanup = demoTarget()
+		defer cleanup()
+	case *issuerPath != "" && *serialStr != "" && *url != "":
+		issuer, err := loadCert(*issuerPath)
+		if err != nil {
+			fail("load issuer: %v", err)
+		}
+		serial, ok := new(big.Int).SetString(*serialStr, 10)
+		if !ok {
+			fail("bad serial %q", *serialStr)
+		}
+		tgt = scanner.Target{ResponderURL: *url, Responder: *url, Issuer: issuer, Serial: serial}
+	default:
+		fail("need -demo, or all of -issuer, -serial, and -url")
+	}
+
+	client := &scanner.Client{
+		Transport: &scanner.RealTransport{Client: &http.Client{Timeout: 10 * time.Second}},
+		Method:    *method,
+	}
+	vantage := netsim.Vantage{Name: "local"}
+
+	var ok, bad int
+	for i := 0; i < *rounds; i++ {
+		if i > 0 && !*demo {
+			time.Sleep(*interval)
+		}
+		obs := client.Scan(vantage, time.Now(), tgt)
+		if obs.Class == scanner.ClassOK {
+			ok++
+			next := "blank"
+			if obs.HasNextUpdate {
+				next = obs.NextUpdate.Format(time.RFC3339)
+			}
+			fmt.Printf("%s ok status=%v producedAt=%s thisUpdate=%s nextUpdate=%s serials=%d certs=%d latency=%v\n",
+				obs.At.Format(time.RFC3339), obs.CertStatus,
+				obs.ProducedAt.Format(time.RFC3339), obs.ThisUpdate.Format(time.RFC3339), next,
+				obs.NumSerials, obs.NumCerts, obs.Latency)
+		} else {
+			bad++
+			fmt.Printf("%s FAIL class=%v http=%d\n", obs.At.Format(time.RFC3339), obs.Class, obs.HTTPStatus)
+		}
+	}
+	fmt.Printf("summary: %d/%d successful (%.1f%% failure rate)\n", ok, ok+bad, 100*float64(bad)/float64(ok+bad))
+}
+
+// demoTarget builds an in-process responder that misbehaves on a schedule,
+// so the classification output is interesting without network access.
+func demoTarget() (scanner.Target, func()) {
+	ca, err := pki.NewRootCA(pki.Config{Name: "ocspscan demo CA", NotBefore: time.Now().Add(-time.Hour)})
+	if err != nil {
+		fail("demo CA: %v", err)
+	}
+	leaf, err := ca.IssueLeaf(pki.LeafOptions{
+		DNSNames:  []string{"demo.localhost"},
+		NotBefore: time.Now().Add(-time.Hour),
+		NotAfter:  time.Now().AddDate(0, 1, 0),
+	})
+	if err != nil {
+		fail("demo leaf: %v", err)
+	}
+	db := responder.NewDB()
+	db.AddIssued(leaf.Certificate.SerialNumber, leaf.Certificate.NotAfter)
+	r := responder.New("demo", ca, db, clock.Real{}, responder.Profile{
+		BlankNextUpdate: true, // a §5.4 quality defect, visible in the output
+		ExtraSerials:    2,
+	})
+	srv := httptest.NewServer(r)
+	return scanner.Target{
+		ResponderURL: srv.URL,
+		Responder:    "demo",
+		Issuer:       ca.Certificate,
+		Serial:       leaf.Certificate.SerialNumber,
+	}, srv.Close
+}
+
+func loadCert(path string) (*x509.Certificate, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	block, _ := pem.Decode(data)
+	if block == nil {
+		return nil, fmt.Errorf("no PEM block in %s", path)
+	}
+	return x509.ParseCertificate(block.Bytes)
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "ocspscan: "+format+"\n", args...)
+	os.Exit(1)
+}

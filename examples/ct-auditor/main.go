@@ -1,0 +1,103 @@
+// Ct-auditor: a Certificate Transparency auditor over the RFC 6962 log
+// substrate — the integrity layer beneath the paper's certificate corpus
+// (Censys aggregates public CT logs).
+//
+// The example plays three roles against one log:
+//
+//   - a CA submitting (Must-Staple and plain) certificates,
+//   - an aggregator scanning the log with verified tree heads and
+//     inclusion proofs to rebuild §4's deployment statistics, and
+//   - an auditor checking append-only consistency between successive
+//     signed tree heads — including catching a simulated fork.
+//
+// Run it with:
+//
+//	go run ./examples/ct-auditor
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"github.com/netmeasure/muststaple/internal/census"
+	"github.com/netmeasure/muststaple/internal/ctlog"
+	"github.com/netmeasure/muststaple/internal/pki"
+)
+
+func main() {
+	logKey, err := pki.GenerateKey(nil, pki.ECDSAP256)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctLog := ctlog.New(logKey)
+	ca, err := pki.NewRootCA(pki.Config{
+		Name:      "CT Example CA",
+		OCSPURL:   "http://ocsp.ct.example",
+		NotBefore: time.Now().Add(-time.Hour),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Day 1: the CA submits 120 certificates; the log signs a tree head.
+	if _, err := census.PopulateLog(ctLog, ca, 120, 1); err != nil {
+		log.Fatal(err)
+	}
+	sth1, err := ctLog.SignTreeHead(time.Now())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("day 1: log size %d, root %x…\n", sth1.TreeSize, sth1.Root[:8])
+
+	// The aggregator scans the log, verifying every inclusion proof, and
+	// rebuilds the corpus statistics.
+	scan, err := census.ScanLog(ctLog, logKey.Public(), sth1, ca.Name)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ocspN, msN := 0, 0
+	for _, info := range scan.Infos {
+		if info.SupportsOCSP {
+			ocspN++
+		}
+		if info.MustStaple {
+			msN++
+		}
+	}
+	fmt.Printf("aggregator: %d entries, %d inclusion proofs verified, %d support OCSP, %d Must-Staple\n",
+		scan.Entries, scan.ProofsVerified, ocspN, msN)
+
+	// Day 2: more submissions, a new tree head, and the auditor's
+	// append-only check between the two heads.
+	if _, err := census.PopulateLog(ctLog, ca, 60, 2); err != nil {
+		log.Fatal(err)
+	}
+	sth2, err := ctLog.SignTreeHead(time.Now())
+	if err != nil {
+		log.Fatal(err)
+	}
+	proof, err := ctLog.ConsistencyProof(sth1.TreeSize, sth2.TreeSize)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ok := ctlog.VerifyConsistency(sth1.TreeSize, sth2.TreeSize, sth1.Root, sth2.Root, proof)
+	fmt.Printf("auditor: day 1 (size %d) → day 2 (size %d) consistency: %v\n", sth1.TreeSize, sth2.TreeSize, ok)
+
+	// A forked log: same size as day 2 but with one entry swapped. The
+	// auditor's consistency check must fail against the fork's head.
+	fork := ctlog.New(logKey)
+	entries, err := ctLog.Entries(0, sth2.TreeSize)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i, e := range entries {
+		if i == 130 {
+			e = []byte("maliciously substituted certificate")
+		}
+		fork.Append(e)
+	}
+	forkRoot := fork.Root()
+	forkOK := ctlog.VerifyConsistency(sth1.TreeSize, sth2.TreeSize, sth1.Root, forkRoot, proof)
+	fmt.Printf("auditor: day 1 → forked log consistency: %v (fork detected: %v)\n", forkOK, !forkOK)
+}

@@ -1,0 +1,3 @@
+module github.com/netmeasure/muststaple
+
+go 1.22

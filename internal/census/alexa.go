@@ -1,0 +1,203 @@
+package census
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/netmeasure/muststaple/internal/stats"
+)
+
+// AlexaDomain is one entry of the synthetic Alexa Top-1M model.
+type AlexaDomain struct {
+	// Rank is the 0-based popularity rank.
+	Rank int
+	// Name is the synthetic domain name.
+	Name string
+	// HTTPS marks domains serving a trusted certificate.
+	HTTPS bool
+	// OCSP marks HTTPS domains whose certificate carries an OCSP URL.
+	OCSP bool
+	// Stapling marks OCSP domains whose server staples responses in the
+	// TLS handshake (§7.1).
+	Stapling bool
+	// MustStaple marks the ~100 Alexa certificates with the extension.
+	MustStaple bool
+	// CA is the issuing CA.
+	CA string
+	// ResponderIndex assigns the domain to one of the popular-CA OCSP
+	// responders (the Alexa1M dataset covered 128 responders); -1 for
+	// non-OCSP domains.
+	ResponderIndex int
+}
+
+// AlexaConfig configures GenerateAlexa.
+type AlexaConfig struct {
+	Seed int64
+	// Domains is the number of generated domains; 0 means 100,000.
+	// Figures 2 and 11 are rate curves, so their shape is scale-free;
+	// ScaleFactor relates generated domains to the real 1M.
+	Domains int
+	// Responders is how many distinct responders serve the population;
+	// 0 means 128, the Alexa1M figure.
+	Responders int
+	// MustStapleDomains is the count of Must-Staple Alexa domains;
+	// 0 means the paper's 100.
+	MustStapleDomains int
+}
+
+func (c *AlexaConfig) domains() int {
+	if c.Domains <= 0 {
+		return 100_000
+	}
+	return c.Domains
+}
+
+func (c *AlexaConfig) responders() int {
+	if c.Responders <= 0 {
+		return 128
+	}
+	return c.Responders
+}
+
+func (c *AlexaConfig) mustStaple() int {
+	if c.MustStapleDomains <= 0 {
+		return 100
+	}
+	return c.MustStapleDomains
+}
+
+// ScaleFactor returns how many real Alexa domains one generated domain
+// represents.
+func (c *AlexaConfig) ScaleFactor() int {
+	return 1_000_000 / c.domains()
+}
+
+// Adoption-rate curves calibrated to Figures 2 and 11: x is the
+// fractional rank in [0, 1).
+//
+// HTTPS support is "close to 75% across the entire range"; OCSP adoption
+// among certificate-bearing domains averages 91.3% and is slightly higher
+// for popular domains; stapling is roughly 35% overall and noticeably
+// higher for popular domains.
+func httpsRate(x float64) float64    { return 0.78 - 0.06*x }
+func ocspRate(x float64) float64     { return 0.935 - 0.04*x }
+func staplingRate(x float64) float64 { return 0.45 - 0.20*x }
+
+// GenerateAlexa builds the domain model. Responder assignment is Zipf-ish:
+// popular CAs (low responder indices) serve most domains, matching the
+// paper's observation that popular domains' certificates are concentrated
+// on a small number of responders (§5.2 "Impact of Outages").
+func GenerateAlexa(cfg AlexaConfig) []AlexaDomain {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	n := cfg.domains()
+	nResp := cfg.responders()
+	out := make([]AlexaDomain, 0, n)
+
+	for i := 0; i < n; i++ {
+		x := float64(i) / float64(n)
+		d := AlexaDomain{
+			Rank:           i,
+			Name:           fmt.Sprintf("site-%06d.example", i),
+			ResponderIndex: -1,
+		}
+		d.HTTPS = rng.Float64() < httpsRate(x)
+		if d.HTTPS {
+			d.OCSP = rng.Float64() < ocspRate(x)
+		}
+		if d.OCSP {
+			d.Stapling = rng.Float64() < staplingRate(x)
+			// Zipf-ish responder pick: squaring the uniform draw
+			// concentrates mass on low indices.
+			u := rng.Float64()
+			d.ResponderIndex = int(u * u * float64(nResp))
+			if d.ResponderIndex >= nResp {
+				d.ResponderIndex = nResp - 1
+			}
+			d.CA = caShare[d.ResponderIndex%len(caShare)].Name
+		}
+		out = append(out, d)
+	}
+
+	// Sprinkle the exact Must-Staple population uniformly over OCSP
+	// domains.
+	remaining := cfg.mustStaple()
+	for attempts := 0; remaining > 0 && attempts < 50*cfg.mustStaple(); attempts++ {
+		i := rng.Intn(n)
+		if out[i].OCSP && !out[i].MustStaple {
+			out[i].MustStaple = true
+			remaining--
+		}
+	}
+	return out
+}
+
+// Figure2 bins the Alexa model into rank bins and returns two series: the
+// fraction of domains with a trusted certificate (HTTPS), and the fraction
+// of those whose certificate has an OCSP responder.
+func Figure2(domains []AlexaDomain, binWidth int) (https, ocspOfHTTPS []stats.BinRate) {
+	hb := stats.NewRankBins(binWidth)
+	ob := stats.NewRankBins(binWidth)
+	for _, d := range domains {
+		hb.Add(d.Rank, d.HTTPS)
+		if d.HTTPS {
+			ob.Add(d.Rank, d.OCSP)
+		}
+	}
+	return hb.Rates(), ob.Rates()
+}
+
+// Figure11 returns the fraction of OCSP-supporting domains that staple,
+// per rank bin.
+func Figure11(domains []AlexaDomain, binWidth int) []stats.BinRate {
+	b := stats.NewRankBins(binWidth)
+	for _, d := range domains {
+		if d.OCSP {
+			b.Add(d.Rank, d.Stapling)
+		}
+	}
+	return b.Rates()
+}
+
+// AlexaStats are the §4/§7.1 headline numbers for the Alexa model.
+type AlexaStats struct {
+	Domains          int
+	HTTPS            int
+	OCSP             int
+	Stapling         int
+	MustStaple       int
+	OCSPRate         float64 // of HTTPS domains
+	StaplingRate     float64 // of OCSP domains
+	RespondersSeen   int
+	ScaledMustStaple int // not scaled — exact, mirrors the paper's 100
+}
+
+// Stats measures the model.
+func Stats(domains []AlexaDomain) AlexaStats {
+	var st AlexaStats
+	seen := map[int]bool{}
+	for _, d := range domains {
+		st.Domains++
+		if d.HTTPS {
+			st.HTTPS++
+		}
+		if d.OCSP {
+			st.OCSP++
+			seen[d.ResponderIndex] = true
+		}
+		if d.Stapling {
+			st.Stapling++
+		}
+		if d.MustStaple {
+			st.MustStaple++
+		}
+	}
+	if st.HTTPS > 0 {
+		st.OCSPRate = float64(st.OCSP) / float64(st.HTTPS)
+	}
+	if st.OCSP > 0 {
+		st.StaplingRate = float64(st.Stapling) / float64(st.OCSP)
+	}
+	st.RespondersSeen = len(seen)
+	st.ScaledMustStaple = st.MustStaple
+	return st
+}

@@ -1,0 +1,132 @@
+package census
+
+import (
+	"sync"
+	"time"
+
+	"github.com/netmeasure/muststaple/internal/clock"
+	"github.com/netmeasure/muststaple/internal/netsim"
+	"github.com/netmeasure/muststaple/internal/scanner"
+)
+
+// CDNCache models the CDN perspective of §5.2: a CDN (the paper used
+// Akamai logs) fronts OCSP responders with a response cache, so only a
+// small fraction of TLS connections trigger upstream OCSP fetches, those
+// fetches touch a small set of responders (~20), and — because fetches
+// happen only when a cached response expires, with retry headroom inside
+// the old response's validity — the upstream success rate is ~100%.
+type CDNCache struct {
+	// Client performs the upstream OCSP fetches.
+	Client *scanner.Client
+	// Clock is the (virtual) time source.
+	Clock clock.Clock
+	// Vantage is the CDN's network location.
+	Vantage netsim.Vantage
+	// TTL is how long a fetched response is reused; 0 derives it from
+	// the response's own validity with a safety margin.
+	TTL time.Duration
+
+	mu    sync.Mutex
+	cache map[string]cdnEntry
+	stats CDNStats
+}
+
+type cdnEntry struct {
+	expires time.Time
+}
+
+// CDNStats summarizes cache behavior.
+type CDNStats struct {
+	// Lookups is the number of TLS connections needing an OCSP status.
+	Lookups int
+	// Hits were served from cache.
+	Hits int
+	// UpstreamFetches and UpstreamSuccesses count origin OCSP traffic.
+	UpstreamFetches   int
+	UpstreamSuccesses int
+	// RespondersContacted is the distinct upstream responder count.
+	RespondersContacted int
+
+	contacted map[string]bool
+}
+
+// HitRate returns Hits/Lookups.
+func (s CDNStats) HitRate() float64 {
+	if s.Lookups == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Lookups)
+}
+
+// UpstreamSuccessRate returns the §5.2 CDN observation (~100%).
+func (s CDNStats) UpstreamSuccessRate() float64 {
+	if s.UpstreamFetches == 0 {
+		return 0
+	}
+	return float64(s.UpstreamSuccesses) / float64(s.UpstreamFetches)
+}
+
+// NewCDNCache builds an empty cache.
+func NewCDNCache(client *scanner.Client, clk clock.Clock, vantage netsim.Vantage) *CDNCache {
+	return &CDNCache{
+		Client:  client,
+		Clock:   clk,
+		Vantage: vantage,
+		cache:   make(map[string]cdnEntry),
+		stats:   CDNStats{contacted: make(map[string]bool)},
+	}
+}
+
+// Lookup serves one TLS connection's OCSP need for the target, fetching
+// upstream only on cache miss. It returns true when a valid status was
+// available (from cache or upstream).
+func (c *CDNCache) Lookup(tgt scanner.Target) bool {
+	now := c.Clock.Now()
+	key := tgt.Responder + "|" + tgt.Serial.String()
+
+	c.mu.Lock()
+	c.stats.Lookups++
+	if e, ok := c.cache[key]; ok && now.Before(e.expires) {
+		c.stats.Hits++
+		c.mu.Unlock()
+		return true
+	}
+	c.mu.Unlock()
+
+	obs := c.Client.Scan(c.Vantage, now, tgt)
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.stats.UpstreamFetches++
+	c.stats.contacted[tgt.Responder] = true
+	c.stats.RespondersContacted = len(c.stats.contacted)
+	if !obs.Class.Usable() {
+		return false
+	}
+	c.stats.UpstreamSuccesses++
+
+	ttl := c.TTL
+	if ttl == 0 {
+		if obs.HasNextUpdate {
+			// Refresh at half-life, like production stapling CDNs,
+			// so there is always a valid cached copy while
+			// retrying a flaky upstream.
+			ttl = obs.NextUpdate.Sub(now) / 2
+		} else {
+			ttl = time.Hour
+		}
+	}
+	if ttl > 0 {
+		c.cache[key] = cdnEntry{expires: now.Add(ttl)}
+	}
+	return true
+}
+
+// Stats snapshots the counters.
+func (c *CDNCache) Stats() CDNStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := c.stats
+	s.contacted = nil
+	return s
+}

@@ -1,0 +1,233 @@
+// Package census is the Censys substitute: a seeded synthetic certificate
+// corpus and Alexa Top-1M domain model with marginals calibrated to the
+// paper's April 2018 snapshot (§4), the stapling-adoption measurements of
+// §7.1 (Figures 2, 11, 12), and the CDN-cache perspective of §5.2.
+//
+// Populations the paper reports in the hundreds of millions are generated
+// at a configurable scale factor; counts the paper reports exactly (the
+// 29,709 Must-Staple certificates and their CA breakdown, the 100
+// Must-Staple Alexa domains) are represented one-to-one. The analysis code
+// consuming the corpus is the same whether records come from this
+// generator or from parsing real DER (see Classify).
+package census
+
+import (
+	"crypto/x509"
+	"fmt"
+	"math/rand"
+
+	"github.com/netmeasure/muststaple/internal/pki"
+)
+
+// CertInfo is the per-certificate metadata the §4 analysis needs.
+type CertInfo struct {
+	// CA is the issuing CA's name.
+	CA string
+	// Valid marks the certificate trusted by at least one of the
+	// Apple/Microsoft/NSS root stores (the paper analyzes only these).
+	Valid bool
+	// SupportsOCSP marks an AIA extension with at least one OCSP URL.
+	SupportsOCSP bool
+	// MustStaple marks the TLS-Feature status_request extension.
+	MustStaple bool
+}
+
+// Classify derives CertInfo from a real parsed certificate — the honest
+// path used for the real-DER sample tier and throughout the tests. valid
+// is supplied by the caller's chain verification.
+func Classify(cert *x509.Certificate, caName string, valid bool) CertInfo {
+	return CertInfo{
+		CA:           caName,
+		Valid:        valid,
+		SupportsOCSP: pki.SupportsOCSP(cert),
+		MustStaple:   pki.HasMustStaple(cert),
+	}
+}
+
+// Paper-calibrated constants from the April 24, 2018 Censys snapshot.
+const (
+	// PaperTotalCerts is every certificate Censys had aggregated.
+	PaperTotalCerts = 489_580_002
+	// PaperValidCerts are those trusted by at least one root store.
+	PaperValidCerts = 112_841_653
+	// PaperOCSPCerts are valid certificates with an OCSP responder
+	// (95.4%).
+	PaperOCSPCerts = 107_664_132
+	// PaperMustStapleCerts is the total Must-Staple population (0.02%
+	// of valid certificates).
+	PaperMustStapleCerts = 29_709
+)
+
+// PaperMustStapleByCA is the exact Must-Staple CA breakdown of §4.
+// (28,919 of 29,709 — 97.3% — come from Let's Encrypt.)
+var PaperMustStapleByCA = map[string]int{
+	"Let's Encrypt": 28_919,
+	"DFN":           716,
+	"Comodo":        73,
+	"UserTrust":     1,
+}
+
+// caShare is the approximate 2018 issuance share of major CAs among valid
+// certificates, used to attribute the non-Must-Staple population.
+var caShare = []struct {
+	Name  string
+	Share float64
+}{
+	{"Let's Encrypt", 0.38},
+	{"Comodo", 0.20},
+	{"DigiCert", 0.12},
+	{"GoDaddy", 0.07},
+	{"GlobalSign", 0.05},
+	{"Certum", 0.03},
+	{"StartCom", 0.02},
+	{"Sectigo", 0.02},
+	{"Entrust", 0.02},
+	{"Other", 0.09},
+}
+
+// SnapshotConfig configures GenerateSnapshot.
+type SnapshotConfig struct {
+	// Seed drives all randomness; equal seeds give equal snapshots.
+	Seed int64
+	// ScaleFactor is how many real certificates one generated record
+	// represents; 0 means 10,000 (≈49k records for the full corpus).
+	// The exact Must-Staple population is always generated 1:1.
+	ScaleFactor int
+}
+
+func (c *SnapshotConfig) scale() int {
+	if c.ScaleFactor <= 0 {
+		return 10_000
+	}
+	return c.ScaleFactor
+}
+
+// Snapshot is a generated corpus.
+type Snapshot struct {
+	// ScaleFactor relates record counts to real-world counts for the
+	// scaled tier.
+	ScaleFactor int
+	// Certs is the scaled general population (valid and invalid,
+	// without the Must-Staple tier).
+	Certs []CertInfo
+	// MustStaple is the exact 29,709-record Must-Staple population.
+	MustStaple []CertInfo
+}
+
+// GenerateSnapshot builds the corpus.
+func GenerateSnapshot(cfg SnapshotConfig) *Snapshot {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	scale := cfg.scale()
+	n := PaperTotalCerts / scale
+	validP := float64(PaperValidCerts) / float64(PaperTotalCerts)
+	ocspP := float64(PaperOCSPCerts) / float64(PaperValidCerts)
+
+	s := &Snapshot{ScaleFactor: scale}
+	s.Certs = make([]CertInfo, 0, n)
+	for i := 0; i < n; i++ {
+		info := CertInfo{CA: pickCA(rng)}
+		info.Valid = rng.Float64() < validP
+		if info.Valid {
+			info.SupportsOCSP = rng.Float64() < ocspP
+		} else {
+			// Invalid certs (self-signed and friends) mostly lack
+			// OCSP.
+			info.SupportsOCSP = rng.Float64() < 0.2
+		}
+		s.Certs = append(s.Certs, info)
+	}
+
+	// The Must-Staple tier is exact: every such certificate is valid,
+	// supports OCSP (stapling without a responder is meaningless), and
+	// has the paper's CA attribution.
+	for ca, count := range PaperMustStapleByCA {
+		for i := 0; i < count; i++ {
+			s.MustStaple = append(s.MustStaple, CertInfo{
+				CA: ca, Valid: true, SupportsOCSP: true, MustStaple: true,
+			})
+		}
+	}
+	return s
+}
+
+func pickCA(rng *rand.Rand) string {
+	x := rng.Float64()
+	acc := 0.0
+	for _, cs := range caShare {
+		acc += cs.Share
+		if x < acc {
+			return cs.Name
+		}
+	}
+	return caShare[len(caShare)-1].Name
+}
+
+// SnapshotStats are the §4 headline numbers re-measured from a snapshot.
+type SnapshotStats struct {
+	// Scaled-up estimates for the general population.
+	Total, Valid, OCSP int
+	// Exact Must-Staple counts.
+	MustStaple     int
+	MustStapleByCA map[string]int
+	// OCSPFractionOfValid is OCSP/Valid.
+	OCSPFractionOfValid float64
+	// MustStapleFractionOfValid is MustStaple/Valid.
+	MustStapleFractionOfValid float64
+}
+
+// Stats measures the snapshot the way §4 does.
+func (s *Snapshot) Stats() SnapshotStats {
+	st := SnapshotStats{MustStapleByCA: make(map[string]int)}
+	for _, c := range s.Certs {
+		st.Total += s.ScaleFactor
+		if c.Valid {
+			st.Valid += s.ScaleFactor
+			if c.SupportsOCSP {
+				st.OCSP += s.ScaleFactor
+			}
+		}
+	}
+	for _, c := range s.MustStaple {
+		if !c.Valid || !c.MustStaple {
+			continue
+		}
+		st.MustStaple++
+		st.MustStapleByCA[c.CA]++
+	}
+	if st.Valid > 0 {
+		st.OCSPFractionOfValid = float64(st.OCSP) / float64(st.Valid)
+		st.MustStapleFractionOfValid = float64(st.MustStaple) / float64(st.Valid)
+	}
+	return st
+}
+
+// RealSample issues sampleSize real DER certificates through the pki
+// package matching the snapshot's marginals, and re-classifies them with
+// Classify — the cross-check that the metadata tier and the real-bytes
+// tier agree. It returns the classified infos.
+func (s *Snapshot) RealSample(sampleSize int, seed int64) ([]CertInfo, error) {
+	rng := rand.New(rand.NewSource(seed))
+	ca, err := pki.NewRootCA(pki.Config{
+		Name:    "Census Sample CA",
+		Rand:    rng,
+		OCSPURL: "http://ocsp.census.test",
+		CRLURL:  "http://crl.census.test/ca.crl",
+	})
+	if err != nil {
+		return nil, err
+	}
+	ocspP := float64(PaperOCSPCerts) / float64(PaperValidCerts)
+	msP := float64(PaperMustStapleCerts) / float64(PaperValidCerts)
+	out := make([]CertInfo, 0, sampleSize)
+	for i := 0; i < sampleSize; i++ {
+		opts := pki.LeafOptions{DNSNames: []string{fmt.Sprintf("sample-%d.census.test", i)}}
+		opts.OmitOCSP = rng.Float64() >= ocspP
+		opts.MustStaple = !opts.OmitOCSP && rng.Float64() < msP
+		leaf, err := ca.IssueLeaf(opts)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, Classify(leaf.Certificate, ca.Name, true))
+	}
+	return out, nil
+}

@@ -1,0 +1,74 @@
+package census
+
+import (
+	"math/rand"
+	"time"
+)
+
+// HistoryPoint is one monthly sample of Figure 12: OCSP and OCSP Stapling
+// adoption among Alexa Top-1M HTTPS domains from May 2016 to September
+// 2018.
+type HistoryPoint struct {
+	Month time.Time
+	// PctOCSP is the percentage of HTTPS domains whose certificates
+	// carry an OCSP responder.
+	PctOCSP float64
+	// PctStapling is the percentage that also staple.
+	PctStapling float64
+	// CloudflareStaplingDomains tracks the cruise-liner-certificate
+	// population behind the June 2017 spike (11,675 on May 18, 2017 →
+	// 78,907 by June 15, 2017).
+	CloudflareStaplingDomains int
+}
+
+// historyStart and historyEnd bound Figure 12.
+var (
+	historyStart = time.Date(2016, 5, 21, 0, 0, 0, 0, time.UTC)
+	historyEnd   = time.Date(2018, 9, 1, 0, 0, 0, 0, time.UTC)
+)
+
+// GenerateHistory produces the monthly Figure 12 series. The curves are
+// the paper's qualitative shape — both adoption lines growing steadily,
+// with the discontinuous Cloudflare jump between the May and June 2017
+// samples — plus small seeded noise so downstream consumers cannot
+// accidentally depend on perfectly smooth data.
+func GenerateHistory(seed int64) []HistoryPoint {
+	rng := rand.New(rand.NewSource(seed))
+	var out []HistoryPoint
+	cloudflareSpike := time.Date(2017, 6, 15, 0, 0, 0, 0, time.UTC)
+
+	for m := historyStart; m.Before(historyEnd); m = m.AddDate(0, 1, 0) {
+		// Progress through the observation window in [0, 1].
+		x := float64(m.Unix()-historyStart.Unix()) / float64(historyEnd.Unix()-historyStart.Unix())
+
+		p := HistoryPoint{Month: m}
+		// OCSP support among HTTPS domains: ~87% → ~93%.
+		p.PctOCSP = 87 + 6*x + rng.Float64()*0.4 - 0.2
+
+		// Stapling: ~23% → ~35%, plus the Cloudflare step.
+		base := 23 + 9*x
+		if !m.Before(cloudflareSpike) {
+			p.CloudflareStaplingDomains = 78_907
+			base += 2.5 // ~67k domains of ~2.7M OCSP-supporting HTTPS domains
+		} else {
+			p.CloudflareStaplingDomains = 11_675
+		}
+		p.PctStapling = base + rng.Float64()*0.4 - 0.2
+		out = append(out, p)
+	}
+	return out
+}
+
+// CloudflareJump returns the stapling-domain delta across the June 2017
+// spike, for verification against the paper's 11,675 → 78,907.
+func CloudflareJump(history []HistoryPoint) (before, after int) {
+	for _, p := range history {
+		if p.CloudflareStaplingDomains > before && p.CloudflareStaplingDomains <= 11_675 {
+			before = p.CloudflareStaplingDomains
+		}
+		if p.CloudflareStaplingDomains > after {
+			after = p.CloudflareStaplingDomains
+		}
+	}
+	return
+}

@@ -1,0 +1,79 @@
+package census
+
+import (
+	"crypto"
+	"crypto/x509"
+	"fmt"
+	"math/rand"
+
+	"github.com/netmeasure/muststaple/internal/ctlog"
+	"github.com/netmeasure/muststaple/internal/pki"
+)
+
+// This file is the CT side of the Censys substitute: real DER certificates
+// are submitted to an RFC 6962 log, and the corpus is rebuilt by *scanning
+// the log* with verified tree heads and inclusion proofs — the trust chain
+// a real aggregator (Censys pulls from public CT logs, §4 of the paper)
+// depends on.
+
+// PopulateLog issues n real certificates through ca with the snapshot's
+// OCSP/Must-Staple marginals and appends them to log. It returns the
+// number appended.
+func PopulateLog(log *ctlog.Log, ca *pki.CA, n int, seed int64) (int, error) {
+	rng := rand.New(rand.NewSource(seed))
+	ocspP := float64(PaperOCSPCerts) / float64(PaperValidCerts)
+	msP := float64(PaperMustStapleCerts) / float64(PaperValidCerts)
+	for i := 0; i < n; i++ {
+		opts := pki.LeafOptions{DNSNames: []string{fmt.Sprintf("logged-%d.census.test", i)}}
+		opts.OmitOCSP = rng.Float64() >= ocspP
+		opts.MustStaple = !opts.OmitOCSP && rng.Float64() < msP
+		leaf, err := ca.IssueLeaf(opts)
+		if err != nil {
+			return i, err
+		}
+		log.Append(leaf.Certificate.Raw)
+	}
+	return n, nil
+}
+
+// ScanStats summarizes a verified log scan.
+type ScanStats struct {
+	Entries        int
+	ProofsVerified int
+	ParseFailures  int
+	Infos          []CertInfo
+}
+
+// ScanLog rebuilds the corpus from a log: it verifies the signed tree head
+// against logKey, then fetches every entry, verifies its inclusion proof
+// against the STH root, parses the certificate, and classifies it. Entries
+// whose proofs fail abort the scan — an aggregator must not ingest
+// unprovable data.
+func ScanLog(log *ctlog.Log, logKey crypto.PublicKey, sth *ctlog.SignedTreeHead, caName string) (*ScanStats, error) {
+	if err := ctlog.VerifyTreeHead(logKey, sth); err != nil {
+		return nil, fmt.Errorf("census: tree head: %w", err)
+	}
+	st := &ScanStats{}
+	for i := 0; i < sth.TreeSize; i++ {
+		entry, err := log.Entry(i)
+		if err != nil {
+			return nil, err
+		}
+		proof, err := log.InclusionProof(i, sth.TreeSize)
+		if err != nil {
+			return nil, err
+		}
+		if !ctlog.VerifyInclusion(ctlog.LeafHash(entry), i, sth.TreeSize, proof, sth.Root) {
+			return nil, fmt.Errorf("census: entry %d failed inclusion verification", i)
+		}
+		st.ProofsVerified++
+		st.Entries++
+		cert, err := x509.ParseCertificate(entry)
+		if err != nil {
+			st.ParseFailures++
+			continue
+		}
+		st.Infos = append(st.Infos, Classify(cert, caName, true))
+	}
+	return st, nil
+}

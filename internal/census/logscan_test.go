@@ -1,0 +1,105 @@
+package census
+
+import (
+	"crypto/ecdsa"
+	"crypto/elliptic"
+	"crypto/rand"
+	"testing"
+	"time"
+
+	"github.com/netmeasure/muststaple/internal/ctlog"
+	"github.com/netmeasure/muststaple/internal/pki"
+)
+
+func logFixture(t *testing.T, n int) (*ctlog.Log, *ecdsa.PrivateKey, *pki.CA) {
+	t.Helper()
+	key, err := ecdsa.GenerateKey(elliptic.P256(), rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	log := ctlog.New(key)
+	ca, err := pki.NewRootCA(pki.Config{Name: "Log CA", OCSPURL: "http://ocsp.log.test"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := PopulateLog(log, ca, n, 5); err != nil {
+		t.Fatal(err)
+	}
+	return log, key, ca
+}
+
+func TestScanLogPipeline(t *testing.T) {
+	log, key, _ := logFixture(t, 150)
+	sth, err := log.SignTreeHead(time.Date(2018, 4, 24, 0, 0, 0, 0, time.UTC))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := ScanLog(log, key.Public(), sth, "Log CA")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Entries != 150 || st.ProofsVerified != 150 {
+		t.Fatalf("entries=%d proofs=%d", st.Entries, st.ProofsVerified)
+	}
+	if st.ParseFailures != 0 {
+		t.Errorf("parse failures = %d", st.ParseFailures)
+	}
+	// Re-measured marginals over real DER from the log.
+	ocspN := 0
+	for _, info := range st.Infos {
+		if info.SupportsOCSP {
+			ocspN++
+		}
+	}
+	frac := float64(ocspN) / float64(len(st.Infos))
+	if frac < 0.85 {
+		t.Errorf("OCSP fraction from log scan = %v, want ≈0.954", frac)
+	}
+}
+
+func TestScanLogRejectsForgedSTH(t *testing.T) {
+	log, key, _ := logFixture(t, 20)
+	sth, err := log.SignTreeHead(time.Now())
+	if err != nil {
+		t.Fatal(err)
+	}
+	forged := *sth
+	forged.TreeSize = 19 // claim fewer entries than signed
+	if _, err := ScanLog(log, key.Public(), &forged, "Log CA"); err == nil {
+		t.Error("forged STH must be rejected")
+	}
+	// Wrong key.
+	otherKey, _ := ecdsa.GenerateKey(elliptic.P256(), rand.Reader)
+	if _, err := ScanLog(log, otherKey.Public(), sth, "Log CA"); err == nil {
+		t.Error("STH under the wrong key must be rejected")
+	}
+}
+
+func TestScanLogGrowsWithLog(t *testing.T) {
+	log, key, ca := logFixture(t, 10)
+	sth1, _ := log.SignTreeHead(time.Now())
+	if _, err := PopulateLog(log, ca, 5, 6); err != nil {
+		t.Fatal(err)
+	}
+	sth2, _ := log.SignTreeHead(time.Now())
+	// The old STH still verifies and scans its prefix.
+	st1, err := ScanLog(log, key.Public(), sth1, "Log CA")
+	if err != nil {
+		t.Fatal(err)
+	}
+	st2, err := ScanLog(log, key.Public(), sth2, "Log CA")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st1.Entries != 10 || st2.Entries != 15 {
+		t.Fatalf("entries = %d, %d", st1.Entries, st2.Entries)
+	}
+	// Append-only: consistency between the two heads verifies.
+	proof, err := log.ConsistencyProof(sth1.TreeSize, sth2.TreeSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ctlog.VerifyConsistency(sth1.TreeSize, sth2.TreeSize, sth1.Root, sth2.Root, proof) {
+		t.Error("log heads inconsistent")
+	}
+}

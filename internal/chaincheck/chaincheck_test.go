@@ -1,0 +1,258 @@
+package chaincheck
+
+import (
+	"crypto"
+	"crypto/x509"
+	"errors"
+	"testing"
+	"time"
+
+	"github.com/netmeasure/muststaple/internal/clock"
+	"github.com/netmeasure/muststaple/internal/ocsp"
+	"github.com/netmeasure/muststaple/internal/pki"
+	"github.com/netmeasure/muststaple/internal/pkixutil"
+	"github.com/netmeasure/muststaple/internal/responder"
+)
+
+var t0 = time.Date(2018, 6, 1, 0, 0, 0, 0, time.UTC)
+
+// fixture: root → intermediate → leaf, with a responder per issuing CA
+// (the root's responder answers for the intermediate, the intermediate's
+// for the leaf), as in a real hierarchy.
+type fixture struct {
+	root, inter *pki.CA
+	leaf        *pki.Leaf
+	rootDB      *responder.DB
+	interDB     *responder.DB
+	rootResp    *responder.Responder
+	interResp   *responder.Responder
+	clk         *clock.Simulated
+}
+
+func newFixture(t testing.TB) *fixture {
+	t.Helper()
+	clk := clock.NewSimulated(t0)
+	root, err := pki.NewRootCA(pki.Config{Name: "Chain Root", OCSPURL: "http://ocsp.root.test", NotBefore: t0.AddDate(-2, 0, 0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inter, err := root.NewIntermediate(pki.Config{Name: "Chain Intermediate", OCSPURL: "http://ocsp.inter.test", NotBefore: t0.AddDate(-2, 0, 0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	leaf, err := inter.IssueLeaf(pki.LeafOptions{DNSNames: []string{"chain.test"}, NotBefore: t0.AddDate(0, -1, 0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rootDB := responder.NewDB()
+	rootDB.AddIssued(inter.Certificate.SerialNumber, inter.Certificate.NotAfter)
+	interDB := responder.NewDB()
+	interDB.AddIssued(leaf.Certificate.SerialNumber, leaf.Certificate.NotAfter)
+	profile := responder.Profile{ThisUpdateOffset: time.Minute}
+	return &fixture{
+		root: root, inter: inter, leaf: leaf,
+		rootDB: rootDB, interDB: interDB,
+		rootResp:  responder.New("ocsp.root.test", root, rootDB, clk, profile),
+		interResp: responder.New("ocsp.inter.test", inter, interDB, clk, profile),
+		clk:       clk,
+	}
+}
+
+func (f *fixture) chain() []*x509.Certificate {
+	return []*x509.Certificate{f.leaf.Certificate, f.inter.Certificate, f.root.Certificate}
+}
+
+// fetch routes (cert, issuer) to the right responder by issuer identity.
+func (f *fixture) fetch(cert, issuer *x509.Certificate) ([]byte, error) {
+	req, err := ocsp.NewRequest(cert, issuer, crypto.SHA1)
+	if err != nil {
+		return nil, err
+	}
+	reqDER, err := req.Marshal()
+	if err != nil {
+		return nil, err
+	}
+	var r *responder.Responder
+	switch issuer.Subject.CommonName {
+	case "Chain Root":
+		r = f.rootResp
+	case "Chain Intermediate":
+		r = f.interResp
+	default:
+		return nil, errors.New("no responder for issuer")
+	}
+	der, ok := r.Respond(reqDER)
+	if !ok {
+		return nil, errors.New("malformed body")
+	}
+	return der, nil
+}
+
+func TestFullChainGood(t *testing.T) {
+	f := newFixture(t)
+	bundle, err := BuildBundle(f.chain(), f.fetch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bundle.Responses) != 2 {
+		t.Fatalf("responses = %d, want 2 (leaf + intermediate)", len(bundle.Responses))
+	}
+	res, err := VerifyChain(f.chain(), bundle, t0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.AllGood() {
+		t.Fatalf("chain not all good: %v", res.Elements)
+	}
+	if res.AnyRevoked() || len(res.Unchecked()) != 0 {
+		t.Errorf("unexpected flags: %v", res.Elements)
+	}
+}
+
+func TestBundleRoundTrip(t *testing.T) {
+	f := newFixture(t)
+	bundle, err := BuildBundle(f.chain(), f.fetch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	der, err := bundle.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParseBundle(der)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := VerifyChain(f.chain(), got, t0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.AllGood() {
+		t.Errorf("round-tripped bundle rejected: %v", res.Elements)
+	}
+	if _, err := ParseBundle([]byte("junk")); err == nil {
+		t.Error("junk must not parse")
+	}
+	if _, err := (&Bundle{}).Marshal(); err == nil {
+		t.Error("empty bundle must not marshal")
+	}
+}
+
+func TestRevokedIntermediateDetected(t *testing.T) {
+	// The scenario standard stapling cannot surface: the *intermediate*
+	// is revoked while the leaf looks fine.
+	f := newFixture(t)
+	f.rootDB.Revoke(f.inter.Certificate.SerialNumber, t0.Add(-time.Hour), pkixutil.ReasonCACompromise)
+	bundle, err := BuildBundle(f.chain(), f.fetch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := VerifyChain(f.chain(), bundle, t0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Elements[0] != ElementGood {
+		t.Errorf("leaf = %v, want good", res.Elements[0])
+	}
+	if res.Elements[1] != ElementRevoked {
+		t.Errorf("intermediate = %v, want revoked", res.Elements[1])
+	}
+	if !res.AnyRevoked() || res.AllGood() {
+		t.Error("chain verdict flags wrong")
+	}
+}
+
+func TestLeafOnlyStapleLeavesIntermediateUnchecked(t *testing.T) {
+	// Today's standard stapling: only the leaf response is available
+	// (§2.3's gap). The intermediate must surface as unchecked, telling
+	// the client it still has an OCSP fetch (and privacy leak) ahead.
+	f := newFixture(t)
+	leafResp, err := f.fetch(f.leaf.Certificate, f.inter.Certificate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bundle := &Bundle{Responses: [][]byte{leafResp}}
+	res, err := VerifyChain(f.chain(), bundle, t0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Elements[0] != ElementGood {
+		t.Errorf("leaf = %v", res.Elements[0])
+	}
+	if res.Elements[1] != ElementUnchecked {
+		t.Errorf("intermediate = %v, want unchecked", res.Elements[1])
+	}
+	if got := res.Unchecked(); len(got) != 1 || got[0] != 1 {
+		t.Errorf("Unchecked = %v", got)
+	}
+	// No bundle at all: everything unchecked.
+	res, err = VerifyChain(f.chain(), nil, t0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Unchecked()) != 2 {
+		t.Errorf("nil bundle should leave both elements unchecked: %v", res.Elements)
+	}
+}
+
+func TestSwappedResponsesRejected(t *testing.T) {
+	// A bundle whose responses are in the wrong order must not validate:
+	// each response's CertID binds it to its element.
+	f := newFixture(t)
+	bundle, err := BuildBundle(f.chain(), f.fetch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bundle.Responses[0], bundle.Responses[1] = bundle.Responses[1], bundle.Responses[0]
+	res, err := VerifyChain(f.chain(), bundle, t0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Elements[0] != ElementInvalid || res.Elements[1] != ElementInvalid {
+		t.Errorf("swapped responses should be invalid: %v", res.Elements)
+	}
+}
+
+func TestExpiredBundleRejected(t *testing.T) {
+	f := newFixture(t)
+	bundle, err := BuildBundle(f.chain(), f.fetch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := VerifyChain(f.chain(), bundle, t0.AddDate(1, 0, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, e := range res.Elements {
+		if e != ElementInvalid {
+			t.Errorf("element %d = %v, want invalid after expiry", i, e)
+		}
+	}
+}
+
+func TestBuildBundleErrors(t *testing.T) {
+	f := newFixture(t)
+	if _, err := BuildBundle(f.chain()[:1], f.fetch); err == nil {
+		t.Error("single-cert chain must fail")
+	}
+	failing := func(_, _ *x509.Certificate) ([]byte, error) {
+		return nil, errors.New("responder down")
+	}
+	if _, err := BuildBundle(f.chain(), failing); err == nil {
+		t.Error("fetch failure must propagate")
+	}
+	if _, err := VerifyChain(f.chain()[:1], nil, t0); err == nil {
+		t.Error("short chain must fail verification too")
+	}
+}
+
+func TestElementStatusStrings(t *testing.T) {
+	for s, want := range map[ElementStatus]string{
+		ElementGood: "good", ElementRevoked: "revoked",
+		ElementInvalid: "invalid", ElementUnchecked: "unchecked",
+	} {
+		if s.String() != want {
+			t.Errorf("%d = %q", int(s), s.String())
+		}
+	}
+}

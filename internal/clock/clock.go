@@ -1,0 +1,59 @@
+// Package clock abstracts time so that measurement campaigns spanning
+// months of virtual time (the paper's Hourly dataset covers April 25 to
+// September 4, 2018) run in seconds, while the same responder and scanner
+// code also works against the real clock for live deployments.
+package clock
+
+import (
+	"sync"
+	"time"
+)
+
+// Clock supplies the current time.
+type Clock interface {
+	Now() time.Time
+}
+
+// Real is the wall clock.
+type Real struct{}
+
+// Now returns time.Now.
+func (Real) Now() time.Time { return time.Now() }
+
+// Simulated is a manually advanced clock, safe for concurrent use.
+type Simulated struct {
+	mu  sync.RWMutex
+	now time.Time
+}
+
+// NewSimulated returns a simulated clock starting at start.
+func NewSimulated(start time.Time) *Simulated {
+	return &Simulated{now: start}
+}
+
+// Now returns the simulated current time.
+func (c *Simulated) Now() time.Time {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.now
+}
+
+// Advance moves the clock forward by d and returns the new time. Negative
+// durations are ignored: simulated time never goes backwards.
+func (c *Simulated) Advance(d time.Duration) time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if d > 0 {
+		c.now = c.now.Add(d)
+	}
+	return c.now
+}
+
+// Set jumps the clock to t if t is not before the current time.
+func (c *Simulated) Set(t time.Time) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if t.After(c.now) {
+		c.now = t
+	}
+}

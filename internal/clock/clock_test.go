@@ -1,0 +1,68 @@
+package clock
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestRealClock(t *testing.T) {
+	before := time.Now()
+	got := (Real{}).Now()
+	after := time.Now()
+	if got.Before(before) || got.After(after) {
+		t.Errorf("Real.Now() = %v outside [%v, %v]", got, before, after)
+	}
+}
+
+func TestSimulatedAdvance(t *testing.T) {
+	start := time.Date(2018, 4, 25, 0, 0, 0, 0, time.UTC)
+	c := NewSimulated(start)
+	if !c.Now().Equal(start) {
+		t.Fatalf("Now = %v, want %v", c.Now(), start)
+	}
+	got := c.Advance(time.Hour)
+	if !got.Equal(start.Add(time.Hour)) || !c.Now().Equal(got) {
+		t.Errorf("Advance = %v", got)
+	}
+	// Negative advances are ignored.
+	c.Advance(-time.Hour)
+	if !c.Now().Equal(start.Add(time.Hour)) {
+		t.Error("negative Advance must not move the clock")
+	}
+}
+
+func TestSimulatedSet(t *testing.T) {
+	start := time.Date(2018, 4, 25, 0, 0, 0, 0, time.UTC)
+	c := NewSimulated(start)
+	target := start.Add(48 * time.Hour)
+	c.Set(target)
+	if !c.Now().Equal(target) {
+		t.Errorf("Set: Now = %v, want %v", c.Now(), target)
+	}
+	// Set must not move backwards.
+	c.Set(start)
+	if !c.Now().Equal(target) {
+		t.Error("Set backwards must be a no-op")
+	}
+}
+
+func TestSimulatedConcurrency(t *testing.T) {
+	c := NewSimulated(time.Unix(0, 0))
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Advance(time.Millisecond)
+				_ = c.Now()
+			}
+		}()
+	}
+	wg.Wait()
+	want := time.Unix(0, 0).Add(8 * 1000 * time.Millisecond)
+	if !c.Now().Equal(want) {
+		t.Errorf("after concurrent advances Now = %v, want %v", c.Now(), want)
+	}
+}

@@ -1,0 +1,252 @@
+package consistency
+
+import (
+	"math/big"
+	"testing"
+	"time"
+
+	"github.com/netmeasure/muststaple/internal/clock"
+	"github.com/netmeasure/muststaple/internal/netsim"
+	"github.com/netmeasure/muststaple/internal/ocsp"
+	"github.com/netmeasure/muststaple/internal/pki"
+	"github.com/netmeasure/muststaple/internal/pkixutil"
+	"github.com/netmeasure/muststaple/internal/responder"
+)
+
+var t0 = time.Date(2018, 5, 1, 0, 0, 0, 0, time.UTC)
+
+// caSetup is one CA wired onto the network with both a CRL publisher and
+// an OCSP responder.
+type caSetup struct {
+	ca      *pki.CA
+	db      *responder.DB
+	source  Source
+	serials []*big.Int
+}
+
+func buildCA(t testing.TB, n *netsim.Network, clk *clock.Simulated, name string, numRevoked int, profile responder.Profile) *caSetup {
+	t.Helper()
+	ocspHost := "ocsp." + name + ".test"
+	crlHost := "crl." + name + ".test"
+	ca, err := pki.NewRootCA(pki.Config{
+		Name:    name,
+		OCSPURL: "http://" + ocspHost,
+		CRLURL:  "http://" + crlHost + "/ca.crl",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := responder.NewDB()
+	var serials []*big.Int
+	for i := 0; i < numRevoked; i++ {
+		leaf, err := ca.IssueLeaf(pki.LeafOptions{
+			DNSNames:  []string{name + ".site"},
+			NotBefore: t0.AddDate(0, -2, 0),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		db.AddIssued(leaf.Certificate.SerialNumber, leaf.Certificate.NotAfter)
+		db.Revoke(leaf.Certificate.SerialNumber, t0.AddDate(0, -1, 0), pkixutil.ReasonKeyCompromise)
+		serials = append(serials, leaf.Certificate.SerialNumber)
+	}
+	n.RegisterHost(ocspHost, "", responder.New(ocspHost, ca, db, clk, profile))
+	n.RegisterHost(crlHost, "", responder.NewCRLPublisher(ca, db, clk))
+	return &caSetup{
+		ca: ca, db: db, serials: serials,
+		source: Source{
+			Name:      name,
+			Issuer:    ca.Certificate,
+			CRLURL:    "http://" + crlHost + "/ca.crl",
+			OCSPURL:   "http://" + ocspHost,
+			Responder: ocspHost,
+			Expiry: func(serial *big.Int) (time.Time, bool) {
+				rec, ok := db.Lookup(serial)
+				if !ok {
+					return time.Time{}, false
+				}
+				return rec.Expiry, true
+			},
+		},
+	}
+}
+
+func newStudy(n *netsim.Network) *Study {
+	return &Study{Network: n, Vantage: netsim.PaperVantages()[1]}
+}
+
+func TestConsistentCA(t *testing.T) {
+	n := netsim.New()
+	clk := clock.NewSimulated(t0)
+	s := buildCA(t, n, clk, "consistent", 10, responder.Profile{})
+	rep, err := newStudy(n).Run(t0, []Source{s.source})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.CRLsFetched != 1 || rep.CRLsFailed != 0 {
+		t.Fatalf("CRLs fetched/failed = %d/%d", rep.CRLsFetched, rep.CRLsFailed)
+	}
+	if rep.UnexpiredSerials != 10 || rep.ResponsesCollected != 10 {
+		t.Fatalf("serials = %d, responses = %d", rep.UnexpiredSerials, rep.ResponsesCollected)
+	}
+	if len(rep.DiscrepantRows()) != 0 {
+		t.Errorf("consistent CA flagged discrepant: %+v", rep.Rows)
+	}
+	if rep.Rows[0].Revoked != 10 {
+		t.Errorf("revoked = %d", rep.Rows[0].Revoked)
+	}
+	if rep.DifferingTimes != 0 || rep.ReasonDiffer != 0 {
+		t.Errorf("times/reasons should match: %d/%d", rep.DifferingTimes, rep.ReasonDiffer)
+	}
+}
+
+func TestStatusDiscrepancies(t *testing.T) {
+	// Table 1: a camerfirma-style responder saying Good for some
+	// revoked serials, and a globalsign-style one saying Unknown for
+	// all of them.
+	n := netsim.New()
+	clk := clock.NewSimulated(t0)
+
+	goodCA := buildCA(t, n, clk, "saysgood", 9, responder.Profile{})
+	overrides := map[string]ocsp.CertStatus{}
+	for _, serial := range goodCA.serials[:2] {
+		overrides[serial.String()] = ocsp.Good
+	}
+	// Rebuild the responder with overrides (RegisterHost replaces).
+	n.RegisterHost("ocsp.saysgood.test", "", responder.New("ocsp.saysgood.test", goodCA.ca, goodCA.db, clk, responder.Profile{StatusOverrides: overrides}))
+
+	unknownCA := buildCA(t, n, clk, "saysunknown", 5, responder.Profile{})
+	unkOverrides := map[string]ocsp.CertStatus{}
+	for _, serial := range unknownCA.serials {
+		unkOverrides[serial.String()] = ocsp.Unknown
+	}
+	n.RegisterHost("ocsp.saysunknown.test", "", responder.New("ocsp.saysunknown.test", unknownCA.ca, unknownCA.db, clk, responder.Profile{StatusOverrides: unkOverrides}))
+
+	honest := buildCA(t, n, clk, "honest", 4, responder.Profile{})
+
+	rep, err := newStudy(n).Run(t0, []Source{goodCA.source, unknownCA.source, honest.source})
+	if err != nil {
+		t.Fatal(err)
+	}
+	disc := rep.DiscrepantRows()
+	if len(disc) != 2 {
+		t.Fatalf("discrepant rows = %d, want 2: %+v", len(disc), disc)
+	}
+	for _, row := range disc {
+		switch row.OCSPURL {
+		case "http://ocsp.saysgood.test":
+			if row.Good != 2 || row.Revoked != 7 || row.Unknown != 0 {
+				t.Errorf("saysgood row = %+v", row)
+			}
+		case "http://ocsp.saysunknown.test":
+			if row.Unknown != 5 || row.Good != 0 || row.Revoked != 0 {
+				t.Errorf("saysunknown row = %+v", row)
+			}
+		default:
+			t.Errorf("unexpected discrepant row %+v", row)
+		}
+	}
+}
+
+func TestRevocationTimeDeltas(t *testing.T) {
+	// Figure 10: an msocsp-style responder whose OCSP revocation times
+	// lag the CRL by 9 hours, and one that is 2 hours early.
+	n := netsim.New()
+	clk := clock.NewSimulated(t0)
+	late := buildCA(t, n, clk, "late", 6, responder.Profile{RevocationTimeSkew: 9 * time.Hour})
+	early := buildCA(t, n, clk, "early", 4, responder.Profile{RevocationTimeSkew: -2 * time.Hour})
+	exact := buildCA(t, n, clk, "exact", 5, responder.Profile{})
+
+	rep, err := newStudy(n).Run(t0, []Source{late.source, early.source, exact.source})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.DifferingTimes != 10 {
+		t.Errorf("differing times = %d, want 10", rep.DifferingTimes)
+	}
+	if rep.NegativeTimes != 4 {
+		t.Errorf("negative times = %d, want 4", rep.NegativeTimes)
+	}
+	if got := rep.TimeDeltas.Quantile(1); got != (9 * time.Hour).Seconds() {
+		t.Errorf("max delta = %v, want %v", got, (9 * time.Hour).Seconds())
+	}
+	if got := rep.TimeDeltas.Quantile(0); got != -(2 * time.Hour).Seconds() {
+		t.Errorf("min delta = %v", got)
+	}
+	if rep.TimeDeltas.N() != 15 {
+		t.Errorf("delta samples = %d, want 15 (all revoked pairs)", rep.TimeDeltas.N())
+	}
+}
+
+func TestReasonDiscrepancies(t *testing.T) {
+	// 99.99% of reason differences: CRL has a code, OCSP omits it.
+	n := netsim.New()
+	clk := clock.NewSimulated(t0)
+	dropper := buildCA(t, n, clk, "dropper", 7, responder.Profile{DropReasonCodes: true})
+	rep, err := newStudy(n).Run(t0, []Source{dropper.source})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.ReasonDiffer != 7 || rep.ReasonOnlyInCRL != 7 {
+		t.Errorf("reason differ/onlyInCRL = %d/%d, want 7/7", rep.ReasonDiffer, rep.ReasonOnlyInCRL)
+	}
+}
+
+func TestExpiredSerialsSkipped(t *testing.T) {
+	n := netsim.New()
+	clk := clock.NewSimulated(t0)
+	s := buildCA(t, n, clk, "expiry", 3, responder.Profile{})
+	// Add an expired revoked certificate; it must be filtered out
+	// before OCSP queries (2,041,345 → 728,261 in the paper).
+	leaf, err := s.ca.IssueLeaf(pki.LeafOptions{
+		DNSNames:  []string{"old.expiry.site"},
+		NotBefore: t0.AddDate(-1, 0, 0),
+		NotAfter:  t0.AddDate(0, -3, 0),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.db.AddIssued(leaf.Certificate.SerialNumber, leaf.Certificate.NotAfter)
+	s.db.Revoke(leaf.Certificate.SerialNumber, t0.AddDate(0, -6, 0), pkixutil.ReasonAbsent)
+
+	rep, err := newStudy(n).Run(t0, []Source{s.source})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.SerialsInCRLs != 4 {
+		t.Errorf("serials in CRLs = %d, want 4", rep.SerialsInCRLs)
+	}
+	if rep.UnexpiredSerials != 3 {
+		t.Errorf("unexpired = %d, want 3", rep.UnexpiredSerials)
+	}
+}
+
+func TestCRLFetchFailure(t *testing.T) {
+	n := netsim.New()
+	clk := clock.NewSimulated(t0)
+	s := buildCA(t, n, clk, "down", 2, responder.Profile{})
+	n.AddRule(&netsim.Rule{Host: "crl.down.test", Kind: netsim.FailTCP})
+	rep, err := newStudy(n).Run(t0, []Source{s.source})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.CRLsFailed != 1 || rep.CRLsFetched != 0 {
+		t.Errorf("fetched/failed = %d/%d", rep.CRLsFetched, rep.CRLsFailed)
+	}
+}
+
+func TestOCSPUnreachableDuringStudy(t *testing.T) {
+	// CRL is fine but the OCSP side is down: responses collected < 100%
+	// (the paper got 99.9%).
+	n := netsim.New()
+	clk := clock.NewSimulated(t0)
+	s := buildCA(t, n, clk, "half", 5, responder.Profile{})
+	n.AddRule(&netsim.Rule{Host: "ocsp.half.test", Kind: netsim.FailTCP})
+	rep, err := newStudy(n).Run(t0, []Source{s.source})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.UnexpiredSerials != 5 || rep.ResponsesCollected != 0 {
+		t.Errorf("unexpired = %d, collected = %d", rep.UnexpiredSerials, rep.ResponsesCollected)
+	}
+}

@@ -1,0 +1,363 @@
+// Package core is the public façade of the reproduction: it wires the
+// simulated world, the measurement campaigns, and the report renderers
+// into named experiments — one per table and figure of the paper — so that
+// cmd/repro, the benchmarks, and downstream users drive everything through
+// one API.
+package core
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"github.com/netmeasure/muststaple/internal/browser"
+	"github.com/netmeasure/muststaple/internal/census"
+	"github.com/netmeasure/muststaple/internal/consistency"
+	"github.com/netmeasure/muststaple/internal/impact"
+	"github.com/netmeasure/muststaple/internal/netsim"
+	"github.com/netmeasure/muststaple/internal/report"
+	"github.com/netmeasure/muststaple/internal/scanner"
+	"github.com/netmeasure/muststaple/internal/stats"
+	"github.com/netmeasure/muststaple/internal/vulnwindow"
+	"github.com/netmeasure/muststaple/internal/webserver"
+	"github.com/netmeasure/muststaple/internal/world"
+)
+
+// Runner executes experiments against one lazily built world.
+type Runner struct {
+	// Config sizes the world; the zero value (plus Seed) is the default
+	// scaled reproduction.
+	Config world.Config
+	// Out receives the rendered tables and figures.
+	Out io.Writer
+
+	w *world.World
+
+	// Cached campaign results, so "all" runs each campaign once.
+	hourly          *hourlyResults
+	alexa           *alexaResults
+	qualityDone     bool
+	consistencyDone bool
+}
+
+type hourlyResults struct {
+	avail    *scanner.AvailabilitySeries
+	unusable *scanner.UnusableSeries
+	quality  *scanner.QualityAggregator
+	respAv   *scanner.ResponderAvailability
+	hardFail *impact.HardFail
+	latency  *scanner.LatencyAggregator
+	scans    int
+}
+
+type alexaResults struct {
+	impact *scanner.DomainImpact
+	scans  int
+}
+
+// NewRunner builds a runner.
+func NewRunner(cfg world.Config, out io.Writer) *Runner {
+	return &Runner{Config: cfg, Out: out}
+}
+
+// World returns the built world, building it on first use.
+//
+// Campaigns never share a world: the simulated clock only moves forward,
+// so replaying a second campaign on an already-advanced world would skew
+// every time-derived field. freshWorld hands each campaign its own
+// identically seeded copy instead.
+func (r *Runner) World() (*world.World, error) {
+	if r.w == nil {
+		w, err := world.Build(r.Config)
+		if err != nil {
+			return nil, err
+		}
+		r.w = w
+	}
+	return r.w, nil
+}
+
+func (r *Runner) freshWorld() (*world.World, error) {
+	return world.Build(r.Config)
+}
+
+// Experiments lists the runnable experiment names in presentation order.
+func Experiments() []string {
+	return []string{
+		"sec4", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8",
+		"fig9", "ondemand", "table1", "fig10", "table2", "fig11",
+		"fig12", "table3", "cdn", "hardfail", "latency", "vulnwindow",
+	}
+}
+
+// Run executes one named experiment ("all" runs every one).
+func (r *Runner) Run(name string) error {
+	if name == "all" {
+		for _, exp := range Experiments() {
+			if err := r.Run(exp); err != nil {
+				return fmt.Errorf("core: %s: %w", exp, err)
+			}
+		}
+		return nil
+	}
+	switch name {
+	case "sec4":
+		return r.runSection4()
+	case "fig2":
+		return r.runFigure2()
+	case "fig3", "fig5", "fig6", "fig7", "fig8", "fig9", "ondemand", "hardfail", "latency":
+		return r.runHourly(name)
+	case "vulnwindow":
+		return r.runVulnWindow()
+	case "fig4":
+		return r.runFigure4()
+	case "table1", "fig10":
+		return r.runConsistency(name)
+	case "table2":
+		return r.runTable2()
+	case "fig11":
+		return r.runFigure11()
+	case "fig12":
+		return r.runFigure12()
+	case "table3":
+		return r.runTable3()
+	case "cdn":
+		return r.runCDN()
+	default:
+		return fmt.Errorf("core: unknown experiment %q (have %v)", name, Experiments())
+	}
+}
+
+func (r *Runner) runSection4() error {
+	w, err := r.World()
+	if err != nil {
+		return err
+	}
+	snap := census.GenerateSnapshot(census.SnapshotConfig{Seed: r.Config.Seed})
+	domains := census.GenerateAlexa(census.AlexaConfig{Seed: r.Config.Seed + 1, Domains: w.Config.AlexaDomains})
+	report.Section4(r.Out, snap.Stats(), census.Stats(domains), w.AlexaScale)
+	return nil
+}
+
+func (r *Runner) alexaDomains() ([]census.AlexaDomain, int) {
+	cfg := census.AlexaConfig{Seed: r.Config.Seed + 1, Domains: r.Config.AlexaDomains}
+	if cfg.Domains == 0 {
+		cfg.Domains = 100_000
+	}
+	return census.GenerateAlexa(cfg), cfg.ScaleFactor()
+}
+
+func (r *Runner) runFigure2() error {
+	domains, scale := r.alexaDomains()
+	binWidth := len(domains) / 100
+	https, ocspOfHTTPS := census.Figure2(domains, binWidth)
+	report.RankSeries(r.Out, "Figure 2: HTTPS and OCSP adoption vs Alexa rank", scale, map[string][]stats.BinRate{
+		"HTTPS":         https,
+		"OCSP-of-HTTPS": ocspOfHTTPS,
+	})
+	return nil
+}
+
+func (r *Runner) runFigure11() error {
+	domains, scale := r.alexaDomains()
+	binWidth := len(domains) / 100
+	report.RankSeries(r.Out, "Figure 11: OCSP Stapling adoption vs Alexa rank", scale, map[string][]stats.BinRate{
+		"Stapling-of-OCSP": census.Figure11(domains, binWidth),
+	})
+	return nil
+}
+
+func (r *Runner) runFigure12() error {
+	report.Figure12(r.Out, census.GenerateHistory(r.Config.Seed))
+	return nil
+}
+
+// ensureHourly runs the Hourly-dataset campaign once, attaching every
+// aggregator Figures 3 and 5–9 need.
+func (r *Runner) ensureHourly() (*hourlyResults, error) {
+	if r.hourly != nil {
+		return r.hourly, nil
+	}
+	w, err := r.freshWorld()
+	if err != nil {
+		return nil, err
+	}
+	res := &hourlyResults{
+		avail:    scanner.NewAvailabilitySeries(w.Config.Stride),
+		unusable: scanner.NewUnusableSeries(w.Config.Stride),
+		quality:  scanner.NewQualityAggregator(),
+		respAv:   scanner.NewResponderAvailability(),
+		hardFail: impact.NewHardFail(),
+		latency:  scanner.NewLatencyAggregator(),
+	}
+	camp := &scanner.Campaign{
+		Client:  &scanner.Client{Transport: w.Network},
+		Clock:   w.Clock,
+		Targets: w.Targets,
+		Start:   w.Config.Start,
+		End:     w.Config.End,
+		Stride:  w.Config.Stride,
+	}
+	n, err := camp.Run(res.avail, res.unusable, res.quality, res.respAv, res.hardFail, res.latency)
+	if err != nil {
+		return nil, err
+	}
+	res.scans = n
+	r.hourly = res
+	return res, nil
+}
+
+func (r *Runner) runHourly(name string) error {
+	res, err := r.ensureHourly()
+	if err != nil {
+		return err
+	}
+	switch name {
+	case "fig3":
+		report.Figure3(r.Out, res.avail, 28)
+		report.AvailabilitySummary(r.Out, res.respAv)
+	case "fig5":
+		report.Figure5(r.Out, res.unusable)
+	case "hardfail":
+		report.HardFail(r.Out, res.hardFail.Results())
+	case "latency":
+		report.Latency(r.Out, res.latency)
+	case "fig6", "fig7", "fig8", "fig9", "ondemand":
+		// Figures 6–9 and the on-demand analysis render as one block
+		// (they come from the same aggregator); emit it once per
+		// runner even when several of them are requested.
+		if !r.qualityDone {
+			report.Quality(r.Out, res.quality)
+			r.qualityDone = true
+		}
+	}
+	return nil
+}
+
+// ensureAlexa runs the Figure 4 impact campaign.
+func (r *Runner) ensureAlexa() (*alexaResults, error) {
+	if r.alexa != nil {
+		return r.alexa, nil
+	}
+	w, err := r.freshWorld()
+	if err != nil {
+		return nil, err
+	}
+	// The impact campaign always runs hourly regardless of the world's
+	// stride: the named outage events last only a few hours, and
+	// Figure 4's whole point is catching them. One weighted target per
+	// responder keeps the hourly grid affordable.
+	res := &alexaResults{impact: scanner.NewDomainImpact(time.Hour, 1)}
+	camp := &scanner.Campaign{
+		Client:  &scanner.Client{Transport: w.Network},
+		Clock:   w.Clock,
+		Targets: w.AlexaTargets,
+		Start:   w.Config.Start,
+		End:     w.Config.End,
+		Stride:  time.Hour,
+	}
+	n, err := camp.Run(res.impact)
+	if err != nil {
+		return nil, err
+	}
+	res.scans = n
+	r.alexa = res
+	return res, nil
+}
+
+func (r *Runner) runFigure4() error {
+	res, err := r.ensureAlexa()
+	if err != nil {
+		return err
+	}
+	var names []string
+	for _, v := range netsim.PaperVantages() {
+		names = append(names, v.Name)
+	}
+	sort.Strings(names)
+	report.Figure4(r.Out, res.impact, names, 1000)
+	return nil
+}
+
+func (r *Runner) runConsistency(name string) error {
+	// Table 1 and Figure 10 come from one study and render together;
+	// emit the block once per runner.
+	if r.consistencyDone {
+		return nil
+	}
+	w, err := r.freshWorld()
+	if err != nil {
+		return err
+	}
+	study := &consistency.Study{Network: w.Network, Vantage: netsim.PaperVantages()[1]}
+	rep, err := study.Run(w.Config.Start.Add(6*24*time.Hour), w.ConsistencySources)
+	if err != nil {
+		return err
+	}
+	_ = name
+	report.Table1(r.Out, rep)
+	r.consistencyDone = true
+	return nil
+}
+
+func (r *Runner) runTable2() error {
+	h, err := browser.NewHarness(time.Date(2018, 6, 1, 0, 0, 0, 0, time.UTC))
+	if err != nil {
+		return err
+	}
+	rows, err := h.RunTable2(browser.Table2Behaviors())
+	if err != nil {
+		return err
+	}
+	report.Table2(r.Out, rows)
+	return nil
+}
+
+func (r *Runner) runTable3() error {
+	results, err := webserver.Table3()
+	if err != nil {
+		return err
+	}
+	report.Table3(r.Out, results)
+	return nil
+}
+
+// runVulnWindow runs the §3 window-of-vulnerability comparison, sampling
+// response validities from the built world's fleet.
+func (r *Runner) runVulnWindow() error {
+	w, err := r.World()
+	if err != nil {
+		return err
+	}
+	results := vulnwindow.Simulate(vulnwindow.Config{
+		Seed:                r.Config.Seed,
+		ResponderValidities: w.ResponderValidities(),
+	})
+	report.VulnWindows(r.Out, results)
+	return nil
+}
+
+func (r *Runner) runCDN() error {
+	w, err := r.freshWorld()
+	if err != nil {
+		return err
+	}
+	client := &scanner.Client{Transport: w.Network}
+	cdn := census.NewCDNCache(client, w.Clock, netsim.PaperVantages()[1])
+	// Replay an afternoon of CDN TLS traffic over the Alexa targets,
+	// popularity-weighted: the cache should end up touching only the
+	// handful of responders behind the popular domains.
+	targets := w.AlexaTargets
+	if len(targets) > 20 {
+		targets = targets[:20]
+	}
+	for round := 0; round < 200; round++ {
+		for _, tgt := range targets {
+			cdn.Lookup(tgt)
+		}
+		w.Clock.Advance(time.Minute)
+	}
+	report.CDNReport(r.Out, cdn.Stats())
+	return nil
+}

@@ -1,0 +1,110 @@
+package core
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/netmeasure/muststaple/internal/world"
+)
+
+// tinyConfig keeps the experiment runners fast: a small fleet and a short
+// campaign window around the Comodo event.
+func tinyConfig() world.Config {
+	return world.Config{
+		Seed:                   1,
+		Responders:             130,
+		CertsPerResponder:      1,
+		Start:                  time.Date(2018, 4, 25, 0, 0, 0, 0, time.UTC),
+		End:                    time.Date(2018, 4, 27, 0, 0, 0, 0, time.UTC),
+		Stride:                 time.Hour,
+		AlexaDomains:           5_000,
+		ConsistentCAs:          2,
+		SerialsPerConsistentCA: 10,
+		Table1Scale:            100,
+	}
+}
+
+func TestExperimentNames(t *testing.T) {
+	names := Experiments()
+	if len(names) != 20 {
+		t.Fatalf("experiments = %d", len(names))
+	}
+	var sb strings.Builder
+	r := NewRunner(tinyConfig(), &sb)
+	if err := r.Run("definitely-not-an-experiment"); err == nil {
+		t.Error("unknown experiment must error")
+	}
+}
+
+func TestRunQuickExperiments(t *testing.T) {
+	var sb strings.Builder
+	r := NewRunner(tinyConfig(), &sb)
+	for _, exp := range []string{"sec4", "fig2", "fig11", "fig12", "table2", "table3", "cdn", "vulnwindow"} {
+		if err := r.Run(exp); err != nil {
+			t.Fatalf("%s: %v", exp, err)
+		}
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"Section 4", "Figure 2", "Figure 11", "Figure 12",
+		"Table 2", "Table 3", "CDN perspective", "window of vulnerability",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in output", want)
+		}
+	}
+}
+
+func TestRunCampaignExperiments(t *testing.T) {
+	if testing.Short() {
+		t.Skip("campaign experiments take seconds")
+	}
+	var sb strings.Builder
+	r := NewRunner(tinyConfig(), &sb)
+	for _, exp := range []string{"fig3", "fig4", "fig5", "fig6", "fig7", "table1", "fig10", "hardfail", "latency"} {
+		if err := r.Run(exp); err != nil {
+			t.Fatalf("%s: %v", exp, err)
+		}
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"Figure 3", "Figure 4", "Figure 5", "Figure 6", "Table 1", "Figure 10",
+		"hard-failed", "lookup latency",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in output", want)
+		}
+	}
+	// The quality block must render exactly once even though fig6 and
+	// fig7 were both requested.
+	if got := strings.Count(out, "== Figure 6:"); got != 1 {
+		t.Errorf("quality block rendered %d times", got)
+	}
+	// Table 1 exact discrepancies survive into the rendered output.
+	if !strings.Contains(out, "ocsp.camerfirma.test") {
+		t.Error("camerfirma row missing from Table 1")
+	}
+}
+
+func TestWorldIsCachedButCampaignsGetFreshWorlds(t *testing.T) {
+	r := NewRunner(tinyConfig(), &strings.Builder{})
+	a, err := r.World()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := r.World()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("World() should cache")
+	}
+	c, err := r.freshWorld()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c == a {
+		t.Error("freshWorld() must not reuse the cached world")
+	}
+}

@@ -1,0 +1,272 @@
+package crl
+
+import (
+	"bytes"
+	"crypto/x509"
+	"math/big"
+	"testing"
+	"time"
+
+	"github.com/netmeasure/muststaple/internal/pki"
+	"github.com/netmeasure/muststaple/internal/pkixutil"
+)
+
+var (
+	thisUpdate = time.Date(2018, 5, 1, 0, 0, 0, 0, time.UTC)
+	nextUpdate = thisUpdate.Add(7 * 24 * time.Hour)
+)
+
+func newCA(t testing.TB) *pki.CA {
+	t.Helper()
+	ca, err := pki.NewRootCA(pki.Config{Name: "CRL Test Root", CRLURL: "http://crl.test.example/root.crl"})
+	if err != nil {
+		t.Fatalf("NewRootCA: %v", err)
+	}
+	return ca
+}
+
+func TestCreateParseRoundTrip(t *testing.T) {
+	ca := newCA(t)
+	list := &CRL{
+		ThisUpdate: thisUpdate,
+		NextUpdate: nextUpdate,
+		Number:     big.NewInt(42),
+		Entries: []Entry{
+			{Serial: big.NewInt(333), RevokedAt: thisUpdate.Add(-72 * time.Hour), Reason: pkixutil.ReasonKeyCompromise},
+			{Serial: big.NewInt(111), RevokedAt: thisUpdate.Add(-24 * time.Hour), Reason: pkixutil.ReasonAbsent},
+			{Serial: big.NewInt(222), RevokedAt: thisUpdate.Add(-48 * time.Hour), Reason: pkixutil.ReasonCessationOfOperation},
+		},
+	}
+	der, err := Create(ca.Certificate, ca.Key, list, CreateOptions{})
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	got, err := Parse(der)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if !got.ThisUpdate.Equal(thisUpdate) || !got.NextUpdate.Equal(nextUpdate) {
+		t.Errorf("validity window [%v, %v], want [%v, %v]", got.ThisUpdate, got.NextUpdate, thisUpdate, nextUpdate)
+	}
+	if got.Number == nil || got.Number.Int64() != 42 {
+		t.Errorf("CRL number = %v, want 42", got.Number)
+	}
+	if len(got.Entries) != 3 {
+		t.Fatalf("got %d entries, want 3", len(got.Entries))
+	}
+	// Entries must come back sorted by serial.
+	for i, want := range []int64{111, 222, 333} {
+		if got.Entries[i].Serial.Int64() != want {
+			t.Errorf("entry %d serial = %v, want %d", i, got.Entries[i].Serial, want)
+		}
+	}
+	if got.Entries[0].Reason != pkixutil.ReasonAbsent {
+		t.Errorf("entry 111 reason = %v, want absent", got.Entries[0].Reason)
+	}
+	if got.Entries[2].Reason != pkixutil.ReasonKeyCompromise {
+		t.Errorf("entry 333 reason = %v, want keyCompromise", got.Entries[2].Reason)
+	}
+	if !bytes.Equal(got.RawIssuer, ca.Certificate.RawSubject) {
+		t.Error("issuer mismatch")
+	}
+	if err := got.CheckSignatureFrom(ca.Certificate); err != nil {
+		t.Errorf("CheckSignatureFrom: %v", err)
+	}
+}
+
+func TestParseableByStdlib(t *testing.T) {
+	// Our DER must also be parseable by crypto/x509 — a strong
+	// cross-check of the encoder against an independent implementation.
+	ca := newCA(t)
+	list := &CRL{
+		ThisUpdate: thisUpdate,
+		NextUpdate: nextUpdate,
+		Number:     big.NewInt(7),
+		Entries: []Entry{
+			{Serial: big.NewInt(99), RevokedAt: thisUpdate.Add(-time.Hour), Reason: pkixutil.ReasonSuperseded},
+			{Serial: big.NewInt(100), RevokedAt: thisUpdate.Add(-time.Hour), Reason: pkixutil.ReasonAbsent},
+		},
+	}
+	der, err := Create(ca.Certificate, ca.Key, list, CreateOptions{})
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	rl, err := x509.ParseRevocationList(der)
+	if err != nil {
+		t.Fatalf("x509.ParseRevocationList rejects our DER: %v", err)
+	}
+	if err := rl.CheckSignatureFrom(ca.Certificate); err != nil {
+		t.Fatalf("stdlib signature check: %v", err)
+	}
+	if len(rl.RevokedCertificateEntries) != 2 {
+		t.Fatalf("stdlib sees %d entries, want 2", len(rl.RevokedCertificateEntries))
+	}
+	if rl.RevokedCertificateEntries[0].ReasonCode != int(pkixutil.ReasonSuperseded) {
+		t.Errorf("stdlib reason = %d, want %d", rl.RevokedCertificateEntries[0].ReasonCode, pkixutil.ReasonSuperseded)
+	}
+	if rl.Number.Int64() != 7 {
+		t.Errorf("stdlib CRL number = %v, want 7", rl.Number)
+	}
+}
+
+func TestParseStdlibGenerated(t *testing.T) {
+	// And the converse: we must parse stdlib-generated CRLs.
+	ca := newCA(t)
+	tmpl := &x509.RevocationList{
+		Number:     big.NewInt(55),
+		ThisUpdate: thisUpdate,
+		NextUpdate: nextUpdate,
+		RevokedCertificateEntries: []x509.RevocationListEntry{
+			{SerialNumber: big.NewInt(1234), RevocationTime: thisUpdate.Add(-time.Hour), ReasonCode: int(pkixutil.ReasonKeyCompromise)},
+		},
+	}
+	der, err := x509.CreateRevocationList(nil, tmpl, ca.Certificate, ca.Key)
+	if err != nil {
+		t.Fatalf("x509.CreateRevocationList: %v", err)
+	}
+	got, err := Parse(der)
+	if err != nil {
+		t.Fatalf("Parse of stdlib CRL: %v", err)
+	}
+	if len(got.Entries) != 1 || got.Entries[0].Serial.Int64() != 1234 {
+		t.Fatalf("entries = %+v", got.Entries)
+	}
+	if got.Entries[0].Reason != pkixutil.ReasonKeyCompromise {
+		t.Errorf("reason = %v, want keyCompromise", got.Entries[0].Reason)
+	}
+	if err := got.CheckSignatureFrom(ca.Certificate); err != nil {
+		t.Errorf("CheckSignatureFrom: %v", err)
+	}
+}
+
+func TestEmptyCRL(t *testing.T) {
+	// CAs must publish CRLs regularly even when nothing is revoked.
+	ca := newCA(t)
+	list := &CRL{ThisUpdate: thisUpdate, NextUpdate: nextUpdate}
+	der, err := Create(ca.Certificate, ca.Key, list, CreateOptions{})
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	got, err := Parse(der)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if len(got.Entries) != 0 {
+		t.Fatalf("empty CRL has %d entries", len(got.Entries))
+	}
+	if got.Find(big.NewInt(1)) != nil {
+		t.Error("Find on empty CRL should return nil")
+	}
+}
+
+func TestFind(t *testing.T) {
+	ca := newCA(t)
+	var entries []Entry
+	for i := int64(0); i < 100; i++ {
+		entries = append(entries, Entry{Serial: big.NewInt(i * 3), RevokedAt: thisUpdate, Reason: pkixutil.ReasonAbsent})
+	}
+	der, err := Create(ca.Certificate, ca.Key, &CRL{ThisUpdate: thisUpdate, NextUpdate: nextUpdate, Entries: entries}, CreateOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Parse(der)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(0); i < 100; i++ {
+		if got.Find(big.NewInt(i*3)) == nil {
+			t.Fatalf("Find(%d) missed a revoked serial", i*3)
+		}
+		if got.Find(big.NewInt(i*3+1)) != nil {
+			t.Fatalf("Find(%d) matched a non-revoked serial", i*3+1)
+		}
+	}
+}
+
+func TestValidAt(t *testing.T) {
+	c := &CRL{ThisUpdate: thisUpdate, NextUpdate: nextUpdate}
+	if c.ValidAt(thisUpdate.Add(-time.Second)) {
+		t.Error("valid before thisUpdate")
+	}
+	if !c.ValidAt(thisUpdate) || !c.ValidAt(nextUpdate) {
+		t.Error("boundaries should be valid")
+	}
+	if c.ValidAt(nextUpdate.Add(time.Second)) {
+		t.Error("valid after nextUpdate")
+	}
+	// Missing nextUpdate: never expires.
+	c2 := &CRL{ThisUpdate: thisUpdate}
+	if !c2.ValidAt(thisUpdate.AddDate(20, 0, 0)) {
+		t.Error("CRL without nextUpdate should never expire")
+	}
+}
+
+func TestTamperedSignature(t *testing.T) {
+	ca := newCA(t)
+	der, err := Create(ca.Certificate, ca.Key, &CRL{ThisUpdate: thisUpdate, NextUpdate: nextUpdate}, CreateOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Parse(der)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got.Signature[0] ^= 0xff
+	if err := got.CheckSignatureFrom(ca.Certificate); err == nil {
+		t.Error("tampered CRL signature must not verify")
+	}
+}
+
+func TestWrongIssuerSignature(t *testing.T) {
+	ca := newCA(t)
+	other := newCA(t)
+	der, err := Create(ca.Certificate, ca.Key, &CRL{ThisUpdate: thisUpdate, NextUpdate: nextUpdate}, CreateOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Parse(der)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := got.CheckSignatureFrom(other.Certificate); err == nil {
+		t.Error("CRL must not verify under an unrelated CA")
+	}
+}
+
+func TestPruneExpired(t *testing.T) {
+	cutoff := thisUpdate
+	expiries := map[int64]time.Time{
+		1: thisUpdate.Add(-time.Hour),   // expired — should be pruned
+		2: thisUpdate.Add(time.Hour),    // still valid
+		3: thisUpdate.Add(-time.Minute), // expired — pruned
+	}
+	entries := []Entry{
+		{Serial: big.NewInt(1), RevokedAt: thisUpdate},
+		{Serial: big.NewInt(2), RevokedAt: thisUpdate},
+		{Serial: big.NewInt(3), RevokedAt: thisUpdate},
+		{Serial: big.NewInt(4), RevokedAt: thisUpdate}, // unknown expiry — kept
+	}
+	got := PruneExpired(entries, func(s *big.Int) (time.Time, bool) {
+		e, ok := expiries[s.Int64()]
+		return e, ok
+	}, cutoff)
+	if len(got) != 2 {
+		t.Fatalf("got %d entries, want 2 (serials 2 and 4)", len(got))
+	}
+	if got[0].Serial.Int64() != 2 || got[1].Serial.Int64() != 4 {
+		t.Errorf("kept serials %v, %v; want 2, 4", got[0].Serial, got[1].Serial)
+	}
+}
+
+func TestCreateErrors(t *testing.T) {
+	ca := newCA(t)
+	if _, err := Create(nil, ca.Key, &CRL{ThisUpdate: thisUpdate}, CreateOptions{}); err == nil {
+		t.Error("nil issuer should fail")
+	}
+	if _, err := Create(ca.Certificate, ca.Key, &CRL{}, CreateOptions{}); err == nil {
+		t.Error("zero thisUpdate should fail")
+	}
+	if _, err := Parse([]byte("garbage")); err == nil {
+		t.Error("Parse of garbage should fail")
+	}
+}

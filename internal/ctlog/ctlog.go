@@ -1,0 +1,352 @@
+// Package ctlog implements the Certificate Transparency log core
+// (RFC 6962): an append-only Merkle tree over certificate entries, signed
+// tree heads, and inclusion and consistency proofs with their verifiers.
+//
+// The paper's certificate corpus comes from Censys, which aggregates
+// full-IPv4 scans *and public Certificate Transparency logs* (§4, citing
+// RFC 6962). This package is the CT substrate of that pipeline: the
+// synthetic corpus is appended to a log, and the census side reads entries
+// back with verified inclusion proofs — the same trust chain a real
+// aggregator relies on.
+package ctlog
+
+import (
+	"bytes"
+	"crypto"
+	"crypto/ecdsa"
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// HashSize is the Merkle tree hash width (SHA-256).
+const HashSize = sha256.Size
+
+// Hash is one Merkle tree node value.
+type Hash [HashSize]byte
+
+// Domain-separation prefixes (RFC 6962 §2.1).
+const (
+	leafPrefix = 0x00
+	nodePrefix = 0x01
+)
+
+// LeafHash computes the RFC 6962 leaf hash of an entry.
+func LeafHash(entry []byte) Hash {
+	h := sha256.New()
+	h.Write([]byte{leafPrefix})
+	h.Write(entry)
+	var out Hash
+	h.Sum(out[:0])
+	return out
+}
+
+func nodeHash(left, right Hash) Hash {
+	h := sha256.New()
+	h.Write([]byte{nodePrefix})
+	h.Write(left[:])
+	h.Write(right[:])
+	var out Hash
+	h.Sum(out[:0])
+	return out
+}
+
+// EmptyRoot is the Merkle tree hash of zero entries: SHA-256 of the empty
+// string.
+func EmptyRoot() Hash {
+	return sha256.Sum256(nil)
+}
+
+// Log is an append-only RFC 6962 certificate log.
+type Log struct {
+	// Signer signs tree heads; optional (unsigned logs are usable for
+	// pure Merkle math).
+	Signer crypto.Signer
+
+	mu      sync.RWMutex
+	entries [][]byte
+	leaves  []Hash
+}
+
+// New returns an empty log.
+func New(signer crypto.Signer) *Log {
+	return &Log{Signer: signer}
+}
+
+// Append adds an entry (certificate DER in a real log) and returns its
+// index.
+func (l *Log) Append(entry []byte) int {
+	cp := make([]byte, len(entry))
+	copy(cp, entry)
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.entries = append(l.entries, cp)
+	l.leaves = append(l.leaves, LeafHash(cp))
+	return len(l.entries) - 1
+}
+
+// Size returns the current tree size.
+func (l *Log) Size() int {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return len(l.entries)
+}
+
+// Entry returns the entry at index (a copy).
+func (l *Log) Entry(index int) ([]byte, error) {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	if index < 0 || index >= len(l.entries) {
+		return nil, fmt.Errorf("ctlog: index %d out of range [0, %d)", index, len(l.entries))
+	}
+	out := make([]byte, len(l.entries[index]))
+	copy(out, l.entries[index])
+	return out, nil
+}
+
+// Entries returns copies of entries in [start, end).
+func (l *Log) Entries(start, end int) ([][]byte, error) {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	if start < 0 || end > len(l.entries) || start > end {
+		return nil, fmt.Errorf("ctlog: bad range [%d, %d) of %d", start, end, len(l.entries))
+	}
+	out := make([][]byte, 0, end-start)
+	for _, e := range l.entries[start:end] {
+		cp := make([]byte, len(e))
+		copy(cp, e)
+		out = append(out, cp)
+	}
+	return out, nil
+}
+
+// RootAt computes the Merkle tree hash over the first size entries.
+func (l *Log) RootAt(size int) (Hash, error) {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	if size < 0 || size > len(l.leaves) {
+		return Hash{}, fmt.Errorf("ctlog: size %d out of range [0, %d]", size, len(l.leaves))
+	}
+	return mth(l.leaves[:size]), nil
+}
+
+// Root computes the current tree hash.
+func (l *Log) Root() Hash {
+	r, _ := l.RootAt(l.Size())
+	return r
+}
+
+// mth is MTH(D[n]) from RFC 6962 §2.1.
+func mth(leaves []Hash) Hash {
+	switch len(leaves) {
+	case 0:
+		return EmptyRoot()
+	case 1:
+		return leaves[0]
+	}
+	k := largestPowerOfTwoBelow(len(leaves))
+	return nodeHash(mth(leaves[:k]), mth(leaves[k:]))
+}
+
+// largestPowerOfTwoBelow returns the largest power of two strictly less
+// than n (n ≥ 2).
+func largestPowerOfTwoBelow(n int) int {
+	k := 1
+	for k*2 < n {
+		k *= 2
+	}
+	return k
+}
+
+// InclusionProof returns the audit path for leaf index in the tree of the
+// given size (RFC 6962 §2.1.1).
+func (l *Log) InclusionProof(index, size int) ([]Hash, error) {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	if size < 1 || size > len(l.leaves) {
+		return nil, fmt.Errorf("ctlog: size %d out of range [1, %d]", size, len(l.leaves))
+	}
+	if index < 0 || index >= size {
+		return nil, fmt.Errorf("ctlog: index %d out of range [0, %d)", index, size)
+	}
+	return path(index, l.leaves[:size]), nil
+}
+
+func path(m int, leaves []Hash) []Hash {
+	if len(leaves) <= 1 {
+		return nil
+	}
+	k := largestPowerOfTwoBelow(len(leaves))
+	if m < k {
+		return append(path(m, leaves[:k]), mth(leaves[k:]))
+	}
+	return append(path(m-k, leaves[k:]), mth(leaves[:k]))
+}
+
+// VerifyInclusion checks an audit path: that leafHash is the index-th leaf
+// of the size-entry tree with the given root.
+func VerifyInclusion(leafHash Hash, index, size int, proof []Hash, root Hash) bool {
+	if index < 0 || index >= size || size < 1 {
+		return false
+	}
+	// The iterative verifier of RFC 9162 §2.1.3.2.
+	fn, sn := index, size-1
+	r := leafHash
+	for _, p := range proof {
+		if sn == 0 {
+			return false
+		}
+		if fn%2 == 1 || fn == sn {
+			r = nodeHash(p, r)
+			for fn%2 == 0 && fn != 0 {
+				fn >>= 1
+				sn >>= 1
+			}
+		} else {
+			r = nodeHash(r, p)
+		}
+		fn >>= 1
+		sn >>= 1
+	}
+	return sn == 0 && r == root
+}
+
+// ConsistencyProof proves the tree of size1 is a prefix of the tree of
+// size2 (RFC 6962 §2.1.2).
+func (l *Log) ConsistencyProof(size1, size2 int) ([]Hash, error) {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	if size1 < 0 || size2 > len(l.leaves) || size1 > size2 {
+		return nil, fmt.Errorf("ctlog: bad sizes %d, %d of %d", size1, size2, len(l.leaves))
+	}
+	if size1 == 0 || size1 == size2 {
+		return nil, nil
+	}
+	return subproof(size1, l.leaves[:size2], true), nil
+}
+
+func subproof(m int, leaves []Hash, b bool) []Hash {
+	n := len(leaves)
+	if m == n {
+		if b {
+			return nil
+		}
+		return []Hash{mth(leaves)}
+	}
+	k := largestPowerOfTwoBelow(n)
+	if m <= k {
+		return append(subproof(m, leaves[:k], b), mth(leaves[k:]))
+	}
+	return append(subproof(m-k, leaves[k:], false), mth(leaves[:k]))
+}
+
+// VerifyConsistency checks a consistency proof between (size1, root1) and
+// (size2, root2).
+func VerifyConsistency(size1, size2 int, root1, root2 Hash, proof []Hash) bool {
+	switch {
+	case size1 > size2 || size1 < 0:
+		return false
+	case size1 == size2:
+		return len(proof) == 0 && root1 == root2
+	case size1 == 0:
+		return len(proof) == 0
+	}
+
+	fn, sn := size1-1, size2-1
+	for fn%2 == 1 {
+		fn >>= 1
+		sn >>= 1
+	}
+
+	var fr, sr Hash
+	rest := proof
+	if fn == 0 {
+		// size1 is a power of two: the first component is root1
+		// itself.
+		fr, sr = root1, root1
+	} else {
+		if len(proof) == 0 {
+			return false
+		}
+		fr, sr = proof[0], proof[0]
+		rest = proof[1:]
+	}
+
+	for _, c := range rest {
+		if sn == 0 {
+			return false
+		}
+		if fn%2 == 1 || fn == sn {
+			fr = nodeHash(c, fr)
+			sr = nodeHash(c, sr)
+			for fn%2 == 0 && fn != 0 {
+				fn >>= 1
+				sn >>= 1
+			}
+		} else {
+			sr = nodeHash(sr, c)
+		}
+		fn >>= 1
+		sn >>= 1
+	}
+	return sn == 0 && fr == root1 && sr == root2
+}
+
+// SignedTreeHead is an STH (RFC 6962 §3.5): the tree state attested by the
+// log's key.
+type SignedTreeHead struct {
+	TreeSize  int
+	Timestamp time.Time
+	Root      Hash
+	Signature []byte
+}
+
+// treeHeadSignatureInput encodes the RFC 6962 TreeHeadSignature structure
+// (version v1 = 0, signature_type tree_hash = 1, timestamp ms, tree size,
+// root hash).
+func treeHeadSignatureInput(size int, ts time.Time, root Hash) []byte {
+	buf := make([]byte, 0, 2+8+8+HashSize)
+	buf = append(buf, 0 /* v1 */, 1 /* tree_hash */)
+	buf = binary.BigEndian.AppendUint64(buf, uint64(ts.UnixMilli()))
+	buf = binary.BigEndian.AppendUint64(buf, uint64(size))
+	buf = append(buf, root[:]...)
+	return buf
+}
+
+// SignTreeHead produces an STH for the current tree.
+func (l *Log) SignTreeHead(at time.Time) (*SignedTreeHead, error) {
+	if l.Signer == nil {
+		return nil, errors.New("ctlog: log has no signer")
+	}
+	size := l.Size()
+	root, err := l.RootAt(size)
+	if err != nil {
+		return nil, err
+	}
+	digest := sha256.Sum256(treeHeadSignatureInput(size, at, root))
+	sig, err := l.Signer.Sign(nil, digest[:], crypto.SHA256)
+	if err != nil {
+		return nil, fmt.Errorf("ctlog: sign tree head: %w", err)
+	}
+	return &SignedTreeHead{TreeSize: size, Timestamp: at, Root: root, Signature: sig}, nil
+}
+
+// VerifyTreeHead checks an STH against the log's public key.
+func VerifyTreeHead(pub crypto.PublicKey, sth *SignedTreeHead) error {
+	ecPub, ok := pub.(*ecdsa.PublicKey)
+	if !ok {
+		return fmt.Errorf("ctlog: unsupported STH key type %T", pub)
+	}
+	digest := sha256.Sum256(treeHeadSignatureInput(sth.TreeSize, sth.Timestamp, sth.Root))
+	if !ecdsa.VerifyASN1(ecPub, digest[:], sth.Signature) {
+		return errors.New("ctlog: tree head signature invalid")
+	}
+	return nil
+}
+
+// Equal reports hash equality (constant time is unnecessary: these are
+// public values).
+func (h Hash) Equal(o Hash) bool { return bytes.Equal(h[:], o[:]) }

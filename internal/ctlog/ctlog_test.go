@@ -1,0 +1,268 @@
+package ctlog
+
+import (
+	"crypto/ecdsa"
+	"crypto/elliptic"
+	"crypto/rand"
+	"crypto/sha256"
+	"fmt"
+	mrand "math/rand"
+	"testing"
+	"time"
+)
+
+func entries(n int) [][]byte {
+	out := make([][]byte, n)
+	for i := range out {
+		out[i] = []byte(fmt.Sprintf("certificate-entry-%05d", i))
+	}
+	return out
+}
+
+func filledLog(t testing.TB, n int) *Log {
+	t.Helper()
+	l := New(nil)
+	for _, e := range entries(n) {
+		l.Append(e)
+	}
+	return l
+}
+
+func TestEmptyTree(t *testing.T) {
+	l := New(nil)
+	if l.Size() != 0 {
+		t.Fatal("empty log has entries")
+	}
+	want := sha256.Sum256(nil)
+	if l.Root() != Hash(want) {
+		t.Errorf("empty root mismatch")
+	}
+}
+
+// TestKnownAnswerRFC6962 checks the Merkle tree hashes against the test
+// vectors derivable from RFC 6962's structure: a one-leaf tree's root is
+// its leaf hash, and a two-leaf tree is the node hash of both.
+func TestKnownAnswerSmallTrees(t *testing.T) {
+	l := New(nil)
+	l.Append([]byte("a"))
+	if l.Root() != LeafHash([]byte("a")) {
+		t.Error("single-leaf root must equal the leaf hash")
+	}
+	l.Append([]byte("b"))
+	want := nodeHash(LeafHash([]byte("a")), LeafHash([]byte("b")))
+	if l.Root() != want {
+		t.Error("two-leaf root mismatch")
+	}
+	// Leaf and node hashing must be domain-separated: hashing the
+	// concatenation without the prefix must differ.
+	plain := sha256.Sum256(append([]byte("a"), []byte("b")...))
+	if l.Root() == Hash(plain) {
+		t.Error("domain separation missing")
+	}
+}
+
+func TestInclusionProofsAllLeaves(t *testing.T) {
+	for _, size := range []int{1, 2, 3, 5, 8, 13, 64, 100} {
+		l := filledLog(t, size)
+		root := l.Root()
+		for i := 0; i < size; i++ {
+			proof, err := l.InclusionProof(i, size)
+			if err != nil {
+				t.Fatalf("size %d leaf %d: %v", size, i, err)
+			}
+			leaf := LeafHash([]byte(fmt.Sprintf("certificate-entry-%05d", i)))
+			if !VerifyInclusion(leaf, i, size, proof, root) {
+				t.Errorf("size %d leaf %d: proof rejected", size, i)
+			}
+			// The proof must not verify for a different index.
+			if size > 1 && VerifyInclusion(leaf, (i+1)%size, size, proof, root) {
+				t.Errorf("size %d leaf %d: proof verified at wrong index", size, i)
+			}
+			// Nor with a tampered leaf.
+			bad := leaf
+			bad[0] ^= 0xff
+			if VerifyInclusion(bad, i, size, proof, root) {
+				t.Errorf("size %d leaf %d: tampered leaf accepted", size, i)
+			}
+		}
+	}
+}
+
+func TestInclusionProofAgainstOlderRoot(t *testing.T) {
+	l := filledLog(t, 50)
+	// Prove inclusion of leaf 7 in the tree as it was at size 20.
+	oldRoot, err := l.RootAt(20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	proof, err := l.InclusionProof(7, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	leaf := LeafHash([]byte(fmt.Sprintf("certificate-entry-%05d", 7)))
+	if !VerifyInclusion(leaf, 7, 20, proof, oldRoot) {
+		t.Error("historic inclusion proof rejected")
+	}
+	if VerifyInclusion(leaf, 7, 20, proof, l.Root()) {
+		t.Error("historic proof must not verify against the newer root")
+	}
+}
+
+func TestConsistencyProofs(t *testing.T) {
+	l := filledLog(t, 130)
+	for _, pair := range [][2]int{{0, 10}, {1, 2}, {3, 7}, {8, 8}, {16, 130}, {64, 128}, {100, 130}, {129, 130}} {
+		s1, s2 := pair[0], pair[1]
+		r1, err := l.RootAt(s1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r2, err := l.RootAt(s2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		proof, err := l.ConsistencyProof(s1, s2)
+		if err != nil {
+			t.Fatalf("(%d,%d): %v", s1, s2, err)
+		}
+		if !VerifyConsistency(s1, s2, r1, r2, proof) {
+			t.Errorf("(%d,%d): consistency rejected", s1, s2)
+		}
+		// A mismatched old root must fail (append-only violation).
+		if s1 > 0 && s1 != s2 {
+			bad := r1
+			bad[5] ^= 0x01
+			if VerifyConsistency(s1, s2, bad, r2, proof) {
+				t.Errorf("(%d,%d): forged history accepted", s1, s2)
+			}
+		}
+	}
+}
+
+func TestConsistencyExhaustiveSmall(t *testing.T) {
+	// Every (size1 ≤ size2 ≤ 40) pair.
+	l := filledLog(t, 40)
+	for s2 := 0; s2 <= 40; s2++ {
+		r2, _ := l.RootAt(s2)
+		for s1 := 0; s1 <= s2; s1++ {
+			r1, _ := l.RootAt(s1)
+			proof, err := l.ConsistencyProof(s1, s2)
+			if err != nil {
+				t.Fatalf("(%d,%d): %v", s1, s2, err)
+			}
+			if !VerifyConsistency(s1, s2, r1, r2, proof) {
+				t.Fatalf("(%d,%d): rejected", s1, s2)
+			}
+		}
+	}
+}
+
+func TestForkDetection(t *testing.T) {
+	// Two logs diverge at entry 10: consistency between their heads
+	// must fail from either side's perspective.
+	a := filledLog(t, 10)
+	b := filledLog(t, 10)
+	a.Append([]byte("honest entry"))
+	b.Append([]byte("equivocating entry"))
+	rootA10, _ := a.RootAt(10)
+	proof, err := a.ConsistencyProof(10, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The proof from log a connects a's size-10 root to a's head...
+	if !VerifyConsistency(10, 11, rootA10, a.Root(), proof) {
+		t.Fatal("honest consistency rejected")
+	}
+	// ...but not to b's forked head.
+	if VerifyConsistency(10, 11, rootA10, b.Root(), proof) {
+		t.Error("fork accepted")
+	}
+}
+
+func TestRandomizedProofsProperty(t *testing.T) {
+	rng := mrand.New(mrand.NewSource(9))
+	l := filledLog(t, 300)
+	for trial := 0; trial < 300; trial++ {
+		size := 1 + rng.Intn(300)
+		idx := rng.Intn(size)
+		root, _ := l.RootAt(size)
+		proof, err := l.InclusionProof(idx, size)
+		if err != nil {
+			t.Fatal(err)
+		}
+		leaf := LeafHash([]byte(fmt.Sprintf("certificate-entry-%05d", idx)))
+		if !VerifyInclusion(leaf, idx, size, proof, root) {
+			t.Fatalf("trial %d: inclusion (%d,%d) rejected", trial, idx, size)
+		}
+		// Tamper with a random proof element.
+		if len(proof) > 0 {
+			bad := append([]Hash(nil), proof...)
+			bad[rng.Intn(len(bad))][3] ^= 0x80
+			if VerifyInclusion(leaf, idx, size, bad, root) {
+				t.Fatalf("trial %d: tampered proof accepted", trial)
+			}
+		}
+	}
+}
+
+func TestEntriesAccess(t *testing.T) {
+	l := filledLog(t, 10)
+	got, err := l.Entries(3, 6)
+	if err != nil || len(got) != 3 || string(got[0]) != "certificate-entry-00003" {
+		t.Fatalf("Entries: %v %q", err, got)
+	}
+	// Mutating the copy must not affect the log.
+	got[0][0] = 'X'
+	again, _ := l.Entry(3)
+	if string(again) != "certificate-entry-00003" {
+		t.Error("Entries must return copies")
+	}
+	if _, err := l.Entries(6, 3); err == nil {
+		t.Error("inverted range must fail")
+	}
+	if _, err := l.Entry(99); err == nil {
+		t.Error("out-of-range entry must fail")
+	}
+	if _, err := l.InclusionProof(0, 99); err == nil {
+		t.Error("oversized proof size must fail")
+	}
+	if _, err := l.RootAt(-1); err == nil {
+		t.Error("negative size must fail")
+	}
+}
+
+func TestSignedTreeHead(t *testing.T) {
+	key, err := ecdsa.GenerateKey(elliptic.P256(), rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := New(key)
+	for _, e := range entries(17) {
+		l.Append(e)
+	}
+	at := time.Date(2018, 4, 24, 0, 0, 0, 0, time.UTC)
+	sth, err := l.SignTreeHead(at)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sth.TreeSize != 17 || sth.Root != l.Root() {
+		t.Fatalf("sth = %+v", sth)
+	}
+	if err := VerifyTreeHead(key.Public(), sth); err != nil {
+		t.Errorf("VerifyTreeHead: %v", err)
+	}
+	// Any field change invalidates the signature.
+	tampered := *sth
+	tampered.TreeSize = 18
+	if err := VerifyTreeHead(key.Public(), &tampered); err == nil {
+		t.Error("tampered tree size accepted")
+	}
+	tampered = *sth
+	tampered.Root[0] ^= 1
+	if err := VerifyTreeHead(key.Public(), &tampered); err == nil {
+		t.Error("tampered root accepted")
+	}
+	// Unsigned logs refuse.
+	if _, err := New(nil).SignTreeHead(at); err == nil {
+		t.Error("unsigned log must not produce STHs")
+	}
+}

@@ -1,0 +1,129 @@
+package ocsp
+
+import (
+	"bytes"
+	"crypto"
+	"crypto/x509"
+	"encoding/asn1"
+	"fmt"
+	"math/big"
+
+	"github.com/netmeasure/muststaple/internal/pkixutil"
+)
+
+// CertID identifies a certificate in OCSP requests and responses: the
+// issuer's name and key hashes plus the certificate's serial number
+// (RFC 6960 §4.1.1).
+type CertID struct {
+	// HashAlgorithm is the hash used for both issuer hashes. RFC 6960
+	// responders universally support SHA-1 here; SHA-256 is also
+	// accepted by this package.
+	HashAlgorithm  crypto.Hash
+	IssuerNameHash []byte
+	IssuerKeyHash  []byte
+	Serial         *big.Int
+}
+
+// certIDASN1 is the wire form of CertID.
+type certIDASN1 struct {
+	HashAlgorithm  pkixutil.AlgorithmIdentifier
+	IssuerNameHash []byte
+	IssuerKeyHash  []byte
+	Serial         *big.Int
+}
+
+// NewCertID computes the CertID for a certificate issued by issuer, using
+// hash h (crypto.SHA1 is the interoperable default).
+func NewCertID(cert, issuer *x509.Certificate, h crypto.Hash) (CertID, error) {
+	if cert == nil || issuer == nil {
+		return CertID{}, fmt.Errorf("ocsp: nil certificate")
+	}
+	return NewCertIDForSerial(cert.SerialNumber, issuer, h)
+}
+
+// NewCertIDForSerial computes a CertID for a bare serial number — the shape
+// of lookup the paper's CRL-vs-OCSP consistency study performs, where only
+// (issuer, serial) pairs are known from CRL entries.
+func NewCertIDForSerial(serial *big.Int, issuer *x509.Certificate, h crypto.Hash) (CertID, error) {
+	if serial == nil {
+		return CertID{}, fmt.Errorf("ocsp: nil serial number")
+	}
+	nameHash, err := pkixutil.IssuerNameHash(issuer, h)
+	if err != nil {
+		return CertID{}, err
+	}
+	keyHash, err := pkixutil.IssuerKeyHash(issuer, h)
+	if err != nil {
+		return CertID{}, err
+	}
+	return CertID{
+		HashAlgorithm:  h,
+		IssuerNameHash: nameHash,
+		IssuerKeyHash:  keyHash,
+		Serial:         new(big.Int).Set(serial),
+	}, nil
+}
+
+// Equal reports whether two CertIDs identify the same certificate.
+func (c CertID) Equal(o CertID) bool {
+	return c.HashAlgorithm == o.HashAlgorithm &&
+		bytes.Equal(c.IssuerNameHash, o.IssuerNameHash) &&
+		bytes.Equal(c.IssuerKeyHash, o.IssuerKeyHash) &&
+		c.Serial != nil && o.Serial != nil &&
+		c.Serial.Cmp(o.Serial) == 0
+}
+
+// SameIssuer reports whether two CertIDs share issuer hashes (ignoring the
+// serial), used to detect serial-number-mismatch responses where the
+// responder answered about a different certificate from the same issuer.
+func (c CertID) SameIssuer(o CertID) bool {
+	return c.HashAlgorithm == o.HashAlgorithm &&
+		bytes.Equal(c.IssuerNameHash, o.IssuerNameHash) &&
+		bytes.Equal(c.IssuerKeyHash, o.IssuerKeyHash)
+}
+
+func (c CertID) toASN1() (certIDASN1, error) {
+	alg, err := pkixutil.HashAlgorithmIdentifier(c.HashAlgorithm)
+	if err != nil {
+		return certIDASN1{}, err
+	}
+	if c.Serial == nil {
+		return certIDASN1{}, fmt.Errorf("ocsp: CertID has nil serial")
+	}
+	return certIDASN1{
+		HashAlgorithm:  alg,
+		IssuerNameHash: c.IssuerNameHash,
+		IssuerKeyHash:  c.IssuerKeyHash,
+		Serial:         c.Serial,
+	}, nil
+}
+
+func certIDFromASN1(w certIDASN1) (CertID, error) {
+	h, err := pkixutil.HashFromOID(w.HashAlgorithm.Algorithm)
+	if err != nil {
+		return CertID{}, fmt.Errorf("ocsp: CertID hash: %w", err)
+	}
+	return CertID{
+		HashAlgorithm:  h,
+		IssuerNameHash: w.IssuerNameHash,
+		IssuerKeyHash:  w.IssuerKeyHash,
+		Serial:         w.Serial,
+	}, nil
+}
+
+// extensionASN1 mirrors pkix.Extension without importing crypto/x509/pkix
+// into the wire structures.
+type extensionASN1 struct {
+	ID       asn1.ObjectIdentifier
+	Critical bool `asn1:"optional"`
+	Value    []byte
+}
+
+func findNonce(exts []extensionASN1) []byte {
+	for _, e := range exts {
+		if e.ID.Equal(pkixutil.OIDOCSPNonce) {
+			return e.Value
+		}
+	}
+	return nil
+}

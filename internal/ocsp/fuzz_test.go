@@ -1,0 +1,159 @@
+package ocsp
+
+import (
+	"crypto"
+	"math/big"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"github.com/netmeasure/muststaple/internal/pkixutil"
+)
+
+// TestParseResponseNeverPanics mutates valid response bytes at random and
+// asserts the parser returns errors instead of panicking — the measurement
+// client must survive anything a broken responder sends (§5.3 saw empty
+// bodies, "0", JavaScript, and arbitrarily truncated DER in the wild).
+func TestParseResponseNeverPanics(t *testing.T) {
+	p := newTestPKI(t)
+	id := p.certID(t)
+	single := SingleResponse{
+		CertID: id, Status: Good,
+		ThisUpdate: testTime, NextUpdate: testTime.Add(time.Hour),
+		Reason: pkixutil.ReasonAbsent,
+	}
+	valid, err := CreateResponse(p.template(), testTime, []SingleResponse{single}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 5000; trial++ {
+		mutated := make([]byte, len(valid))
+		copy(mutated, valid)
+		switch trial % 4 {
+		case 0: // flip random bytes
+			for k := 0; k < 1+rng.Intn(4); k++ {
+				mutated[rng.Intn(len(mutated))] ^= byte(1 + rng.Intn(255))
+			}
+		case 1: // truncate
+			mutated = mutated[:rng.Intn(len(mutated))]
+		case 2: // extend with garbage
+			extra := make([]byte, 1+rng.Intn(32))
+			rng.Read(extra)
+			mutated = append(mutated, extra...)
+		case 3: // random splice
+			if len(mutated) > 8 {
+				at := rng.Intn(len(mutated) - 4)
+				rng.Read(mutated[at : at+4])
+			}
+		}
+		// Must not panic; errors (or even lucky successes for benign
+		// mutations) are both fine.
+		resp, err := ParseResponse(mutated)
+		if err == nil && resp == nil {
+			t.Fatal("nil response with nil error")
+		}
+	}
+}
+
+// TestParseRequestNeverPanics does the same for the request parser, which
+// responders expose to arbitrary clients.
+func TestParseRequestNeverPanics(t *testing.T) {
+	p := newTestPKI(t)
+	req, err := NewRequest(p.leaf.Certificate, p.ca.Certificate, crypto.SHA1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	valid, err := req.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(43))
+	for trial := 0; trial < 5000; trial++ {
+		mutated := make([]byte, len(valid))
+		copy(mutated, valid)
+		for k := 0; k < 1+rng.Intn(6); k++ {
+			mutated[rng.Intn(len(mutated))] ^= byte(1 + rng.Intn(255))
+		}
+		if trial%3 == 0 {
+			mutated = mutated[:rng.Intn(len(mutated))]
+		}
+		if r, err := ParseRequest(mutated); err == nil && r == nil {
+			t.Fatal("nil request with nil error")
+		}
+	}
+}
+
+// TestParseRandomBytes feeds pure noise to both parsers.
+func TestParseRandomBytes(t *testing.T) {
+	f := func(data []byte) bool {
+		respOut, respErr := ParseResponse(data)
+		reqOut, reqErr := ParseRequest(data)
+		// No panics (reaching here proves it) and no nil-with-nil.
+		return (respErr != nil || respOut != nil) && (reqErr != nil || reqOut != nil)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestResponseRoundTripProperty: any combination of status, times, reason,
+// and serial survives a marshal/parse cycle intact.
+func TestResponseRoundTripProperty(t *testing.T) {
+	p := newTestPKI(t)
+	base := p.certID(t)
+	rng := rand.New(rand.NewSource(44))
+	statuses := []CertStatus{Good, Revoked, Unknown}
+	reasons := []pkixutil.ReasonCode{
+		pkixutil.ReasonAbsent, pkixutil.ReasonUnspecified,
+		pkixutil.ReasonKeyCompromise, pkixutil.ReasonCertificateHold,
+	}
+	for trial := 0; trial < 60; trial++ {
+		id := base
+		id.Serial = new(big.Int).Add(base.Serial, big.NewInt(int64(trial)))
+		single := SingleResponse{
+			CertID:     id,
+			Status:     statuses[rng.Intn(len(statuses))],
+			ThisUpdate: testTime.Add(time.Duration(rng.Intn(100)) * time.Minute),
+			Reason:     pkixutil.ReasonAbsent,
+		}
+		if rng.Intn(2) == 0 {
+			single.NextUpdate = single.ThisUpdate.Add(time.Duration(1+rng.Intn(10000)) * time.Minute)
+		}
+		if single.Status == Revoked {
+			single.RevokedAt = testTime.Add(-time.Duration(rng.Intn(10000)) * time.Minute)
+			single.Reason = reasons[rng.Intn(len(reasons))]
+		}
+		der, err := CreateResponse(p.template(), testTime, []SingleResponse{single}, nil)
+		if err != nil {
+			t.Fatalf("trial %d: create: %v", trial, err)
+		}
+		resp, err := ParseResponse(der)
+		if err != nil {
+			t.Fatalf("trial %d: parse: %v", trial, err)
+		}
+		got := resp.Find(single.CertID)
+		if got == nil {
+			t.Fatalf("trial %d: lost the CertID", trial)
+		}
+		if got.Status != single.Status {
+			t.Fatalf("trial %d: status %v != %v", trial, got.Status, single.Status)
+		}
+		if !got.ThisUpdate.Equal(single.ThisUpdate.Truncate(time.Second)) {
+			t.Fatalf("trial %d: thisUpdate drift", trial)
+		}
+		if got.HasNextUpdate() != !single.NextUpdate.IsZero() {
+			t.Fatalf("trial %d: nextUpdate presence drift", trial)
+		}
+		if single.Status == Revoked {
+			if !got.RevokedAt.Equal(single.RevokedAt.Truncate(time.Second)) || got.Reason != single.Reason {
+				t.Fatalf("trial %d: revocation drift: %v/%v", trial, got.RevokedAt, got.Reason)
+			}
+		}
+		if err := resp.CheckSignatureFrom(p.ca.Certificate); err != nil {
+			t.Fatalf("trial %d: signature: %v", trial, err)
+		}
+	}
+}

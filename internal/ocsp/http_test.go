@@ -1,0 +1,167 @@
+package ocsp
+
+import (
+	"context"
+	"crypto"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"github.com/netmeasure/muststaple/internal/pkixutil"
+)
+
+// echoResponder is a minimal HTTP handler that parses requests from both
+// transport encodings and answers Good, for exercising the client side.
+func echoResponder(t testing.TB, p *testPKI) http.Handler {
+	t.Helper()
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		var reqDER []byte
+		switch r.Method {
+		case http.MethodPost:
+			if ct := r.Header.Get("Content-Type"); ct != ContentTypeRequest {
+				http.Error(w, "bad content type "+ct, http.StatusUnsupportedMediaType)
+				return
+			}
+			body, err := io.ReadAll(r.Body)
+			if err != nil {
+				http.Error(w, "read", http.StatusBadRequest)
+				return
+			}
+			reqDER = body
+		case http.MethodGet:
+			der, err := DecodeGETPath(r.URL.Path)
+			if err != nil {
+				http.Error(w, "decode", http.StatusBadRequest)
+				return
+			}
+			reqDER = der
+		}
+		req, err := ParseRequest(reqDER)
+		if err != nil {
+			http.Error(w, "parse", http.StatusBadRequest)
+			return
+		}
+		single := SingleResponse{
+			CertID:     req.CertIDs[0],
+			Status:     Good,
+			ThisUpdate: testTime,
+			NextUpdate: testTime.Add(time.Hour),
+			Reason:     pkixutil.ReasonAbsent,
+		}
+		der, err := CreateResponse(p.template(), testTime, []SingleResponse{single}, req.Nonce)
+		if err != nil {
+			http.Error(w, "create", http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", ContentTypeResponse)
+		w.Write(der)
+	})
+}
+
+func TestFetchPOSTAndGET(t *testing.T) {
+	p := newTestPKI(t)
+	srv := httptest.NewServer(echoResponder(t, p))
+	defer srv.Close()
+	req, err := NewRequest(p.leaf.Certificate, p.ca.Certificate, crypto.SHA1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, method := range []string{http.MethodPost, http.MethodGet} {
+		res, err := Fetch(context.Background(), srv.Client(), method, srv.URL, req)
+		if err != nil {
+			t.Fatalf("%s: %v", method, err)
+		}
+		if res.HTTPStatus != http.StatusOK {
+			t.Fatalf("%s: status %d", method, res.HTTPStatus)
+		}
+		resp, err := ParseResponse(res.Body)
+		if err != nil {
+			t.Fatalf("%s: %v", method, err)
+		}
+		if resp.Find(req.CertIDs[0]) == nil {
+			t.Errorf("%s: response misses the requested serial", method)
+		}
+	}
+}
+
+func TestGetConvenience(t *testing.T) {
+	p := newTestPKI(t)
+	srv := httptest.NewServer(echoResponder(t, p))
+	defer srv.Close()
+	req, err := NewRequest(p.leaf.Certificate, p.ca.Certificate, crypto.SHA1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Nonce = []byte("nonce-for-http")
+	resp, err := Get(context.Background(), srv.Client(), http.MethodPost, srv.URL, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(resp.Nonce) != "nonce-for-http" {
+		t.Errorf("nonce not echoed over HTTP: %q", resp.Nonce)
+	}
+	if err := resp.CheckSignatureFrom(p.ca.Certificate); err != nil {
+		t.Errorf("signature over HTTP: %v", err)
+	}
+}
+
+func TestGetRejectsHTTPErrors(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "down", http.StatusServiceUnavailable)
+	}))
+	defer srv.Close()
+	p := newTestPKI(t)
+	req, _ := NewRequest(p.leaf.Certificate, p.ca.Certificate, crypto.SHA1)
+	if _, err := Get(context.Background(), srv.Client(), http.MethodPost, srv.URL, req); err == nil {
+		t.Error("Get must fail on HTTP 503")
+	}
+}
+
+func TestGetRejectsEmptyBody(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+	}))
+	defer srv.Close()
+	p := newTestPKI(t)
+	req, _ := NewRequest(p.leaf.Certificate, p.ca.Certificate, crypto.SHA1)
+	if _, err := Get(context.Background(), srv.Client(), http.MethodPost, srv.URL, req); err == nil {
+		t.Error("Get must fail on an empty 200 body")
+	}
+}
+
+func TestFetchBoundsResponseSize(t *testing.T) {
+	// A misbehaving responder streaming garbage must not exhaust the
+	// client.
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		junk := make([]byte, 1<<16)
+		for i := 0; i < 64; i++ { // 4 MiB total
+			w.Write(junk)
+		}
+	}))
+	defer srv.Close()
+	p := newTestPKI(t)
+	req, _ := NewRequest(p.leaf.Certificate, p.ca.Certificate, crypto.SHA1)
+	res, err := Fetch(context.Background(), srv.Client(), http.MethodPost, srv.URL, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Body) > 1<<20 {
+		t.Errorf("body not bounded: %d bytes", len(res.Body))
+	}
+}
+
+func TestNewHTTPRequestValidation(t *testing.T) {
+	if _, err := NewHTTPRequest(context.Background(), http.MethodPut, "http://x.test", []byte{1}); err == nil {
+		t.Error("unsupported method must fail")
+	}
+	req, err := NewHTTPRequest(context.Background(), http.MethodGet, "http://x.test/ocsp/", []byte{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The GET URL embeds the base64 request after the base path.
+	if got := req.URL.Path; got == "/ocsp/" || len(got) <= len("/ocsp/") {
+		t.Errorf("GET path missing encoded request: %q", got)
+	}
+}

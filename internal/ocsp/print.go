@@ -1,0 +1,80 @@
+package ocsp
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"github.com/netmeasure/muststaple/internal/pkixutil"
+)
+
+// FormatResponse renders a parsed response as human-readable text, in the
+// spirit of `openssl ocsp -resp_text` — the debugging view an operator
+// points at a misbehaving responder.
+func FormatResponse(r *Response) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "OCSP Response Status: %s (%d)\n", r.Status, int(r.Status))
+	if r.Status != StatusSuccessful {
+		return b.String()
+	}
+	switch {
+	case len(r.ResponderKeyHash) > 0:
+		fmt.Fprintf(&b, "Responder ID: byKey %x\n", r.ResponderKeyHash)
+	case len(r.ResponderRawName) > 0:
+		fmt.Fprintf(&b, "Responder ID: byName (%d DER bytes)\n", len(r.ResponderRawName))
+	}
+	fmt.Fprintf(&b, "Produced At: %s\n", formatTime(r.ProducedAt))
+	if len(r.Nonce) > 0 {
+		fmt.Fprintf(&b, "Nonce: %x\n", r.Nonce)
+	}
+	fmt.Fprintf(&b, "Signature Algorithm: %s\n", r.SignatureAlgorithm)
+	fmt.Fprintf(&b, "Responses (%d):\n", len(r.Responses))
+	for i, s := range r.Responses {
+		fmt.Fprintf(&b, "  [%d] Serial Number: %s\n", i, s.CertID.Serial)
+		fmt.Fprintf(&b, "      Hash Algorithm: %v\n", s.CertID.HashAlgorithm)
+		fmt.Fprintf(&b, "      Issuer Name Hash: %x\n", s.CertID.IssuerNameHash)
+		fmt.Fprintf(&b, "      Issuer Key Hash: %x\n", s.CertID.IssuerKeyHash)
+		fmt.Fprintf(&b, "      Cert Status: %s\n", s.Status)
+		if s.Status == Revoked {
+			fmt.Fprintf(&b, "      Revocation Time: %s\n", formatTime(s.RevokedAt))
+			if s.Reason != pkixutil.ReasonAbsent {
+				fmt.Fprintf(&b, "      Revocation Reason: %s\n", s.Reason)
+			}
+		}
+		fmt.Fprintf(&b, "      This Update: %s\n", formatTime(s.ThisUpdate))
+		if s.HasNextUpdate() {
+			fmt.Fprintf(&b, "      Next Update: %s (validity %s)\n",
+				formatTime(s.NextUpdate), s.NextUpdate.Sub(s.ThisUpdate))
+		} else {
+			fmt.Fprintf(&b, "      Next Update: (blank — response never expires)\n")
+		}
+	}
+	if len(r.Certificates) > 0 {
+		fmt.Fprintf(&b, "Embedded Certificates (%d):\n", len(r.Certificates))
+		for i, c := range r.Certificates {
+			fmt.Fprintf(&b, "  [%d] %s (serial %s, expires %s)\n",
+				i, c.Subject.CommonName, c.SerialNumber, formatTime(c.NotAfter))
+		}
+	}
+	return b.String()
+}
+
+// FormatRequest renders a parsed request as text.
+func FormatRequest(r *Request) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "OCSP Request (%d certificate IDs):\n", len(r.CertIDs))
+	for i, id := range r.CertIDs {
+		fmt.Fprintf(&b, "  [%d] Serial Number: %s\n", i, id.Serial)
+		fmt.Fprintf(&b, "      Hash Algorithm: %v\n", id.HashAlgorithm)
+		fmt.Fprintf(&b, "      Issuer Name Hash: %x\n", id.IssuerNameHash)
+		fmt.Fprintf(&b, "      Issuer Key Hash: %x\n", id.IssuerKeyHash)
+	}
+	if len(r.Nonce) > 0 {
+		fmt.Fprintf(&b, "Nonce: %x\n", r.Nonce)
+	}
+	return b.String()
+}
+
+func formatTime(t time.Time) string {
+	return t.UTC().Format("2006-01-02 15:04:05 UTC")
+}

@@ -1,0 +1,508 @@
+package ocsp
+
+import (
+	"crypto"
+	"crypto/x509"
+	"encoding/asn1"
+	"errors"
+	"fmt"
+	"io"
+	"time"
+
+	"github.com/netmeasure/muststaple/internal/pkixutil"
+)
+
+// SingleResponse is the status assertion for one certificate inside an OCSP
+// response (RFC 6960 §4.2.1).
+type SingleResponse struct {
+	CertID CertID
+	Status CertStatus
+
+	// RevokedAt and Reason are set when Status == Revoked. Reason is
+	// pkixutil.ReasonAbsent when the responder included no reason code —
+	// the overwhelmingly common case in the wild.
+	RevokedAt time.Time
+	Reason    pkixutil.ReasonCode
+
+	// ThisUpdate is the time at which the status being indicated is
+	// known to be correct; NextUpdate is when newer information will be
+	// available. A zero NextUpdate means the responder left it blank
+	// ("newer revocation information is always available"), which makes
+	// the response technically valid forever — one of the quality
+	// problems §5.4 of the paper studies (9.1% of responders).
+	ThisUpdate time.Time
+	NextUpdate time.Time
+}
+
+// HasNextUpdate reports whether the responder set a nextUpdate at all.
+func (s *SingleResponse) HasNextUpdate() bool { return !s.NextUpdate.IsZero() }
+
+// ValidAt reports whether the assertion is within its validity window at t.
+// A blank nextUpdate never expires.
+func (s *SingleResponse) ValidAt(t time.Time) bool {
+	if t.Before(s.ThisUpdate) {
+		return false
+	}
+	return s.NextUpdate.IsZero() || !t.After(s.NextUpdate)
+}
+
+// Response is a parsed OCSP response.
+type Response struct {
+	// Status is the outer OCSPResponseStatus. The remaining fields are
+	// only meaningful when Status == StatusSuccessful.
+	Status ResponseStatus
+
+	// ProducedAt is when the responder generated (signed) this response.
+	ProducedAt time.Time
+
+	// Responses holds one SingleResponse per asserted certificate.
+	// Responders may include unsolicited extras (Figure 7 of the paper).
+	Responses []SingleResponse
+
+	// Nonce echoes the request nonce, if the responder supports it.
+	Nonce []byte
+
+	// ResponderKeyHash or ResponderRawName identify the responder
+	// (the byKey and byName arms of the ResponderID CHOICE).
+	ResponderKeyHash []byte
+	ResponderRawName []byte
+
+	// Certificates are the certificates the responder chose to embed to
+	// help signature validation. More than one is superfluous (Figure 6:
+	// 14.5% of responders send extras; one sends a full chain of four
+	// including the root).
+	Certificates []*x509.Certificate
+
+	// Signature material.
+	SignatureAlgorithm asn1.ObjectIdentifier
+	Signature          []byte
+
+	// Raw is the full DER response; RawTBS is the DER of the signed
+	// ResponseData.
+	Raw    []byte
+	RawTBS []byte
+}
+
+// Wire structures.
+type ocspResponseASN1 struct {
+	Status        asn1.Enumerated
+	ResponseBytes responseBytesASN1 `asn1:"explicit,tag:0,optional"`
+}
+
+type responseBytesASN1 struct {
+	ResponseType asn1.ObjectIdentifier
+	Response     []byte
+}
+
+type basicResponseASN1 struct {
+	TBSResponseData    asn1.RawValue
+	SignatureAlgorithm pkixutil.AlgorithmIdentifier
+	Signature          asn1.BitString
+	Certificates       []asn1.RawValue `asn1:"explicit,tag:0,optional"`
+}
+
+type responseDataASN1 struct {
+	Version     int           `asn1:"explicit,tag:0,default:0,optional"`
+	ResponderID asn1.RawValue // CHOICE { byName [1] Name, byKey [2] OCTET STRING }
+	ProducedAt  time.Time     `asn1:"generalized"`
+	Responses   []singleResponseASN1
+	Extensions  []extensionASN1 `asn1:"explicit,tag:1,optional"`
+}
+
+type singleResponseASN1 struct {
+	CertID     certIDASN1
+	CertStatus asn1.RawValue   // CHOICE, context tags 0/1/2
+	ThisUpdate time.Time       `asn1:"generalized"`
+	NextUpdate time.Time       `asn1:"generalized,explicit,tag:0,optional"`
+	Extensions []extensionASN1 `asn1:"explicit,tag:1,optional"`
+}
+
+type revokedInfoASN1 struct {
+	RevocationTime time.Time       `asn1:"generalized"`
+	Reason         asn1.Enumerated `asn1:"explicit,tag:0,optional,default:-1"`
+}
+
+// ResponderTemplate describes the responder identity and signing setup used
+// by CreateResponse.
+type ResponderTemplate struct {
+	// Signer signs the ResponseData. Required.
+	Signer crypto.Signer
+
+	// Certificate is the certificate whose key Signer holds. Its key
+	// hash becomes the byKey ResponderID unless ByName is set. Required.
+	Certificate *x509.Certificate
+
+	// IncludeCertificates are embedded in the certs field of the
+	// BasicOCSPResponse. Responders using signature-authority delegation
+	// include their delegated responder certificate here; misbehaving
+	// responders include whole chains (the "superfluous certificates"
+	// behavior of §5.4).
+	IncludeCertificates []*x509.Certificate
+
+	// ByName selects the byName ResponderID arm instead of byKey.
+	ByName bool
+
+	// Rand is the randomness source for signing; nil means crypto/rand
+	// via the signer's default.
+	Rand io.Reader
+}
+
+// CreateResponse builds and signs a successful BasicOCSPResponse asserting
+// the given single responses, produced at producedAt, echoing nonce if
+// non-empty.
+func CreateResponse(tmpl *ResponderTemplate, producedAt time.Time, singles []SingleResponse, nonce []byte) ([]byte, error) {
+	if tmpl == nil || tmpl.Signer == nil || tmpl.Certificate == nil {
+		return nil, errors.New("ocsp: incomplete responder template")
+	}
+	if len(singles) == 0 {
+		return nil, errors.New("ocsp: no single responses")
+	}
+
+	var rd responseDataASN1
+	rd.ProducedAt = producedAt.UTC().Truncate(time.Second)
+
+	if tmpl.ByName {
+		name, err := marshalExplicit(1, tmpl.Certificate.RawSubject)
+		if err != nil {
+			return nil, err
+		}
+		rd.ResponderID = name
+	} else {
+		keyHash, err := pkixutil.IssuerKeyHash(tmpl.Certificate, crypto.SHA1)
+		if err != nil {
+			return nil, err
+		}
+		keyDER, err := asn1.Marshal(keyHash)
+		if err != nil {
+			return nil, err
+		}
+		rid, err := marshalExplicit(2, keyDER)
+		if err != nil {
+			return nil, err
+		}
+		rd.ResponderID = rid
+	}
+
+	for _, s := range singles {
+		w, err := singleToASN1(s)
+		if err != nil {
+			return nil, err
+		}
+		rd.Responses = append(rd.Responses, w)
+	}
+
+	if len(nonce) > 0 {
+		nonceDER, err := asn1.Marshal(nonce)
+		if err != nil {
+			return nil, err
+		}
+		rd.Extensions = []extensionASN1{{ID: pkixutil.OIDOCSPNonce, Value: nonceDER}}
+	}
+
+	tbs, err := asn1.Marshal(rd)
+	if err != nil {
+		return nil, fmt.Errorf("ocsp: marshal responseData: %w", err)
+	}
+
+	sigAlg, sig, err := pkixutil.SignTBS(tmpl.Rand, tmpl.Signer, tbs)
+	if err != nil {
+		return nil, err
+	}
+
+	basic := basicResponseASN1{
+		TBSResponseData:    asn1.RawValue{FullBytes: tbs},
+		SignatureAlgorithm: sigAlg,
+		Signature:          asn1.BitString{Bytes: sig, BitLength: len(sig) * 8},
+	}
+	for _, c := range tmpl.IncludeCertificates {
+		basic.Certificates = append(basic.Certificates, asn1.RawValue{FullBytes: c.Raw})
+	}
+
+	basicDER, err := asn1.Marshal(basic)
+	if err != nil {
+		return nil, fmt.Errorf("ocsp: marshal basicResponse: %w", err)
+	}
+
+	return wrapResponseBytes(StatusSuccessful, basicDER)
+}
+
+// CreateErrorResponse builds an unsigned OCSP error response (tryLater,
+// internalError, ...) — these have no responseBytes at all per RFC 6960.
+func CreateErrorResponse(status ResponseStatus) ([]byte, error) {
+	if status == StatusSuccessful {
+		return nil, errors.New("ocsp: successful responses need CreateResponse")
+	}
+	// Marshal just the status; the optional responseBytes is omitted.
+	type errorResponse struct {
+		Status asn1.Enumerated
+	}
+	der, err := asn1.Marshal(errorResponse{Status: asn1.Enumerated(status)})
+	if err != nil {
+		return nil, fmt.Errorf("ocsp: marshal error response: %w", err)
+	}
+	return der, nil
+}
+
+func wrapResponseBytes(status ResponseStatus, basicDER []byte) ([]byte, error) {
+	w := ocspResponseASN1{
+		Status: asn1.Enumerated(status),
+		ResponseBytes: responseBytesASN1{
+			ResponseType: pkixutil.OIDOCSPBasic,
+			Response:     basicDER,
+		},
+	}
+	der, err := asn1.Marshal(w)
+	if err != nil {
+		return nil, fmt.Errorf("ocsp: marshal response: %w", err)
+	}
+	return der, nil
+}
+
+func singleToASN1(s SingleResponse) (singleResponseASN1, error) {
+	idW, err := s.CertID.toASN1()
+	if err != nil {
+		return singleResponseASN1{}, err
+	}
+	w := singleResponseASN1{
+		CertID:     idW,
+		ThisUpdate: s.ThisUpdate.UTC().Truncate(time.Second),
+	}
+	if !s.NextUpdate.IsZero() {
+		w.NextUpdate = s.NextUpdate.UTC().Truncate(time.Second)
+	}
+	switch s.Status {
+	case Good:
+		w.CertStatus = asn1.RawValue{Class: asn1.ClassContextSpecific, Tag: 0}
+	case Unknown:
+		w.CertStatus = asn1.RawValue{Class: asn1.ClassContextSpecific, Tag: 2}
+	case Revoked:
+		// Reason defaults to the ReasonAbsent sentinel, which matches
+		// the struct tag's default and is therefore omitted from the
+		// encoding — revocations without a reason code carry none.
+		ri := revokedInfoASN1{
+			RevocationTime: s.RevokedAt.UTC().Truncate(time.Second),
+			Reason:         asn1.Enumerated(pkixutil.ReasonAbsent),
+		}
+		if s.Reason != pkixutil.ReasonAbsent {
+			ri.Reason = asn1.Enumerated(s.Reason)
+		}
+		riDER, err := asn1.Marshal(ri)
+		if err != nil {
+			return singleResponseASN1{}, fmt.Errorf("ocsp: marshal revokedInfo: %w", err)
+		}
+		// Re-tag the SEQUENCE as implicit [1]: keep the contents,
+		// replace the outer tag.
+		var raw asn1.RawValue
+		if _, err := asn1.Unmarshal(riDER, &raw); err != nil {
+			return singleResponseASN1{}, err
+		}
+		w.CertStatus = asn1.RawValue{
+			Class:      asn1.ClassContextSpecific,
+			Tag:        1,
+			IsCompound: true,
+			Bytes:      raw.Bytes,
+		}
+	default:
+		return singleResponseASN1{}, fmt.Errorf("ocsp: unsupported cert status %v", s.Status)
+	}
+	return w, nil
+}
+
+// marshalExplicit wraps already-DER-encoded inner bytes in an explicit
+// context-specific tag.
+func marshalExplicit(tag int, inner []byte) (asn1.RawValue, error) {
+	b, err := asn1.Marshal(asn1.RawValue{
+		Class:      asn1.ClassContextSpecific,
+		Tag:        tag,
+		IsCompound: true,
+		Bytes:      inner,
+	})
+	if err != nil {
+		return asn1.RawValue{}, err
+	}
+	return asn1.RawValue{FullBytes: b}, nil
+}
+
+// ParseResponse decodes a DER OCSP response. It performs structural
+// validation only; signature verification is a separate step
+// (CheckSignatureFrom) so that the measurement pipeline can classify
+// "parseable but badly signed" separately from "unparseable" — the two
+// distinct error classes in Figure 5 of the paper.
+func ParseResponse(der []byte) (*Response, error) {
+	var w ocspResponseASN1
+	rest, err := asn1.Unmarshal(der, &w)
+	if err != nil {
+		return nil, fmt.Errorf("ocsp: parse response: %w", err)
+	}
+	if len(rest) != 0 {
+		return nil, errors.New("ocsp: trailing data after response")
+	}
+	resp := &Response{Status: ResponseStatus(w.Status), Raw: der}
+	if !resp.Status.Valid() {
+		return nil, fmt.Errorf("ocsp: undefined response status %d", int(w.Status))
+	}
+	if resp.Status != StatusSuccessful {
+		return resp, nil
+	}
+	if !w.ResponseBytes.ResponseType.Equal(pkixutil.OIDOCSPBasic) {
+		return nil, fmt.Errorf("ocsp: unsupported response type %v", w.ResponseBytes.ResponseType)
+	}
+
+	var basic basicResponseASN1
+	rest, err = asn1.Unmarshal(w.ResponseBytes.Response, &basic)
+	if err != nil {
+		return nil, fmt.Errorf("ocsp: parse basicResponse: %w", err)
+	}
+	if len(rest) != 0 {
+		return nil, errors.New("ocsp: trailing data after basicResponse")
+	}
+
+	resp.RawTBS = basic.TBSResponseData.FullBytes
+	resp.SignatureAlgorithm = basic.SignatureAlgorithm.Algorithm
+	resp.Signature = basic.Signature.RightAlign()
+
+	var rd responseDataASN1
+	rest, err = asn1.Unmarshal(basic.TBSResponseData.FullBytes, &rd)
+	if err != nil {
+		return nil, fmt.Errorf("ocsp: parse responseData: %w", err)
+	}
+	if len(rest) != 0 {
+		return nil, errors.New("ocsp: trailing data after responseData")
+	}
+	resp.ProducedAt = rd.ProducedAt
+
+	switch rd.ResponderID.Tag {
+	case 1: // byName
+		resp.ResponderRawName = rd.ResponderID.Bytes
+	case 2: // byKey
+		var kh []byte
+		if _, err := asn1.Unmarshal(rd.ResponderID.Bytes, &kh); err != nil {
+			return nil, fmt.Errorf("ocsp: parse responder key hash: %w", err)
+		}
+		resp.ResponderKeyHash = kh
+	default:
+		return nil, fmt.Errorf("ocsp: invalid responderID tag %d", rd.ResponderID.Tag)
+	}
+
+	if len(rd.Responses) == 0 {
+		return nil, errors.New("ocsp: successful response with no single responses")
+	}
+	for _, sw := range rd.Responses {
+		s, err := singleFromASN1(sw)
+		if err != nil {
+			return nil, err
+		}
+		resp.Responses = append(resp.Responses, s)
+	}
+
+	if nonceDER := findNonce(rd.Extensions); nonceDER != nil {
+		var nonce []byte
+		if _, err := asn1.Unmarshal(nonceDER, &nonce); err != nil {
+			nonce = nonceDER
+		}
+		resp.Nonce = nonce
+	}
+
+	for _, raw := range basic.Certificates {
+		c, err := x509.ParseCertificate(raw.FullBytes)
+		if err != nil {
+			return nil, fmt.Errorf("ocsp: parse embedded certificate: %w", err)
+		}
+		resp.Certificates = append(resp.Certificates, c)
+	}
+
+	return resp, nil
+}
+
+func singleFromASN1(w singleResponseASN1) (SingleResponse, error) {
+	id, err := certIDFromASN1(w.CertID)
+	if err != nil {
+		return SingleResponse{}, err
+	}
+	s := SingleResponse{
+		CertID:     id,
+		ThisUpdate: w.ThisUpdate,
+		NextUpdate: w.NextUpdate,
+		Reason:     pkixutil.ReasonAbsent,
+	}
+	if w.CertStatus.Class != asn1.ClassContextSpecific {
+		return SingleResponse{}, fmt.Errorf("ocsp: certStatus has class %d", w.CertStatus.Class)
+	}
+	switch w.CertStatus.Tag {
+	case 0:
+		s.Status = Good
+	case 2:
+		s.Status = Unknown
+	case 1:
+		s.Status = Revoked
+		// Rebuild the SEQUENCE from the implicitly tagged contents.
+		seq, err := asn1.Marshal(asn1.RawValue{
+			Class:      asn1.ClassUniversal,
+			Tag:        asn1.TagSequence,
+			IsCompound: true,
+			Bytes:      w.CertStatus.Bytes,
+		})
+		if err != nil {
+			return SingleResponse{}, err
+		}
+		var ri revokedInfoASN1
+		ri.Reason = asn1.Enumerated(pkixutil.ReasonAbsent)
+		if _, err := asn1.Unmarshal(seq, &ri); err != nil {
+			return SingleResponse{}, fmt.Errorf("ocsp: parse revokedInfo: %w", err)
+		}
+		s.RevokedAt = ri.RevocationTime
+		s.Reason = pkixutil.ReasonCode(ri.Reason)
+	default:
+		return SingleResponse{}, fmt.Errorf("ocsp: certStatus has tag %d", w.CertStatus.Tag)
+	}
+	return s, nil
+}
+
+// Find returns the SingleResponse matching id, or nil if the response does
+// not cover it (a "serial unmatch" in the paper's error taxonomy).
+func (r *Response) Find(id CertID) *SingleResponse {
+	for i := range r.Responses {
+		if r.Responses[i].CertID.Equal(id) {
+			return &r.Responses[i]
+		}
+	}
+	return nil
+}
+
+// CheckSignatureFrom verifies the response signature assuming issuer is the
+// CA that issued the certificate being checked. Per RFC 6960 §4.2.2.2 the
+// signature must come either from the issuer itself or from a delegated
+// responder: a certificate embedded in the response that is signed by the
+// issuer and carries the id-kp-OCSPSigning EKU.
+func (r *Response) CheckSignatureFrom(issuer *x509.Certificate) error {
+	if r.Status != StatusSuccessful {
+		return errors.New("ocsp: cannot verify signature of non-successful response")
+	}
+	// Direct signature by the issuer?
+	directErr := pkixutil.VerifyTBS(issuer.PublicKey, r.SignatureAlgorithm, r.RawTBS, r.Signature)
+	if directErr == nil {
+		return nil
+	}
+	// Delegated responder certificate?
+	for _, c := range r.Certificates {
+		if err := c.CheckSignatureFrom(issuer); err != nil {
+			continue
+		}
+		if !hasOCSPSigningEKU(c) {
+			continue
+		}
+		if err := pkixutil.VerifyTBS(c.PublicKey, r.SignatureAlgorithm, r.RawTBS, r.Signature); err == nil {
+			return nil
+		}
+	}
+	return fmt.Errorf("ocsp: signature verification failed: %w", directErr)
+}
+
+func hasOCSPSigningEKU(c *x509.Certificate) bool {
+	for _, eku := range c.ExtKeyUsage {
+		if eku == x509.ExtKeyUsageOCSPSigning {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,210 @@
+package pkixutil
+
+import (
+	"crypto"
+	"crypto/ecdsa"
+	"crypto/elliptic"
+	"crypto/rand"
+	"crypto/rsa"
+	"crypto/x509"
+	"crypto/x509/pkix"
+	"encoding/asn1"
+	"math/big"
+	"testing"
+	"testing/quick"
+)
+
+func TestHashOIDRoundTrip(t *testing.T) {
+	for _, h := range []crypto.Hash{crypto.SHA1, crypto.SHA256, crypto.SHA384, crypto.SHA512} {
+		oid, err := HashOID(h)
+		if err != nil {
+			t.Fatalf("HashOID(%v): %v", h, err)
+		}
+		got, err := HashFromOID(oid)
+		if err != nil {
+			t.Fatalf("HashFromOID(%v): %v", oid, err)
+		}
+		if got != h {
+			t.Errorf("round trip %v → %v", h, got)
+		}
+	}
+	if _, err := HashOID(crypto.MD5); err == nil {
+		t.Error("MD5 must be unsupported")
+	}
+	if _, err := HashFromOID(asn1.ObjectIdentifier{1, 2, 3}); err == nil {
+		t.Error("unknown OID must fail")
+	}
+}
+
+func TestSignVerifyECDSA(t *testing.T) {
+	key, err := ecdsa.GenerateKey(elliptic.P256(), rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbs := []byte("to be signed bytes")
+	alg, sig, err := SignTBS(nil, key, tbs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !alg.Algorithm.Equal(OIDSignatureECDSAWithSHA256) {
+		t.Errorf("alg = %v", alg.Algorithm)
+	}
+	if err := VerifyTBS(key.Public(), alg.Algorithm, tbs, sig); err != nil {
+		t.Errorf("VerifyTBS: %v", err)
+	}
+	// Wrong message.
+	if err := VerifyTBS(key.Public(), alg.Algorithm, []byte("other"), sig); err == nil {
+		t.Error("verification of wrong message must fail")
+	}
+	// Wrong key.
+	other, _ := ecdsa.GenerateKey(elliptic.P256(), rand.Reader)
+	if err := VerifyTBS(other.Public(), alg.Algorithm, tbs, sig); err == nil {
+		t.Error("verification under wrong key must fail")
+	}
+	// Algorithm/key family mismatch.
+	if err := VerifyTBS(key.Public(), OIDSignatureSHA256WithRSA, tbs, sig); err == nil {
+		t.Error("RSA OID with ECDSA key must fail")
+	}
+}
+
+func TestSignVerifyRSA(t *testing.T) {
+	if testing.Short() {
+		t.Skip("RSA keygen is slow")
+	}
+	key, err := rsa.GenerateKey(rand.Reader, 2048)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbs := []byte("rsa tbs")
+	alg, sig, err := SignTBS(nil, key, tbs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !alg.Algorithm.Equal(OIDSignatureSHA256WithRSA) {
+		t.Errorf("alg = %v", alg.Algorithm)
+	}
+	if alg.Parameters.Tag != asn1.TagNull {
+		t.Error("RSA AlgorithmIdentifier must carry NULL params")
+	}
+	if err := VerifyTBS(key.Public(), alg.Algorithm, tbs, sig); err != nil {
+		t.Errorf("VerifyTBS: %v", err)
+	}
+	if err := VerifyTBS(key.Public(), OIDSignatureECDSAWithSHA256, tbs, sig); err == nil {
+		t.Error("ECDSA OID with RSA key must fail")
+	}
+}
+
+func TestSignatureAlgorithmForKey(t *testing.T) {
+	ec, _ := ecdsa.GenerateKey(elliptic.P256(), rand.Reader)
+	alg, err := SignatureAlgorithmForKey(ec)
+	if err != nil || !alg.Algorithm.Equal(OIDSignatureECDSAWithSHA256) {
+		t.Errorf("ECDSA: %v %v", alg.Algorithm, err)
+	}
+}
+
+func TestIssuerHashes(t *testing.T) {
+	key, _ := ecdsa.GenerateKey(elliptic.P256(), rand.Reader)
+	tmpl := &x509.Certificate{SerialNumber: bigOne(), Subject: pkixName("Hash Test CA")}
+	der, err := x509.CreateCertificate(rand.Reader, tmpl, tmpl, key.Public(), key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cert, err := x509.ParseCertificate(der)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nameHash, err := IssuerNameHash(cert, crypto.SHA1)
+	if err != nil || len(nameHash) != 20 {
+		t.Fatalf("name hash: %x, %v", nameHash, err)
+	}
+	keyHash, err := IssuerKeyHash(cert, crypto.SHA1)
+	if err != nil || len(keyHash) != 20 {
+		t.Fatalf("key hash: %x, %v", keyHash, err)
+	}
+	// SHA-256 variants are 32 bytes and differ from SHA-1.
+	nameHash256, err := IssuerNameHash(cert, crypto.SHA256)
+	if err != nil || len(nameHash256) != 32 {
+		t.Fatalf("sha256 name hash: %v", err)
+	}
+	// Two parses of the same cert hash identically.
+	cert2, _ := x509.ParseCertificate(der)
+	keyHash2, _ := IssuerKeyHash(cert2, crypto.SHA1)
+	if string(keyHash) != string(keyHash2) {
+		t.Error("key hash must be deterministic")
+	}
+}
+
+func TestReasonCodes(t *testing.T) {
+	if ReasonKeyCompromise.String() != "keyCompromise" {
+		t.Errorf("got %q", ReasonKeyCompromise.String())
+	}
+	if ReasonAbsent.String() != "absent" {
+		t.Errorf("got %q", ReasonAbsent.String())
+	}
+	if ReasonCode(7).Valid() {
+		t.Error("reason 7 is not defined by RFC 5280")
+	}
+	if !ReasonRemoveFromCRL.Valid() {
+		t.Error("removeFromCRL is defined")
+	}
+	if ReasonCode(7).String() != "reason(7)" {
+		t.Errorf("got %q", ReasonCode(7).String())
+	}
+}
+
+func TestReasonCodeExtensionRoundTrip(t *testing.T) {
+	for _, r := range []ReasonCode{ReasonUnspecified, ReasonKeyCompromise, ReasonCertificateHold, ReasonAACompromise} {
+		der, err := MarshalReasonCodeExtension(r)
+		if err != nil {
+			t.Fatalf("marshal %v: %v", r, err)
+		}
+		got, err := ParseReasonCodeExtension(der)
+		if err != nil {
+			t.Fatalf("parse %v: %v", r, err)
+		}
+		if got != r {
+			t.Errorf("round trip %v → %v", r, got)
+		}
+	}
+	if _, err := MarshalReasonCodeExtension(ReasonAbsent); err == nil {
+		t.Error("absent reason must not encode")
+	}
+	if _, err := ParseReasonCodeExtension([]byte("junk")); err == nil {
+		t.Error("junk must not parse")
+	}
+	if _, err := ParseReasonCodeExtension(append(mustMarshal(t, asn1.Enumerated(1)), 0x00)); err == nil {
+		t.Error("trailing bytes must be rejected")
+	}
+}
+
+// Property: every valid reason code survives the extension round trip.
+func TestReasonRoundTripProperty(t *testing.T) {
+	f := func(raw uint8) bool {
+		r := ReasonCode(raw % 11)
+		if !r.Valid() || r == ReasonAbsent {
+			return true
+		}
+		der, err := MarshalReasonCodeExtension(r)
+		if err != nil {
+			return false
+		}
+		got, err := ParseReasonCodeExtension(der)
+		return err == nil && got == r
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func mustMarshal(t *testing.T, v any) []byte {
+	t.Helper()
+	der, err := asn1.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return der
+}
+
+func bigOne() *big.Int { return big.NewInt(1) }
+
+func pkixName(cn string) pkix.Name { return pkix.Name{CommonName: cn} }

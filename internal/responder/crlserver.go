@@ -1,0 +1,107 @@
+package responder
+
+import (
+	"math/big"
+	"net/http"
+	"sync"
+	"time"
+
+	"github.com/netmeasure/muststaple/internal/clock"
+	"github.com/netmeasure/muststaple/internal/crl"
+	"github.com/netmeasure/muststaple/internal/pki"
+)
+
+// CRLPublisher serves a CA's CRL over HTTP, regenerating it once per
+// update interval. It reads the same revocation database as the OCSP
+// responder, so by default the two channels are consistent; the
+// OCSP-side Profile knobs (RevocationTimeSkew, DropReasonCodes,
+// StatusOverrides) are what introduce the discrepancies of §5.4.
+type CRLPublisher struct {
+	CA    *pki.CA
+	DB    *DB
+	Clock clock.Clock
+
+	// Validity is nextUpdate − thisUpdate; 0 means 7 days.
+	Validity time.Duration
+	// UpdateInterval is the regeneration cadence; 0 means Validity/2.
+	UpdateInterval time.Duration
+	// PruneExpired drops entries whose certificates have expired, as
+	// real CAs do to bound CRL size (paper §2.2 footnote 3).
+	PruneExpired bool
+
+	mu          sync.Mutex
+	cached      []byte
+	windowStart time.Time
+	number      int64
+}
+
+// NewCRLPublisher returns a publisher with 7-day validity.
+func NewCRLPublisher(ca *pki.CA, db *DB, clk clock.Clock) *CRLPublisher {
+	if clk == nil {
+		clk = clock.Real{}
+	}
+	return &CRLPublisher{CA: ca, DB: db, Clock: clk}
+}
+
+func (p *CRLPublisher) validity() time.Duration {
+	if p.Validity != 0 {
+		return p.Validity
+	}
+	return 7 * 24 * time.Hour
+}
+
+func (p *CRLPublisher) updateInterval() time.Duration {
+	if p.UpdateInterval != 0 {
+		return p.UpdateInterval
+	}
+	return p.validity() / 2
+}
+
+// Current returns the CRL DER valid at the publisher's current time,
+// regenerating it if the update window rolled over.
+func (p *CRLPublisher) Current() ([]byte, error) {
+	now := p.Clock.Now()
+	windowStart := now.Truncate(p.updateInterval())
+
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.cached != nil && p.windowStart.Equal(windowStart) {
+		return p.cached, nil
+	}
+
+	entries := p.DB.RevokedEntries()
+	list := &crl.CRL{
+		ThisUpdate: windowStart,
+		NextUpdate: windowStart.Add(p.validity()),
+		Number:     big.NewInt(p.number + 1),
+	}
+	for _, rec := range entries {
+		if p.PruneExpired && rec.Expiry.Before(now) {
+			continue
+		}
+		list.Entries = append(list.Entries, crl.Entry{
+			Serial:    rec.Serial,
+			RevokedAt: rec.RevokedAt,
+			Reason:    rec.Reason,
+		})
+	}
+	der, err := crl.Create(p.CA.Certificate, p.CA.Key, list, crl.CreateOptions{})
+	if err != nil {
+		return nil, err
+	}
+	p.cached = der
+	p.windowStart = windowStart
+	p.number++
+	return der, nil
+}
+
+// ServeHTTP serves the current CRL.
+func (p *CRLPublisher) ServeHTTP(w http.ResponseWriter, req *http.Request) {
+	der, err := p.Current()
+	if err != nil {
+		http.Error(w, "crl generation failed", http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/pkix-crl")
+	w.Write(der)
+}

@@ -1,0 +1,136 @@
+package responder
+
+import (
+	"bytes"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/netmeasure/muststaple/internal/ocsp"
+)
+
+// doGET performs a GET exchange against the responder over real HTTP and
+// returns the response.
+func doGET(t *testing.T, r *Responder, reqDER []byte) *http.Response {
+	t.Helper()
+	srv := httptest.NewServer(r)
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/" + ocsp.EncodeGETPath(reqDER))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	return resp
+}
+
+func TestRFC5019CacheHeadersOnGET(t *testing.T) {
+	f := newFixture(t)
+	r := f.responder(Profile{Validity: 24 * time.Hour})
+	reqDER, _ := f.request(t)
+	resp := doGET(t, r, reqDER)
+
+	cc := resp.Header.Get("Cache-Control")
+	if cc == "" {
+		t.Fatal("GET response missing Cache-Control")
+	}
+	if !strings.Contains(cc, "must-revalidate") || !strings.Contains(cc, "public") {
+		t.Errorf("Cache-Control = %q", cc)
+	}
+	// max-age ≈ validity minus the 1h default thisUpdate margin.
+	var maxAge int
+	for _, part := range strings.Split(cc, ",") {
+		part = strings.TrimSpace(part)
+		if rest, ok := strings.CutPrefix(part, "max-age="); ok {
+			maxAge, _ = strconv.Atoi(rest)
+		}
+	}
+	want := int((23 * time.Hour).Seconds())
+	if maxAge != want {
+		t.Errorf("max-age = %d, want %d", maxAge, want)
+	}
+	if resp.Header.Get("Expires") == "" || resp.Header.Get("Last-Modified") == "" {
+		t.Error("Expires/Last-Modified missing")
+	}
+	etag := resp.Header.Get("ETag")
+	if len(etag) != 42 { // quoted SHA-1 hex
+		t.Errorf("ETag = %q", etag)
+	}
+	// The Expires header must equal nextUpdate.
+	exp, err := http.ParseTime(resp.Header.Get("Expires"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !exp.Equal(t0.Add(23 * time.Hour)) {
+		t.Errorf("Expires = %v, want %v", exp, t0.Add(23*time.Hour))
+	}
+}
+
+func TestNoCacheHeadersOnPOST(t *testing.T) {
+	// RFC 5019 caching applies to GET; POST responses are not cacheable.
+	f := newFixture(t)
+	r := f.responder(Profile{Validity: 24 * time.Hour})
+	reqDER, _ := f.request(t)
+	srv := httptest.NewServer(r)
+	defer srv.Close()
+	resp, err := http.Post(srv.URL, ocsp.ContentTypeRequest, bytes.NewReader(reqDER))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.Header.Get("Cache-Control") != "" {
+		t.Error("POST response must not carry Cache-Control")
+	}
+}
+
+func TestNoCacheHeadersForBlankNextUpdate(t *testing.T) {
+	// A response with no expiry must not invite HTTP caching.
+	f := newFixture(t)
+	r := f.responder(Profile{BlankNextUpdate: true})
+	reqDER, _ := f.request(t)
+	resp := doGET(t, r, reqDER)
+	if resp.Header.Get("Cache-Control") != "" {
+		t.Error("blank-nextUpdate response must not carry Cache-Control")
+	}
+}
+
+func TestNoCacheHeadersForMalformed(t *testing.T) {
+	f := newFixture(t)
+	r := f.responder(Profile{Malformed: MalformedZero})
+	reqDER, _ := f.request(t)
+	resp := doGET(t, r, reqDER)
+	if resp.Header.Get("Cache-Control") != "" {
+		t.Error("malformed bodies must not carry caching headers")
+	}
+}
+
+func TestETagStableWithinWindow(t *testing.T) {
+	f := newFixture(t)
+	r := f.responder(Profile{CacheResponses: true, Validity: 12 * time.Hour, UpdateInterval: 6 * time.Hour})
+	reqDER, _ := f.request(t)
+	// Update windows carry a per-responder phase, so a boundary may fall
+	// anywhere; three closely spaced GETs must contain at least one
+	// same-window (identical-ETag) adjacent pair, since two boundaries
+	// cannot occur within two minutes of a six-hour interval.
+	var etags []string
+	for i := 0; i < 3; i++ {
+		resp := doGET(t, r, reqDER)
+		if etag := resp.Header.Get("ETag"); etag == "" {
+			t.Fatal("missing ETag")
+		} else {
+			etags = append(etags, etag)
+		}
+		f.clk.Advance(time.Minute)
+	}
+	if etags[0] != etags[1] && etags[1] != etags[2] {
+		t.Errorf("no stable adjacent pair: %v", etags)
+	}
+	// A later window produces new bytes and a new ETag.
+	f.clk.Advance(13 * time.Hour)
+	later := doGET(t, r, reqDER)
+	if later.Header.Get("ETag") == etags[2] {
+		t.Error("new update window should change the ETag")
+	}
+}

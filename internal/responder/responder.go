@@ -1,0 +1,665 @@
+// Package responder implements an RFC 6960 OCSP responder on top of
+// internal/ocsp, servable over real HTTP or through the simulated network.
+// A per-responder Profile injects every response-quality defect the paper
+// catalogues in §5.3–§5.4 — malformed bodies, serial mismatches, bad
+// signatures, blank or enormous nextUpdate values, zero-margin and future
+// thisUpdate values, cached (non-on-demand) generation with update
+// intervals, multi-instance producedAt skew, superfluous certificates and
+// unsolicited serials, and CRL/OCSP status, time, and reason-code
+// discrepancies.
+//
+// The same package also publishes the CA's CRL, so the consistency study
+// (§5.4) exercises both dissemination channels of one revocation database.
+package responder
+
+import (
+	"bytes"
+	"crypto"
+	"crypto/sha1"
+	"crypto/x509"
+	"encoding/hex"
+	"io"
+	"math/big"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"github.com/netmeasure/muststaple/internal/clock"
+	"github.com/netmeasure/muststaple/internal/ocsp"
+	"github.com/netmeasure/muststaple/internal/pki"
+	"github.com/netmeasure/muststaple/internal/pkixutil"
+)
+
+// CertRecord is the revocation database's view of one issued certificate.
+type CertRecord struct {
+	Serial    *big.Int
+	Expiry    time.Time
+	Revoked   bool
+	RevokedAt time.Time
+	Reason    pkixutil.ReasonCode
+}
+
+// DB is a CA's revocation database: the ground truth that both the OCSP
+// responder and the CRL publisher disseminate.
+type DB struct {
+	mu     sync.RWMutex
+	issued map[string]*CertRecord
+}
+
+// NewDB returns an empty revocation database.
+func NewDB() *DB {
+	return &DB{issued: make(map[string]*CertRecord)}
+}
+
+// AddIssued records an issued certificate.
+func (db *DB) AddIssued(serial *big.Int, expiry time.Time) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.issued[serial.String()] = &CertRecord{Serial: new(big.Int).Set(serial), Expiry: expiry, Reason: pkixutil.ReasonAbsent}
+}
+
+// Revoke marks a serial revoked at time at with the given reason
+// (pkixutil.ReasonAbsent for none). Unknown serials are ignored.
+func (db *DB) Revoke(serial *big.Int, at time.Time, reason pkixutil.ReasonCode) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if rec, ok := db.issued[serial.String()]; ok {
+		rec.Revoked = true
+		rec.RevokedAt = at
+		rec.Reason = reason
+	}
+}
+
+// Lookup returns the record for serial and whether the serial was issued by
+// this CA at all.
+func (db *DB) Lookup(serial *big.Int) (CertRecord, bool) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	rec, ok := db.issued[serial.String()]
+	if !ok {
+		return CertRecord{}, false
+	}
+	return *rec, true
+}
+
+// RevokedEntries returns all revoked records, sorted by serial — the input
+// to CRL generation.
+func (db *DB) RevokedEntries() []CertRecord {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	var out []CertRecord
+	for _, rec := range db.issued {
+		if rec.Revoked {
+			out = append(out, *rec)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Serial.Cmp(out[j].Serial) < 0 })
+	return out
+}
+
+// Serials returns every issued serial, sorted.
+func (db *DB) Serials() []*big.Int {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	var out []*big.Int
+	for _, rec := range db.issued {
+		out = append(out, new(big.Int).Set(rec.Serial))
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Cmp(out[j]) < 0 })
+	return out
+}
+
+// MalformedKind enumerates the broken response bodies observed in the wild
+// (§5.3: empty responses, the value "0", and even JavaScript pages).
+type MalformedKind int
+
+const (
+	MalformedNone MalformedKind = iota
+	MalformedEmpty
+	MalformedZero
+	MalformedJavaScript
+	MalformedTruncated
+)
+
+// Window mirrors netsim.Window without importing it (no dependency cycle):
+// a virtual-time interval during which a profile defect is active.
+type Window struct {
+	From, To time.Time
+}
+
+func (w Window) contains(t time.Time) bool {
+	if !w.From.IsZero() && t.Before(w.From) {
+		return false
+	}
+	if !w.To.IsZero() && !t.Before(w.To) {
+		return false
+	}
+	return true
+}
+
+func anyWindow(ws []Window, t time.Time) bool {
+	for _, w := range ws {
+		if w.contains(t) {
+			return true
+		}
+	}
+	return false
+}
+
+// Profile configures a responder's response-quality behavior. The zero
+// value is a well-behaved responder: on-demand generation, 7-day validity,
+// 1-hour thisUpdate margin, single certificate, single serial, consistent
+// with the CRL.
+type Profile struct {
+	// Validity is nextUpdate − thisUpdate; 0 means the 7-day default.
+	// The paper's Figure 8 shows the wild range: from seconds to 1,251
+	// days.
+	Validity time.Duration
+
+	// BlankNextUpdate omits nextUpdate entirely ("newer revocation
+	// information is always available") — 9.1% of responders.
+	BlankNextUpdate bool
+
+	// ThisUpdateOffset is subtracted from the generation time to form
+	// thisUpdate. Positive values backdate (safe); zero gives the
+	// no-margin behavior of 17.2% of responders (clients with slightly
+	// slow clocks reject the response as not yet valid); negative
+	// values produce future thisUpdate times (3% of responders).
+	ThisUpdateOffset time.Duration
+
+	// NoDefaultMargin distinguishes an intentional zero offset from an
+	// unset field: when false and ThisUpdateOffset == 0 the responder
+	// uses a 1-hour margin.
+	NoDefaultMargin bool
+
+	// CacheResponses pre-generates responses per update window instead
+	// of signing on demand (51.7% of responders are not on-demand).
+	// UpdateInterval is how often a fresh response is produced; 0 means
+	// Validity/2. Setting UpdateInterval == Validity reproduces the
+	// non-overlapping-validity hazard (hinet: 7200s/7200s).
+	CacheResponses bool
+	UpdateInterval time.Duration
+
+	// Instances > 1 models load-balanced responder farms whose members
+	// generate at skewed times, so consecutive fetches can observe
+	// producedAt going backwards (§5.4 footnote 17). InstanceSkew is
+	// the generation-time offset between adjacent instances.
+	Instances    int
+	InstanceSkew time.Duration
+
+	// ExtraSerials adds that many unsolicited single responses
+	// (Figure 7: 3.3% of responders always return 20 serials).
+	ExtraSerials int
+
+	// SuperfluousCerts are embedded beyond what signature validation
+	// needs (Figure 6: 14.5% of responders; ocsp.cpc.gov.ae sends a
+	// four-certificate chain including the root).
+	SuperfluousCerts []*x509.Certificate
+
+	// Malformed substitutes a broken body; when MalformedWindows is
+	// non-empty the defect is transient (the sheca.com and postsignum
+	// "0"-response episodes), otherwise persistent (1.6% of responders).
+	Malformed        MalformedKind
+	MalformedWindows []Window
+
+	// SerialMismatch answers about a different serial than requested.
+	SerialMismatch bool
+
+	// BadSignature corrupts the signature after signing.
+	BadSignature bool
+
+	// ErrorStatus, when non-zero... responds with this OCSP error
+	// status (tryLater etc.) instead of a successful response.
+	ErrorStatus ocsp.ResponseStatus
+
+	// StatusOverrides forces the returned status for specific serials
+	// (decimal strings) regardless of the database — the CRL/OCSP
+	// status discrepancies of Table 1.
+	StatusOverrides map[string]ocsp.CertStatus
+
+	// RevocationTimeSkew shifts revocation times in OCSP responses
+	// relative to the CRL's ground truth (ocsp.msocsp.com lags its CRL
+	// by 7 hours to 9 days; 14.7% of differing pairs are negative).
+	RevocationTimeSkew time.Duration
+
+	// DropReasonCodes omits revocation reasons that the CRL carries —
+	// the source of 99.99% of reason-code discrepancies.
+	DropReasonCodes bool
+}
+
+func (p *Profile) validity() time.Duration {
+	if p.Validity != 0 {
+		return p.Validity
+	}
+	return 7 * 24 * time.Hour
+}
+
+func (p *Profile) updateInterval() time.Duration {
+	if p.UpdateInterval != 0 {
+		return p.UpdateInterval
+	}
+	return p.validity() / 2
+}
+
+func (p *Profile) thisUpdateOffset() time.Duration {
+	if p.ThisUpdateOffset == 0 && !p.NoDefaultMargin {
+		return time.Hour
+	}
+	return p.ThisUpdateOffset
+}
+
+// Responder is one OCSP responder instance.
+type Responder struct {
+	// Host is the responder's DNS name (used by the world generator to
+	// register it on the simulated network).
+	Host string
+	// CA is the issuing CA whose certificates this responder answers
+	// for.
+	CA *pki.CA
+	// Clock supplies virtual or real time.
+	Clock clock.Clock
+	// DB is the revocation database.
+	DB *DB
+	// Profile is the behavior configuration.
+	Profile Profile
+
+	// Signer/SignerCert override the CA key with a delegated responder
+	// certificate when set (OCSP signature authority delegation).
+	Signer     crypto.Signer
+	SignerCert *x509.Certificate
+	// Rand is the signing randomness source; nil means crypto/rand.
+	Rand io.Reader
+
+	// issuer hashes for request validation, computed lazily.
+	hashOnce                                 sync.Once
+	sha1Name, sha1Key, sha256Name, sha256Key []byte
+
+	mu    sync.Mutex
+	cache map[string]*cachedResponse
+}
+
+type cachedResponse struct {
+	der         []byte
+	windowStart time.Time
+	expiresAt   time.Time
+	meta        Meta
+}
+
+// Meta carries the validity window of a generated response, so the HTTP
+// layer can derive the RFC 5019 §6 caching headers without re-parsing its
+// own DER.
+type Meta struct {
+	ThisUpdate time.Time
+	NextUpdate time.Time // zero when blank
+	ProducedAt time.Time
+}
+
+// New creates a responder for ca with the given behavior profile.
+func New(host string, ca *pki.CA, db *DB, clk clock.Clock, profile Profile) *Responder {
+	if clk == nil {
+		clk = clock.Real{}
+	}
+	return &Responder{
+		Host:    host,
+		CA:      ca,
+		Clock:   clk,
+		DB:      db,
+		Profile: profile,
+		cache:   make(map[string]*cachedResponse),
+	}
+}
+
+func (r *Responder) signerAndCert() (crypto.Signer, *x509.Certificate) {
+	if r.Signer != nil && r.SignerCert != nil {
+		return r.Signer, r.SignerCert
+	}
+	return r.CA.Key, r.CA.Certificate
+}
+
+func (r *Responder) initHashes() {
+	r.hashOnce.Do(func() {
+		r.sha1Name, _ = pkixutil.IssuerNameHash(r.CA.Certificate, crypto.SHA1)
+		r.sha1Key, _ = pkixutil.IssuerKeyHash(r.CA.Certificate, crypto.SHA1)
+		r.sha256Name, _ = pkixutil.IssuerNameHash(r.CA.Certificate, crypto.SHA256)
+		r.sha256Key, _ = pkixutil.IssuerKeyHash(r.CA.Certificate, crypto.SHA256)
+	})
+}
+
+// servesIssuer reports whether the CertID's issuer hashes match this
+// responder's CA.
+func (r *Responder) servesIssuer(id ocsp.CertID) bool {
+	r.initHashes()
+	switch id.HashAlgorithm {
+	case crypto.SHA1:
+		return bytesEqual(id.IssuerNameHash, r.sha1Name) && bytesEqual(id.IssuerKeyHash, r.sha1Key)
+	case crypto.SHA256:
+		return bytesEqual(id.IssuerNameHash, r.sha256Name) && bytesEqual(id.IssuerKeyHash, r.sha256Key)
+	default:
+		return false
+	}
+}
+
+func bytesEqual(a, b []byte) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// ServeHTTP handles OCSP-over-HTTP: POST with a DER body, or GET with the
+// base64 request in the path (RFC 6960 Appendix A).
+func (r *Responder) ServeHTTP(w http.ResponseWriter, req *http.Request) {
+	var reqDER []byte
+	switch req.Method {
+	case http.MethodPost:
+		body, err := io.ReadAll(io.LimitReader(req.Body, 1<<20))
+		if err != nil {
+			http.Error(w, "read error", http.StatusBadRequest)
+			return
+		}
+		reqDER = body
+	case http.MethodGet:
+		der, err := ocsp.DecodeGETPath(req.URL.Path)
+		if err != nil {
+			http.Error(w, "bad request encoding", http.StatusBadRequest)
+			return
+		}
+		reqDER = der
+	default:
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+
+	// Malformed profile bodies are also served with 200 and the OCSP
+	// content type, exactly as the misbehaving responders in the wild
+	// did — the HTTP layer looks healthy, the body is garbage.
+	respDER, meta, _ := r.RespondMeta(reqDER)
+	w.Header().Set("Content-Type", ocsp.ContentTypeResponse)
+	// RFC 5019 §6: GET responses from well-behaved responders carry
+	// standard HTTP caching headers derived from the validity window,
+	// so intermediate caches (and CDNs fronting responders, §5.2) can
+	// serve them. POST responses and blank-nextUpdate responses are not
+	// cacheable.
+	if req.Method == http.MethodGet && meta != nil && !meta.NextUpdate.IsZero() {
+		now := r.Clock.Now()
+		if maxAge := meta.NextUpdate.Sub(now); maxAge > 0 {
+			w.Header().Set("Cache-Control",
+				"max-age="+strconv.Itoa(int(maxAge.Seconds()))+", public, no-transform, must-revalidate")
+			w.Header().Set("Expires", meta.NextUpdate.UTC().Format(http.TimeFormat))
+			w.Header().Set("Last-Modified", meta.ThisUpdate.UTC().Format(http.TimeFormat))
+			sum := sha1.Sum(respDER)
+			w.Header().Set("ETag", `"`+hex.EncodeToString(sum[:])+`"`)
+		}
+	}
+	w.Write(respDER)
+}
+
+// Respond processes a raw DER OCSP request and returns the response body.
+// The boolean is false when the body is a profile-injected malformed blob
+// rather than DER (callers serving HTTP treat both identically; tests use
+// it to assert the injection happened).
+func (r *Responder) Respond(reqDER []byte) ([]byte, bool) {
+	der, _, ok := r.RespondMeta(reqDER)
+	return der, ok
+}
+
+// RespondMeta is Respond plus the response's validity metadata; meta is
+// nil for malformed bodies and OCSP error responses. The HTTP layer uses
+// it to emit RFC 5019 caching headers.
+func (r *Responder) RespondMeta(reqDER []byte) ([]byte, *Meta, bool) {
+	now := r.Clock.Now()
+
+	if r.Profile.Malformed != MalformedNone &&
+		(len(r.Profile.MalformedWindows) == 0 || anyWindow(r.Profile.MalformedWindows, now)) {
+		return malformedBody(r.Profile.Malformed), nil, false
+	}
+
+	if r.Profile.ErrorStatus != ocsp.StatusSuccessful {
+		der, err := ocsp.CreateErrorResponse(r.Profile.ErrorStatus)
+		if err == nil {
+			return der, nil, true
+		}
+	}
+
+	req, err := ocsp.ParseRequest(reqDER)
+	if err != nil {
+		der, _ := ocsp.CreateErrorResponse(ocsp.StatusMalformedRequest)
+		return der, nil, true
+	}
+
+	der, meta, err := r.respondFor(req, now)
+	if err != nil {
+		der, _ := ocsp.CreateErrorResponse(ocsp.StatusInternalError)
+		return der, nil, true
+	}
+	return der, &meta, true
+}
+
+func malformedBody(k MalformedKind) []byte {
+	switch k {
+	case MalformedEmpty:
+		return []byte{}
+	case MalformedZero:
+		return []byte("0")
+	case MalformedJavaScript:
+		return []byte("<html><script>window.location='/login';</script></html>")
+	case MalformedTruncated:
+		return []byte{0x30, 0x82, 0x01, 0xff, 0x0a, 0x01, 0x00, 0xa0}
+	}
+	return nil
+}
+
+// respondFor builds (or serves from cache) the response for a parsed
+// request at virtual time now.
+func (r *Responder) respondFor(req *ocsp.Request, now time.Time) ([]byte, Meta, error) {
+	if !r.Profile.CacheResponses {
+		// On-demand generation — but two requests arriving at the
+		// same instant (six vantage points probing on the same
+		// virtual clock tick) get the same response; memoizing that
+		// is observationally identical and saves one signature per
+		// duplicate. Nonced requests are never memoized.
+		if len(req.Nonce) == 0 {
+			key := cacheKey(req)
+			r.mu.Lock()
+			entry := r.cache[key]
+			if entry != nil && entry.windowStart.Equal(now) {
+				der, meta := entry.der, entry.meta
+				r.mu.Unlock()
+				return der, meta, nil
+			}
+			r.mu.Unlock()
+			der, meta, err := r.generate(req, now, now, nil)
+			if err != nil {
+				return nil, Meta{}, err
+			}
+			r.mu.Lock()
+			r.cache[key] = &cachedResponse{der: der, windowStart: now, meta: meta}
+			r.mu.Unlock()
+			return der, meta, nil
+		}
+		return r.generate(req, now, now, req.Nonce)
+	}
+
+	// Cached mode: one pre-generated response per (request serials,
+	// update window). Nonces cannot be echoed from a cache; real
+	// pre-generating responders ignore them too.
+	//
+	// Window boundaries carry a per-responder phase so that real fleets'
+	// unaligned regeneration schedules are modelled: without it, a
+	// campaign whose scan instants happen to be multiples of the update
+	// interval would always observe producedAt == receipt time and
+	// misclassify caching responders as on-demand.
+	interval := r.Profile.updateInterval()
+	phase := time.Duration(fnv32(r.Host)) % interval
+	windowStart := now.Add(-phase).Truncate(interval).Add(phase)
+	if windowStart.After(now) {
+		windowStart = windowStart.Add(-interval)
+	}
+	key := cacheKey(req)
+
+	r.mu.Lock()
+	entry := r.cache[key]
+	if entry != nil && entry.windowStart.Equal(windowStart) {
+		der, meta := entry.der, entry.meta
+		r.mu.Unlock()
+		return der, meta, nil
+	}
+	r.mu.Unlock()
+
+	genTime := windowStart
+	if r.Profile.Instances > 1 {
+		// Pick a pseudo-random farm instance; its generation time is
+		// skewed back by its index, so producedAt can regress between
+		// consecutive fetches.
+		idx := int(fnv32(key+now.Format(time.RFC3339)) % uint32(r.Profile.Instances))
+		skew := r.Profile.InstanceSkew
+		if skew == 0 {
+			skew = time.Minute
+		}
+		genTime = windowStart.Add(-time.Duration(idx) * skew)
+	}
+
+	der, meta, err := r.generate(req, now, genTime, nil)
+	if err != nil {
+		return nil, Meta{}, err
+	}
+	if r.Profile.Instances <= 1 {
+		// Only a single-instance cache is coherent enough to store.
+		r.mu.Lock()
+		r.cache[key] = &cachedResponse{der: der, windowStart: windowStart, expiresAt: genTime.Add(r.Profile.validity()), meta: meta}
+		r.mu.Unlock()
+	}
+	return der, meta, nil
+}
+
+func cacheKey(req *ocsp.Request) string {
+	key := ""
+	for _, id := range req.CertIDs {
+		key += id.Serial.String() + "|"
+	}
+	return key
+}
+
+func fnv32(s string) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(s); i++ {
+		h ^= uint32(s[i])
+		h *= 16777619
+	}
+	return h
+}
+
+// generate builds and signs a fresh response. genTime is the nominal
+// generation instant (== now for on-demand responders, the window start for
+// caching ones); producedAt and thisUpdate derive from it.
+func (r *Responder) generate(req *ocsp.Request, now, genTime time.Time, nonce []byte) ([]byte, Meta, error) {
+	p := &r.Profile
+	thisUpdate := genTime.Add(-p.thisUpdateOffset())
+	var nextUpdate time.Time
+	if !p.BlankNextUpdate {
+		nextUpdate = thisUpdate.Add(p.validity())
+	}
+
+	var singles []ocsp.SingleResponse
+	for _, id := range req.CertIDs {
+		respondID := id
+		if p.SerialMismatch {
+			respondID.Serial = new(big.Int).Add(id.Serial, big.NewInt(1))
+		}
+		single := ocsp.SingleResponse{
+			CertID:     respondID,
+			ThisUpdate: thisUpdate,
+			NextUpdate: nextUpdate,
+			Reason:     pkixutil.ReasonAbsent,
+		}
+		single.Status, single.RevokedAt, single.Reason = r.statusFor(id)
+		singles = append(singles, single)
+	}
+
+	// Unsolicited extra serials (inflated responses, Figure 7).
+	for i := 0; i < p.ExtraSerials; i++ {
+		extraID := req.CertIDs[0]
+		extraID.Serial = new(big.Int).Add(extraID.Serial, big.NewInt(int64(1000000+i)))
+		singles = append(singles, ocsp.SingleResponse{
+			CertID:     extraID,
+			Status:     ocsp.Good,
+			ThisUpdate: thisUpdate,
+			NextUpdate: nextUpdate,
+			Reason:     pkixutil.ReasonAbsent,
+		})
+	}
+
+	signer, signerCert := r.signerAndCert()
+	tmpl := &ocsp.ResponderTemplate{
+		Signer:      signer,
+		Certificate: signerCert,
+		Rand:        r.Rand,
+	}
+	if r.Signer != nil && r.SignerCert != nil {
+		// Delegated responders must embed their certificate.
+		tmpl.IncludeCertificates = append(tmpl.IncludeCertificates, r.SignerCert)
+	}
+	tmpl.IncludeCertificates = append(tmpl.IncludeCertificates, p.SuperfluousCerts...)
+
+	der, err := ocsp.CreateResponse(tmpl, genTime, singles, nonce)
+	if err != nil {
+		return nil, Meta{}, err
+	}
+	if p.BadSignature {
+		der = corruptSignature(der)
+	}
+	return der, Meta{ThisUpdate: thisUpdate, NextUpdate: nextUpdate, ProducedAt: genTime}, nil
+}
+
+// statusFor resolves the status the responder reports for a CertID,
+// applying every configured discrepancy.
+func (r *Responder) statusFor(id ocsp.CertID) (ocsp.CertStatus, time.Time, pkixutil.ReasonCode) {
+	p := &r.Profile
+	if p.StatusOverrides != nil {
+		if st, ok := p.StatusOverrides[id.Serial.String()]; ok {
+			return st, time.Time{}, pkixutil.ReasonAbsent
+		}
+	}
+	if !r.servesIssuer(id) {
+		return ocsp.Unknown, time.Time{}, pkixutil.ReasonAbsent
+	}
+	rec, issued := r.DB.Lookup(id.Serial)
+	if !issued {
+		return ocsp.Unknown, time.Time{}, pkixutil.ReasonAbsent
+	}
+	if !rec.Revoked {
+		return ocsp.Good, time.Time{}, pkixutil.ReasonAbsent
+	}
+	revokedAt := rec.RevokedAt.Add(p.RevocationTimeSkew)
+	reason := rec.Reason
+	if p.DropReasonCodes {
+		reason = pkixutil.ReasonAbsent
+	}
+	return ocsp.Revoked, revokedAt, reason
+}
+
+// corruptSignature flips a bit in the middle of the response's signature
+// BIT STRING, located by parsing the response — the result still parses
+// cleanly but fails signature validation, the exact failure class Figure 5
+// separates from ASN.1 errors.
+func corruptSignature(der []byte) []byte {
+	resp, err := ocsp.ParseResponse(der)
+	if err != nil || len(resp.Signature) == 0 {
+		return der
+	}
+	idx := bytes.Index(der, resp.Signature)
+	if idx < 0 {
+		return der
+	}
+	out := make([]byte, len(der))
+	copy(out, der)
+	out[idx+len(resp.Signature)/2] ^= 0x04
+	return out
+}

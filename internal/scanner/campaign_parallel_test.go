@@ -1,0 +1,89 @@
+package scanner
+
+import (
+	"testing"
+	"time"
+
+	"github.com/netmeasure/muststaple/internal/netsim"
+	"github.com/netmeasure/muststaple/internal/responder"
+)
+
+// TestCampaignParallelismEquivalence: the fan-out across workers must not
+// change any aggregate — a campaign is a deterministic measurement, not a
+// race.
+func TestCampaignParallelismEquivalence(t *testing.T) {
+	run := func(workers int) (*AvailabilitySeries, *QualityAggregator, int) {
+		w := newWorld(t, responder.Profile{CacheResponses: true, Validity: 6 * time.Hour})
+		w.net.AddRule(&netsim.Rule{
+			Host:     "ocsp.scan.test",
+			Vantages: []string{"Seoul"},
+			Windows:  []netsim.Window{{From: t0.Add(2 * time.Hour), To: t0.Add(4 * time.Hour)}},
+			Kind:     netsim.FailTCP,
+		})
+		avail := NewAvailabilitySeries(time.Hour)
+		q := NewQualityAggregator()
+		camp := &Campaign{
+			Client:  w.client(),
+			Clock:   w.clk,
+			Targets: []Target{w.target},
+			Start:   t0,
+			End:     t0.Add(12 * time.Hour),
+			Workers: workers,
+		}
+		n, err := camp.Run(avail, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return avail, q, n
+	}
+
+	serialAvail, serialQ, serialN := run(1)
+	parallelAvail, parallelQ, parallelN := run(8)
+
+	if serialN != parallelN {
+		t.Fatalf("lookup counts differ: %d vs %d", serialN, parallelN)
+	}
+	for _, v := range []string{"Oregon", "Seoul", "Virginia"} {
+		a := serialAvail.OverallFailureRate(v)
+		b := parallelAvail.OverallFailureRate(v)
+		if a != b {
+			t.Errorf("%s: failure rate %v (serial) vs %v (parallel)", v, a, b)
+		}
+	}
+	if serialQ.NumResponders() != parallelQ.NumResponders() {
+		t.Error("responder counts differ")
+	}
+	sCDF, pCDF := serialQ.ValidityCDF(), parallelQ.ValidityCDF()
+	if sCDF.N() != pCDF.N() || sCDF.Quantile(0.5) != pCDF.Quantile(0.5) {
+		t.Errorf("validity CDFs differ: n=%d/%d median=%v/%v",
+			sCDF.N(), pCDF.N(), sCDF.Quantile(0.5), pCDF.Quantile(0.5))
+	}
+}
+
+// TestCampaignRepeatDeterminism: two identical campaigns over identically
+// built worlds agree observation-for-observation at the aggregate level.
+func TestCampaignRepeatDeterminism(t *testing.T) {
+	measure := func() float64 {
+		w := newWorld(t, responder.Profile{})
+		w.net.AddRule(&netsim.Rule{
+			Host:    "ocsp.scan.test",
+			Windows: []netsim.Window{{From: t0.Add(5 * time.Hour), To: t0.Add(7 * time.Hour)}},
+			Kind:    netsim.FailDNS,
+		})
+		avail := NewAvailabilitySeries(time.Hour)
+		camp := &Campaign{
+			Client:  w.client(),
+			Clock:   w.clk,
+			Targets: []Target{w.target},
+			Start:   t0,
+			End:     t0.Add(24 * time.Hour),
+		}
+		if _, err := camp.Run(avail); err != nil {
+			t.Fatal(err)
+		}
+		return avail.AverageFailureRate()
+	}
+	if a, b := measure(), measure(); a != b {
+		t.Errorf("repeat runs differ: %v vs %v", a, b)
+	}
+}

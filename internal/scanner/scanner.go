@@ -1,0 +1,447 @@
+// Package scanner implements the paper's measurement client (§5.1): it
+// issues OCSP requests for selected certificates from each vantage point,
+// classifies every failure the way the paper does — DNS lookup failures,
+// TCP connection failures, HTTP 4xx/5xx, invalid TLS certificates on HTTPS
+// responder URLs, ASN.1-unparseable bodies, serial-number mismatches, and
+// invalid signatures — and records the response-quality metrics behind
+// Figures 5 through 9 (certificate and serial counts, validity periods,
+// thisUpdate margins, producedAt deltas).
+//
+// The same client runs against the simulated network (campaigns covering
+// months of virtual time) or a real *http.Client (live scans via
+// cmd/ocspscan).
+package scanner
+
+import (
+	"context"
+	"crypto"
+	"crypto/x509"
+	"errors"
+	"fmt"
+	"math/big"
+	"net"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"github.com/netmeasure/muststaple/internal/netsim"
+	"github.com/netmeasure/muststaple/internal/ocsp"
+	"github.com/netmeasure/muststaple/internal/pkixutil"
+)
+
+// FailureClass classifies one OCSP lookup outcome.
+type FailureClass int
+
+const (
+	// ClassOK is a successful request with a usable, validly signed
+	// response covering the requested serial.
+	ClassOK FailureClass = iota
+	// ClassDNS is a name resolution failure (NXDOMAIN and friends).
+	ClassDNS
+	// ClassTCP is a connection failure.
+	ClassTCP
+	// ClassTLS is an HTTPS responder URL served with an invalid
+	// certificate.
+	ClassTLS
+	// ClassHTTPStatus is an HTTP response with status other than 200.
+	ClassHTTPStatus
+	// ClassASN1 is a 200 response whose body does not parse as an OCSP
+	// response (malformed structure — the dominant error in Figure 5).
+	ClassASN1
+	// ClassOCSPError is a parseable response with a non-successful
+	// OCSP status (tryLater, unauthorized, ...).
+	ClassOCSPError
+	// ClassSerialUnmatch is a successful response that does not cover
+	// the requested serial number.
+	ClassSerialUnmatch
+	// ClassSignature is a response whose signature fails validation.
+	ClassSignature
+)
+
+var classNames = map[FailureClass]string{
+	ClassOK:            "ok",
+	ClassDNS:           "dns-failure",
+	ClassTCP:           "tcp-failure",
+	ClassTLS:           "tls-failure",
+	ClassHTTPStatus:    "http-status",
+	ClassASN1:          "asn1-unparseable",
+	ClassOCSPError:     "ocsp-error",
+	ClassSerialUnmatch: "serial-unmatch",
+	ClassSignature:     "signature-invalid",
+}
+
+func (c FailureClass) String() string {
+	if s, ok := classNames[c]; ok {
+		return s
+	}
+	return fmt.Sprintf("class(%d)", int(c))
+}
+
+// HTTPSuccessful reports whether the exchange counts as a "successful
+// request" in the paper's availability analysis (§5.2): the server
+// responded with HTTP 200. Deeper validity problems (ASN.1, signature,
+// serial mismatch) are still HTTP-successful.
+func (c FailureClass) HTTPSuccessful() bool {
+	switch c {
+	case ClassDNS, ClassTCP, ClassTLS, ClassHTTPStatus:
+		return false
+	}
+	return true
+}
+
+// Usable reports whether the response was actually usable for a revocation
+// decision (the §5.3 validity analysis).
+func (c FailureClass) Usable() bool { return c == ClassOK }
+
+// Target is one (responder, certificate) pair the scanner probes.
+type Target struct {
+	// ResponderURL is the OCSP URL from the certificate's AIA.
+	ResponderURL string
+	// Responder is the responder's host (derived from the URL by the
+	// world builder; kept explicit so aggregation never re-parses).
+	Responder string
+	// Issuer is the issuing CA certificate (for CertID hashing and
+	// signature verification).
+	Issuer *x509.Certificate
+	// Serial is the probed certificate's serial number.
+	Serial *big.Int
+	// Domain is the Alexa domain served with this certificate, if any
+	// (drives the Figure 4 impact analysis). DomainWeight is how many
+	// real Alexa domains this target represents; 0 means 1 — scaled
+	// worlds probe one target per responder weighted by the number of
+	// domains whose certificates use it.
+	Domain       string
+	DomainWeight int
+	// Expiry is the certificate's notAfter; the campaign stops probing
+	// expired certificates, as the paper did (§5.1 footnote 9).
+	Expiry time.Time
+}
+
+// Observation is the classified outcome of one lookup.
+type Observation struct {
+	Vantage      string
+	Responder    string
+	Domain       string
+	DomainWeight int
+	Serial       string
+	At           time.Time
+	Latency      time.Duration
+	Class        FailureClass
+	// HTTPStatus is set for every exchange that got an HTTP response.
+	HTTPStatus int
+
+	// The fields below are populated when the response parsed
+	// (ClassOK, ClassSerialUnmatch, ClassSignature).
+	CertStatus    ocsp.CertStatus
+	ProducedAt    time.Time
+	ThisUpdate    time.Time
+	NextUpdate    time.Time
+	HasNextUpdate bool
+	NumCerts      int
+	NumSerials    int
+	RevokedAt     time.Time
+	Reason        pkixutil.ReasonCode
+
+	// CacheMaxAge is the RFC 5019 Cache-Control max-age the responder
+	// advertised over HTTP (-1 when absent). Only GET responses from
+	// well-behaved responders carry it.
+	CacheMaxAge int
+}
+
+// Transport abstracts how the scanner reaches responders: the simulated
+// network (vantage- and time-aware) or the real Internet.
+type Transport interface {
+	Do(vantage netsim.Vantage, at time.Time, req *http.Request) (*netsim.Result, error)
+}
+
+// RealTransport sends requests over a real *http.Client, for live scans.
+// The vantage and virtual time are recorded but do not affect routing.
+type RealTransport struct {
+	Client *http.Client
+}
+
+// Do implements Transport.
+func (t *RealTransport) Do(_ netsim.Vantage, _ time.Time, req *http.Request) (*netsim.Result, error) {
+	client := t.Client
+	if client == nil {
+		client = http.DefaultClient
+	}
+	start := time.Now()
+	resp, err := client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	body := make([]byte, 0, 4096)
+	buf := make([]byte, 4096)
+	for {
+		n, rerr := resp.Body.Read(buf)
+		body = append(body, buf[:n]...)
+		if rerr != nil {
+			break
+		}
+		if len(body) > 1<<20 {
+			break
+		}
+	}
+	return &netsim.Result{Status: resp.StatusCode, Body: body, Headers: resp.Header, Latency: time.Since(start)}, nil
+}
+
+// Client is the measurement client.
+type Client struct {
+	// Transport routes requests; required.
+	Transport Transport
+	// Method is http.MethodPost (default, as in the paper) or GET.
+	Method string
+	// Hash selects the CertID hash; default SHA-1.
+	Hash crypto.Hash
+	// DisableVerifyCache turns off signature-verification memoization.
+	// By default the client remembers the verdict for byte-identical
+	// (response, issuer) pairs — responders legitimately serve cached
+	// identical bytes for hours, and re-running public-key verification
+	// on identical input cannot change the outcome.
+	DisableVerifyCache bool
+
+	mu          sync.Mutex
+	verifyCache map[verifyKey]bool
+	parseCache  map[uint64]parsedEntry
+	reqCache    map[string]requestEntry
+}
+
+type parsedEntry struct {
+	resp *ocsp.Response
+	err  error
+}
+
+type requestEntry struct {
+	req *ocsp.Request
+	der []byte
+	err error
+}
+
+// requestFor builds (and memoizes) the OCSP request for a target —
+// campaigns probe the same (issuer, serial) thousands of times and the
+// request bytes never change.
+func (c *Client) requestFor(tgt Target) (*ocsp.Request, []byte, error) {
+	key := tgt.Responder + "|" + tgt.Serial.String()
+	c.mu.Lock()
+	if c.reqCache == nil {
+		c.reqCache = make(map[string]requestEntry)
+	}
+	if e, ok := c.reqCache[key]; ok {
+		c.mu.Unlock()
+		return e.req, e.der, e.err
+	}
+	c.mu.Unlock()
+
+	req, err := ocsp.NewRequestForSerial(tgt.Serial, tgt.Issuer, c.hash())
+	var der []byte
+	if err == nil {
+		der, err = req.Marshal()
+	}
+	c.mu.Lock()
+	c.reqCache[key] = requestEntry{req: req, der: der, err: err}
+	c.mu.Unlock()
+	return req, der, err
+}
+
+// parseResponse parses with memoization: pre-generating responders serve
+// byte-identical bodies for hours, and re-parsing identical DER cannot
+// change the result. Callers must treat the shared *ocsp.Response as
+// read-only.
+func (c *Client) parseResponse(body []byte) (*ocsp.Response, error) {
+	h := fnvSum(body)
+	c.mu.Lock()
+	if c.parseCache == nil {
+		c.parseCache = make(map[uint64]parsedEntry)
+	}
+	if e, ok := c.parseCache[h]; ok {
+		c.mu.Unlock()
+		return e.resp, e.err
+	}
+	c.mu.Unlock()
+	resp, err := ocsp.ParseResponse(body)
+	c.mu.Lock()
+	if len(c.parseCache) > 1<<17 {
+		c.parseCache = make(map[uint64]parsedEntry)
+	}
+	c.parseCache[h] = parsedEntry{resp: resp, err: err}
+	c.mu.Unlock()
+	return resp, err
+}
+
+type verifyKey struct {
+	bodyHash     uint64
+	issuerSerial string
+}
+
+// checkSignature verifies resp against issuer with memoization.
+func (c *Client) checkSignature(resp *ocsp.Response, issuer *x509.Certificate) bool {
+	if c.DisableVerifyCache {
+		return resp.CheckSignatureFrom(issuer) == nil
+	}
+	key := verifyKey{bodyHash: fnvSum(resp.Raw), issuerSerial: issuer.SerialNumber.String()}
+	c.mu.Lock()
+	if c.verifyCache == nil {
+		c.verifyCache = make(map[verifyKey]bool)
+	}
+	if ok, hit := c.verifyCache[key]; hit {
+		c.mu.Unlock()
+		return ok
+	}
+	c.mu.Unlock()
+	ok := resp.CheckSignatureFrom(issuer) == nil
+	c.mu.Lock()
+	// Bound the cache: responders rotate responses over a campaign, so
+	// entries are useful for hours; a simple reset on overflow keeps
+	// memory flat.
+	if len(c.verifyCache) > 1<<18 {
+		c.verifyCache = make(map[verifyKey]bool)
+	}
+	c.verifyCache[key] = ok
+	c.mu.Unlock()
+	return ok
+}
+
+func fnvSum(b []byte) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	for _, c := range b {
+		h ^= uint64(c)
+		h *= prime
+	}
+	return h
+}
+
+func (c *Client) method() string {
+	if c.Method == "" {
+		return http.MethodPost
+	}
+	return c.Method
+}
+
+func (c *Client) hash() crypto.Hash {
+	if c.Hash == 0 {
+		return crypto.SHA1
+	}
+	return c.Hash
+}
+
+// Scan performs one classified OCSP lookup.
+func (c *Client) Scan(vantage netsim.Vantage, at time.Time, tgt Target) Observation {
+	obs := Observation{
+		Vantage:      vantage.Name,
+		Responder:    tgt.Responder,
+		Domain:       tgt.Domain,
+		DomainWeight: max(tgt.DomainWeight, 1),
+		At:           at,
+		Reason:       pkixutil.ReasonAbsent,
+		CacheMaxAge:  -1,
+	}
+	if tgt.Serial != nil {
+		obs.Serial = tgt.Serial.String()
+	}
+
+	req, reqDER, err := c.requestFor(tgt)
+	if err != nil {
+		obs.Class = ClassASN1
+		return obs
+	}
+	httpReq, err := ocsp.NewHTTPRequest(context.Background(), c.method(), tgt.ResponderURL, reqDER)
+	if err != nil {
+		obs.Class = ClassDNS
+		return obs
+	}
+
+	res, err := c.Transport.Do(vantage, at, httpReq)
+	if err != nil {
+		obs.Class = classifyTransportError(err)
+		return obs
+	}
+	obs.HTTPStatus = res.Status
+	obs.Latency = res.Latency
+	obs.CacheMaxAge = parseMaxAge(res.Headers)
+	if res.Status != http.StatusOK {
+		obs.Class = ClassHTTPStatus
+		return obs
+	}
+
+	resp, err := c.parseResponse(res.Body)
+	if err != nil {
+		obs.Class = ClassASN1
+		return obs
+	}
+	if resp.Status != ocsp.StatusSuccessful {
+		obs.Class = ClassOCSPError
+		return obs
+	}
+
+	obs.ProducedAt = resp.ProducedAt
+	obs.NumCerts = len(resp.Certificates)
+	obs.NumSerials = len(resp.Responses)
+
+	single := resp.Find(req.CertIDs[0])
+	if single == nil {
+		obs.Class = ClassSerialUnmatch
+		return obs
+	}
+	obs.CertStatus = single.Status
+	obs.ThisUpdate = single.ThisUpdate
+	obs.NextUpdate = single.NextUpdate
+	obs.HasNextUpdate = single.HasNextUpdate()
+	obs.RevokedAt = single.RevokedAt
+	obs.Reason = single.Reason
+
+	if !c.checkSignature(resp, tgt.Issuer) {
+		obs.Class = ClassSignature
+		return obs
+	}
+	obs.Class = ClassOK
+	return obs
+}
+
+// parseMaxAge extracts max-age from a Cache-Control header, -1 if absent.
+func parseMaxAge(h http.Header) int {
+	cc := h.Get("Cache-Control")
+	if cc == "" {
+		return -1
+	}
+	for _, part := range strings.Split(cc, ",") {
+		part = strings.TrimSpace(part)
+		if rest, ok := strings.CutPrefix(part, "max-age="); ok {
+			if n, err := strconv.Atoi(rest); err == nil {
+				return n
+			}
+		}
+	}
+	return -1
+}
+
+func classifyTransportError(err error) FailureClass {
+	var ne *netsim.Error
+	if errors.As(err, &ne) {
+		switch ne.Kind {
+		case netsim.FailDNS:
+			return ClassDNS
+		case netsim.FailTLS:
+			return ClassTLS
+		default:
+			return ClassTCP
+		}
+	}
+	var dnsErr *net.DNSError
+	if errors.As(err, &dnsErr) {
+		return ClassDNS
+	}
+	var certErr x509.UnknownAuthorityError
+	var hostErr x509.HostnameError
+	if errors.As(err, &certErr) || errors.As(err, &hostErr) {
+		return ClassTLS
+	}
+	return ClassTCP
+}

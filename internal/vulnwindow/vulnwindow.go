@@ -1,0 +1,201 @@
+// Package vulnwindow quantifies the window of vulnerability — how long a
+// client keeps accepting a certificate after its CA revokes it — for every
+// revocation mechanism the paper discusses: CRLs, client-fetched OCSP,
+// OCSP Stapling, OCSP Must-Staple, the short-lived certificates of
+// Topalovic et al. (§3), and today's soft-fail reality, where an on-path
+// attacker who blocks the revocation check keeps the certificate alive
+// indefinitely.
+//
+// The analysis is a Monte Carlo replay: a compromise/revocation event is
+// dropped at a random instant into the caching schedules of a client and a
+// server whose parameters (response validity, update interval) are drawn
+// from a responder fleet's actual profiles, and the time until the client
+// first rejects the certificate is recorded.
+package vulnwindow
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"github.com/netmeasure/muststaple/internal/stats"
+)
+
+// Mechanism is one revocation-dissemination design.
+type Mechanism int
+
+const (
+	// MechCRL: the client re-downloads the CA's CRL when its cached
+	// copy expires (CRL validity period).
+	MechCRL Mechanism = iota
+	// MechOCSPFetch: the client queries OCSP itself and caches the
+	// response for its validity period.
+	MechOCSPFetch
+	// MechStapling: the server staples; the client trusts the staple
+	// for its validity period. Soft-fail clients are still exposed to
+	// stripping, but this models the honest-network case.
+	MechStapling
+	// MechMustStaple: stapling with hard-fail; identical timing to
+	// stapling in the honest case, but also holds against an attacker
+	// (no soft-fail hole).
+	MechMustStaple
+	// MechShortLived: no revocation at all; exposure ends when the
+	// short-lived certificate expires.
+	MechShortLived
+	// MechSoftFailAttacked: today's deployed reality under attack: the
+	// adversary blocks OCSP and strips staples, the client soft-fails,
+	// and the revocation never takes effect (the window is the rest of
+	// the certificate's lifetime).
+	MechSoftFailAttacked
+)
+
+var mechanismNames = map[Mechanism]string{
+	MechCRL:              "crl",
+	MechOCSPFetch:        "ocsp-fetch",
+	MechStapling:         "ocsp-stapling",
+	MechMustStaple:       "must-staple",
+	MechShortLived:       "short-lived-certs",
+	MechSoftFailAttacked: "soft-fail-under-attack",
+}
+
+func (m Mechanism) String() string {
+	if s, ok := mechanismNames[m]; ok {
+		return s
+	}
+	return fmt.Sprintf("mechanism(%d)", int(m))
+}
+
+// Mechanisms lists all mechanisms in presentation order.
+func Mechanisms() []Mechanism {
+	return []Mechanism{MechCRL, MechOCSPFetch, MechStapling, MechMustStaple, MechShortLived, MechSoftFailAttacked}
+}
+
+// Config parameterizes the simulation.
+type Config struct {
+	// Seed drives the Monte Carlo sampling.
+	Seed int64
+	// Trials per mechanism; 0 means 20,000.
+	Trials int
+	// ResponderValidities are OCSP response validity periods sampled
+	// per trial — feed it the fleet's actual profile validities so the
+	// analysis reflects the measured world. Empty defaults to 7 days.
+	ResponderValidities []time.Duration
+	// CRLValidity is the CRL publication validity; 0 means 7 days.
+	CRLValidity time.Duration
+	// ShortLivedLifetime is the short-lived certificate lifetime;
+	// 0 means 90 hours (≈4 days, the Topalovic et al. proposal).
+	ShortLivedLifetime time.Duration
+	// CertRemainingLifetime bounds the soft-fail exposure: the revoked
+	// certificate's remaining validity; 0 means 45 days (half of a
+	// 90-day Let's-Encrypt-style leaf).
+	CertRemainingLifetime time.Duration
+}
+
+func (c Config) trials() int {
+	if c.Trials <= 0 {
+		return 20_000
+	}
+	return c.Trials
+}
+
+func (c Config) crlValidity() time.Duration {
+	if c.CRLValidity <= 0 {
+		return 7 * 24 * time.Hour
+	}
+	return c.CRLValidity
+}
+
+func (c Config) shortLived() time.Duration {
+	if c.ShortLivedLifetime <= 0 {
+		return 90 * time.Hour
+	}
+	return c.ShortLivedLifetime
+}
+
+func (c Config) certRemaining() time.Duration {
+	if c.CertRemainingLifetime <= 0 {
+		return 45 * 24 * time.Hour
+	}
+	return c.CertRemainingLifetime
+}
+
+func (c Config) sampleValidity(rng *rand.Rand) time.Duration {
+	if len(c.ResponderValidities) == 0 {
+		return 7 * 24 * time.Hour
+	}
+	return c.ResponderValidities[rng.Intn(len(c.ResponderValidities))]
+}
+
+// Result is one mechanism's simulated distribution, in hours.
+type Result struct {
+	Mechanism Mechanism
+	Windows   *stats.CDF // hours; +Inf for never-effective revocations
+}
+
+// Simulate runs the Monte Carlo analysis.
+func Simulate(cfg Config) []Result {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	out := make([]Result, 0, len(Mechanisms()))
+	for _, m := range Mechanisms() {
+		cdf := &stats.CDF{}
+		for trial := 0; trial < cfg.trials(); trial++ {
+			cdf.Add(simulateOne(m, cfg, rng).Hours())
+		}
+		out = append(out, Result{Mechanism: m, Windows: cdf})
+	}
+	return out
+}
+
+// infinite is the sentinel duration for revocations that never bite.
+const infinite = time.Duration(math.MaxInt64)
+
+// simulateOne drops one revocation event into the caching schedule and
+// returns the time until the client rejects the certificate.
+func simulateOne(m Mechanism, cfg Config, rng *rand.Rand) time.Duration {
+	switch m {
+	case MechCRL:
+		// The client refreshed its CRL copy at a uniformly random
+		// phase of the validity period; it learns of the revocation
+		// at the next refresh.
+		v := cfg.crlValidity()
+		return phaseRemainder(v, rng)
+
+	case MechOCSPFetch:
+		// Same schedule with the (sampled) OCSP response validity —
+		// plus the responder's own staleness when it pre-generates:
+		// the revocation enters responses only at the next update
+		// window (validity/2, the common refresh cadence).
+		v := cfg.sampleValidity(rng)
+		responderLag := phaseRemainder(v/2, rng)
+		return responderLag + phaseRemainder(v, rng)
+
+	case MechStapling, MechMustStaple:
+		// The server refreshes staples at the half-life; the client
+		// trusts whatever staple it is handed, whose residual
+		// validity is the server's cache phase.
+		v := cfg.sampleValidity(rng)
+		responderLag := phaseRemainder(v/2, rng)
+		serverPhase := phaseRemainder(v, rng)
+		return responderLag + serverPhase
+
+	case MechShortLived:
+		// No revocation: exposure ends when the certificate does.
+		return phaseRemainder(cfg.shortLived(), rng)
+
+	case MechSoftFailAttacked:
+		// The attacker suppresses every revocation signal; the
+		// client accepts until the certificate itself expires.
+		return cfg.certRemaining()
+	}
+	return infinite
+}
+
+// phaseRemainder returns the time left until the next refresh when the
+// event lands at a uniformly random phase of a period: U(0, period).
+func phaseRemainder(period time.Duration, rng *rand.Rand) time.Duration {
+	if period <= 0 {
+		return 0
+	}
+	return time.Duration(rng.Int63n(int64(period)))
+}

@@ -1,0 +1,95 @@
+package vulnwindow
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func byMech(results []Result) map[Mechanism]Result {
+	out := map[Mechanism]Result{}
+	for _, r := range results {
+		out[r.Mechanism] = r
+	}
+	return out
+}
+
+func TestSimulateShapes(t *testing.T) {
+	results := Simulate(Config{Seed: 1, Trials: 5000})
+	if len(results) != 6 {
+		t.Fatalf("results = %d", len(results))
+	}
+	m := byMech(results)
+
+	// CRL with 7-day validity: median ≈ 84h (half the period).
+	med := m[MechCRL].Windows.Quantile(0.5)
+	if med < 70 || med > 98 {
+		t.Errorf("CRL median = %vh, want ≈84h", med)
+	}
+
+	// Short-lived 90h certs: median ≈ 45h — better than weekly CRLs.
+	sl := m[MechShortLived].Windows.Quantile(0.5)
+	if sl < 38 || sl > 52 {
+		t.Errorf("short-lived median = %vh, want ≈45h", sl)
+	}
+	if sl >= med {
+		t.Error("short-lived certs should beat weekly CRLs")
+	}
+
+	// Soft-fail under attack: constant at the cert's remaining life.
+	sf := m[MechSoftFailAttacked].Windows
+	if sf.Quantile(0.5) != 45*24 || sf.Quantile(0.99) != 45*24 {
+		t.Errorf("soft-fail window should be the full 45 days, got median %vh", sf.Quantile(0.5))
+	}
+
+	// Every honest mechanism beats attacked soft-fail at the median.
+	for _, mech := range []Mechanism{MechCRL, MechOCSPFetch, MechStapling, MechMustStaple, MechShortLived} {
+		if got := m[mech].Windows.Quantile(0.5); got >= sf.Quantile(0.5) {
+			t.Errorf("%v median %vh should beat soft-fail-under-attack %vh", mech, got, sf.Quantile(0.5))
+		}
+	}
+
+	// Stapling and Must-Staple share timing in the honest case.
+	a := m[MechStapling].Windows.Quantile(0.5)
+	b := m[MechMustStaple].Windows.Quantile(0.5)
+	if math.Abs(a-b)/a > 0.1 {
+		t.Errorf("stapling %vh vs must-staple %vh should be similar", a, b)
+	}
+}
+
+func TestValidityDistributionMatters(t *testing.T) {
+	short := Simulate(Config{Seed: 2, Trials: 4000, ResponderValidities: []time.Duration{24 * time.Hour}})
+	long := Simulate(Config{Seed: 2, Trials: 4000, ResponderValidities: []time.Duration{30 * 24 * time.Hour}})
+	sm := byMech(short)[MechMustStaple].Windows.Quantile(0.5)
+	lm := byMech(long)[MechMustStaple].Windows.Quantile(0.5)
+	if sm >= lm {
+		t.Errorf("1-day validity (%vh) must beat 30-day validity (%vh)", sm, lm)
+	}
+	// The >1-month validity hazard the paper flags (§5.4): with 45-day
+	// responses a revocation can stay invisible for weeks.
+	if lm < 300 {
+		t.Errorf("30-day validity median = %vh, want weeks of exposure", lm)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a := Simulate(Config{Seed: 9, Trials: 1000})
+	b := Simulate(Config{Seed: 9, Trials: 1000})
+	for i := range a {
+		if a[i].Windows.Quantile(0.5) != b[i].Windows.Quantile(0.5) {
+			t.Fatal("same seed must give identical distributions")
+		}
+	}
+}
+
+func TestMechanismStrings(t *testing.T) {
+	for m, want := range map[Mechanism]string{
+		MechCRL: "crl", MechOCSPFetch: "ocsp-fetch", MechStapling: "ocsp-stapling",
+		MechMustStaple: "must-staple", MechShortLived: "short-lived-certs",
+		MechSoftFailAttacked: "soft-fail-under-attack",
+	} {
+		if m.String() != want {
+			t.Errorf("%d = %q", int(m), m.String())
+		}
+	}
+}

@@ -1,0 +1,63 @@
+package webserver
+
+import (
+	"context"
+	"crypto"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"github.com/netmeasure/muststaple/internal/ocsp"
+	"github.com/netmeasure/muststaple/internal/pki"
+	"github.com/netmeasure/muststaple/internal/responder"
+)
+
+// HTTPFetcher builds a Fetcher that requests the leaf's status from its
+// AIA responder URL over real HTTP — what production servers do.
+func HTTPFetcher(client *http.Client, leaf *pki.Leaf) (Fetcher, error) {
+	url := pki.OCSPURL(leaf.Certificate)
+	if url == "" {
+		return nil, errors.New("webserver: leaf has no OCSP URL")
+	}
+	return HTTPFetcherURL(client, leaf, url)
+}
+
+// HTTPFetcherURL is HTTPFetcher with an explicit responder URL, for
+// deployments where the responder is fronted elsewhere than the AIA says.
+func HTTPFetcherURL(client *http.Client, leaf *pki.Leaf, url string) (Fetcher, error) {
+	req, err := ocsp.NewRequest(leaf.Certificate, leaf.Issuer.Certificate, crypto.SHA1)
+	if err != nil {
+		return nil, err
+	}
+	return func() ([]byte, error) {
+		res, err := ocsp.Fetch(context.Background(), client, http.MethodPost, url, req)
+		if err != nil {
+			return nil, err
+		}
+		if res.HTTPStatus != http.StatusOK {
+			return nil, fmt.Errorf("webserver: responder HTTP %d", res.HTTPStatus)
+		}
+		return res.Body, nil
+	}, nil
+}
+
+// ResponderFetcher builds a Fetcher that calls an in-process responder
+// directly — the simulated-world path, exercising the same responder code
+// without HTTP framing.
+func ResponderFetcher(r *responder.Responder, leaf *pki.Leaf) (Fetcher, error) {
+	req, err := ocsp.NewRequest(leaf.Certificate, leaf.Issuer.Certificate, crypto.SHA1)
+	if err != nil {
+		return nil, err
+	}
+	reqDER, err := req.Marshal()
+	if err != nil {
+		return nil, err
+	}
+	return func() ([]byte, error) {
+		der, _ := r.Respond(reqDER)
+		if len(der) == 0 {
+			return nil, errors.New("webserver: responder returned empty body")
+		}
+		return der, nil
+	}, nil
+}

@@ -1,0 +1,292 @@
+// Package webserver models how web server software implements OCSP
+// Stapling, reproducing the behavioral differences the paper measures in
+// §7.2 (Table 3) between Apache 2.4.18 and Nginx 1.13.12, plus the
+// "correct" policy the paper recommends in §8 (prefetch on startup,
+// respect nextUpdate, retain the last valid response across upstream
+// errors).
+//
+// The engine serves real TLS: its *tls.Config staples the engine's current
+// response into the handshake via GetCertificate, so the browser models in
+// internal/browser and the Table 3 experiments observe exactly what a real
+// client would.
+package webserver
+
+import (
+	"crypto/tls"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/netmeasure/muststaple/internal/clock"
+	"github.com/netmeasure/muststaple/internal/ocsp"
+	"github.com/netmeasure/muststaple/internal/pki"
+)
+
+// Policy captures a server implementation's stapling behavior.
+type Policy struct {
+	// Name identifies the modelled software.
+	Name string
+
+	// Prefetch fetches the OCSP response at startup, before any client
+	// connects. Neither Apache nor Nginx does this (Table 3 row 1).
+	Prefetch bool
+
+	// PauseFirstConnection blocks the TLS handshake of the first client
+	// while fetching (Apache). When false and no response is cached,
+	// the first client simply gets no staple and a background fetch is
+	// triggered (Nginx).
+	PauseFirstConnection bool
+
+	// RespectNextUpdate discards cached responses at their nextUpdate
+	// (Nginx). When false the server keeps serving expired responses
+	// from its cache (Apache — the bug the authors reported as
+	// Apache Bugzilla #62400).
+	RespectNextUpdate bool
+
+	// RetainOnError keeps the previous (still valid) response when a
+	// refresh attempt fails (Nginx). When false the cache is dropped:
+	// the server then staples nothing (upstream unreachable) or staples
+	// the error response itself (upstream returned an OCSP error) —
+	// both Apache behaviors.
+	RetainOnError bool
+
+	// CacheLifetime is how long a fetched response is served before a
+	// refresh is attempted, independent of nextUpdate (Apache's
+	// response-age cache, default 1 hour).
+	CacheLifetime time.Duration
+
+	// MinRefreshInterval rate-limits refreshes (Nginx refreshes at most
+	// once every 5 minutes, so short-validity responses can be served
+	// expired — §7.2 footnote 28).
+	MinRefreshInterval time.Duration
+}
+
+// ApachePolicy models Apache 2.4.18 mod_ssl.
+func ApachePolicy() Policy {
+	return Policy{
+		Name:                 "apache-2.4.18",
+		Prefetch:             false,
+		PauseFirstConnection: true,
+		RespectNextUpdate:    false,
+		RetainOnError:        false,
+		CacheLifetime:        time.Hour,
+	}
+}
+
+// NginxPolicy models Nginx 1.13.12.
+func NginxPolicy() Policy {
+	return Policy{
+		Name:                 "nginx-1.13.12",
+		Prefetch:             false,
+		PauseFirstConnection: false,
+		RespectNextUpdate:    true,
+		RetainOnError:        true,
+		MinRefreshInterval:   5 * time.Minute,
+	}
+}
+
+// CorrectPolicy is the §8 recommendation: prefetch, respect expiry, retain
+// the last good response while retrying errors.
+func CorrectPolicy() Policy {
+	return Policy{
+		Name:                 "correct",
+		Prefetch:             true,
+		PauseFirstConnection: true, // never triggers: prefetch fills the cache
+		RespectNextUpdate:    true,
+		RetainOnError:        true,
+	}
+}
+
+// Fetcher obtains a fresh OCSP response DER for the server's certificate.
+// Implementations fetch over HTTP from the CA's responder; tests inject
+// failures.
+type Fetcher func() ([]byte, error)
+
+// staple is one cached OCSP response.
+type staple struct {
+	der        []byte
+	nextUpdate time.Time // zero if blank
+	fetchedAt  time.Time
+	isError    bool // an OCSP error response (tryLater etc.)
+}
+
+func (s *staple) expired(now time.Time) bool {
+	return !s.nextUpdate.IsZero() && now.After(s.nextUpdate)
+}
+
+// Engine is a stapling web server instance.
+type Engine struct {
+	Leaf   *pki.Leaf
+	Policy Policy
+	Fetch  Fetcher
+	Clock  clock.Clock
+
+	mu          sync.Mutex
+	cached      *staple
+	lastAttempt time.Time
+	fetchCount  int
+	asyncWG     sync.WaitGroup
+}
+
+// NewEngine builds an engine; Start must be called before serving.
+func NewEngine(leaf *pki.Leaf, policy Policy, fetch Fetcher, clk clock.Clock) *Engine {
+	if clk == nil {
+		clk = clock.Real{}
+	}
+	return &Engine{Leaf: leaf, Policy: policy, Fetch: fetch, Clock: clk}
+}
+
+// Start performs startup work: prefetching when the policy calls for it.
+func (e *Engine) Start() error {
+	if !e.Policy.Prefetch {
+		return nil
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.refreshLocked()
+}
+
+// FetchCount reports how many upstream fetches the engine has made — the
+// observable the Table 3 experiments assert on.
+func (e *Engine) FetchCount() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.fetchCount
+}
+
+// WaitIdle blocks until background fetches complete (test determinism).
+func (e *Engine) WaitIdle() { e.asyncWG.Wait() }
+
+// refreshLocked fetches a fresh response and applies the policy's error
+// handling. Callers hold e.mu.
+func (e *Engine) refreshLocked() error {
+	e.fetchCount++
+	e.lastAttempt = e.Clock.Now()
+	der, err := e.Fetch()
+	if err != nil {
+		if !e.Policy.RetainOnError {
+			// Apache: drop the old response entirely.
+			e.cached = nil
+		}
+		return err
+	}
+	parsed, perr := ocsp.ParseResponse(der)
+	if perr != nil || parsed.Status != ocsp.StatusSuccessful || len(parsed.Responses) == 0 {
+		if e.Policy.RetainOnError {
+			return fmt.Errorf("webserver: upstream returned unusable response")
+		}
+		// Apache: cache and staple the error response itself.
+		e.cached = &staple{der: der, fetchedAt: e.Clock.Now(), isError: true}
+		return nil
+	}
+	e.cached = &staple{
+		der:        der,
+		nextUpdate: parsed.Responses[0].NextUpdate,
+		fetchedAt:  e.Clock.Now(),
+	}
+	return nil
+}
+
+// refreshDueLocked decides whether the policy wants a refresh now.
+func (e *Engine) refreshDueLocked(now time.Time) bool {
+	if e.cached == nil {
+		return true
+	}
+	if e.Policy.MinRefreshInterval > 0 && now.Sub(e.lastAttempt) < e.Policy.MinRefreshInterval {
+		return false
+	}
+	if e.Policy.RespectNextUpdate && e.cached.expired(now) {
+		return true
+	}
+	if e.Policy.CacheLifetime > 0 && now.Sub(e.cached.fetchedAt) >= e.Policy.CacheLifetime {
+		return true
+	}
+	if e.cached.isError {
+		return true
+	}
+	return false
+}
+
+// StapleForHandshake returns the bytes to staple into a TLS handshake
+// starting now, applying the full policy state machine. A nil return
+// staples nothing.
+func (e *Engine) StapleForHandshake() []byte {
+	now := e.Clock.Now()
+	e.mu.Lock()
+	defer e.mu.Unlock()
+
+	if e.cached == nil {
+		if e.Policy.PauseFirstConnection {
+			// Apache: the first client's handshake blocks on the
+			// fetch.
+			if err := e.refreshLocked(); err != nil {
+				return nil
+			}
+			return e.cached.der
+		}
+		// Nginx: no staple for the first client; fetch in the
+		// background for the next one.
+		if e.rateLimitedLocked(now) {
+			return nil
+		}
+		e.lastAttempt = now
+		e.asyncWG.Add(1)
+		go func() {
+			defer e.asyncWG.Done()
+			e.mu.Lock()
+			defer e.mu.Unlock()
+			e.refreshLocked()
+		}()
+		return nil
+	}
+
+	if e.refreshDueLocked(now) {
+		stale := e.cached
+		if err := e.refreshLocked(); err != nil {
+			if e.Policy.RetainOnError {
+				// Nginx: keep the old one until it expires —
+				// but do respect nextUpdate.
+				if e.Policy.RespectNextUpdate && stale.expired(now) {
+					return nil
+				}
+				return stale.der
+			}
+			// Apache dropped the cache in refreshLocked.
+			return nil
+		}
+		return e.cached.der
+	}
+
+	// Serve from cache. Apache serves even expired entries
+	// (RespectNextUpdate == false); Nginx can serve an expired entry
+	// only while rate-limited (validity < MinRefreshInterval).
+	if e.cached.expired(now) && e.Policy.RespectNextUpdate && !e.rateLimitedLocked(now) {
+		return nil
+	}
+	return e.cached.der
+}
+
+func (e *Engine) rateLimitedLocked(now time.Time) bool {
+	return e.Policy.MinRefreshInterval > 0 && !e.lastAttempt.IsZero() && now.Sub(e.lastAttempt) < e.Policy.MinRefreshInterval
+}
+
+// TLSConfig returns a server TLS configuration that staples according to
+// the policy on every handshake.
+func (e *Engine) TLSConfig() (*tls.Config, error) {
+	if e.Leaf == nil || e.Leaf.Issuer == nil {
+		return nil, errors.New("webserver: engine needs a leaf with its issuer")
+	}
+	baseCert := tls.Certificate{
+		Certificate: [][]byte{e.Leaf.Certificate.Raw, e.Leaf.Issuer.Certificate.Raw},
+		PrivateKey:  e.Leaf.Key,
+		Leaf:        e.Leaf.Certificate,
+	}
+	return &tls.Config{
+		GetCertificate: func(chi *tls.ClientHelloInfo) (*tls.Certificate, error) {
+			cert := baseCert
+			cert.OCSPStaple = e.StapleForHandshake()
+			return &cert, nil
+		},
+	}, nil
+}

@@ -1,0 +1,93 @@
+package world
+
+import (
+	"math/rand"
+
+	"github.com/netmeasure/muststaple/internal/census"
+	"github.com/netmeasure/muststaple/internal/scanner"
+)
+
+// buildAlexa generates the Alexa domain model and joins it with the
+// responder fleet: each OCSP-supporting domain maps to one of the 128
+// "popular" responders, and the join is summarized as one weighted target
+// per responder — the input to the Figure 4 impact campaign.
+//
+// The Alexa→fleet mapping deliberately places the big outage groups
+// (Comodo, Digicert, Certum) at the popular end and the dead/persistently
+// failing responders at the unpopular tail: the paper found popular
+// domains concentrated on a few large responders (163K domains knocked out
+// by the Comodo event) while only 318 domains (0.05%) sat behind the
+// responders São Paulo could never reach.
+func (w *World) buildAlexa(rng *rand.Rand) {
+	n := w.Config.Responders
+	alexaResponders := 128
+	if alexaResponders > n {
+		alexaResponders = n
+	}
+
+	// Popularity order over fleet indices: event groups first (popular,
+	// occasionally down), then healthy/quality responders, then the
+	// persistent failures and the dead pair at the tail.
+	var order []int
+	add := func(first, last int) {
+		for i := first; i <= last && i < n; i++ {
+			order = append(order, i)
+		}
+	}
+	add(idxComodoMain, idxComodoLast)      // 15
+	add(idxDigicertFirst, idxDigicertLast) // 9
+	add(idxCertumFirst, idxCertumLast)     // 16
+	add(idxWosign, idxStartssl)            // 2
+	add(idxQualityPoolFirst, n-1)          // healthy + quality
+	add(idxCPC, idxNonOverlapLast)         // quality-pinned
+	add(idxShecaFirst, idxPostsignumLast)  // malformed-windowed
+	add(idxMalformedFirst, idxMalformedLast)
+	add(idxWayport, idxWayport)
+	add(idxPersistentFirst, 30) // persistent failures: unpopular tail
+	add(idxDeadFirst, 1)
+	if len(order) > alexaResponders {
+		order = order[:alexaResponders]
+	}
+
+	cfg := census.AlexaConfig{
+		Seed:       w.Config.Seed + 1,
+		Domains:    w.Config.AlexaDomains,
+		Responders: len(order),
+	}
+	domains := census.GenerateAlexa(cfg)
+	w.AlexaScale = cfg.ScaleFactor()
+
+	// Count domains per fleet responder.
+	counts := make(map[int]int)
+	for _, d := range domains {
+		if d.ResponderIndex >= 0 {
+			counts[order[d.ResponderIndex]]++
+		}
+	}
+
+	for idx, c := range counts {
+		info := w.Responders[idx]
+		info.AlexaDomains = c * w.AlexaScale
+	}
+
+	// One weighted probe target per Alexa-serving responder: the
+	// Figure 4 campaign asks "how many (real-scale) domains sat behind
+	// responders that failed from vantage V at time T".
+	for _, idx := range order {
+		info := w.Responders[idx]
+		if info.AlexaDomains == 0 {
+			continue
+		}
+		serial := w.Targets[idx*w.Config.CertsPerResponder].Serial
+		w.AlexaTargets = append(w.AlexaTargets, scanner.Target{
+			ResponderURL: "http://" + info.Host,
+			Responder:    info.Host,
+			Issuer:       info.CA.Certificate,
+			Serial:       serial,
+			Domain:       "alexa:" + info.Host,
+			DomainWeight: info.AlexaDomains,
+			Expiry:       w.Config.End.AddDate(0, 0, 30),
+		})
+	}
+	_ = rng
+}

@@ -1,0 +1,284 @@
+package world
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"github.com/netmeasure/muststaple/internal/netsim"
+	"github.com/netmeasure/muststaple/internal/pkixutil"
+	"github.com/netmeasure/muststaple/internal/responder"
+)
+
+// Fixed fleet indices for the named populations of §5.2–§5.4. The layout
+// is documented here once and used by hostName, backendFor, assignProfile,
+// and scheduleEvents.
+const (
+	idxDeadFirst        = 0  // 2 responders that never answered anyone
+	idxPersistentFirst  = 2  // 29 responders failing persistently from ≥1 vantage
+	idxDigitalCertFirst = 22 // 5 of those: *.digitalcertvalidation 404s from São Paulo
+	idxComodoMain       = 31 // ocsp.comodoca + 8 CNAMEs + 6 shared-IP = 15
+	idxComodoLast       = 45
+	idxWosign           = 46
+	idxStartssl         = 47
+	idxDigicertFirst    = 48 // 9 responders, Seoul-only outage Aug 27
+	idxDigicertLast     = 56
+	idxCertumFirst      = 57 // 16 responders, Sydney-only outage Aug 9
+	idxCertumLast       = 72
+	idxWayport          = 73 // gradually vanished during the first month
+	idxMalformedFirst   = 74 // 8 persistently malformed (1.6%)
+	idxMalformedLast    = 81
+	idxShecaFirst       = 82 // 6 responders, windowed "0" episodes
+	idxShecaLast        = 87
+	idxPostsignumFirst  = 88 // 3 responders, "0" from May 1 with one 17h respite
+	idxPostsignumLast   = 90
+	idxCPC              = 91 // ocsp.cpc.gov.ae: full 4-cert chain in responses
+	idxHinetFirst       = 92 // 3 responders: validity == update interval (7200s)
+	idxHinetLast        = 94
+	idxCNNIC            = 95 // validity == update interval (10800s)
+	idxNonOverlapFirst  = 96 // 3 more non-overlapping responders
+	idxNonOverlapLast   = 98
+	idxQualityPoolFirst = 99 // shuffled quality-defect budgets live here
+)
+
+// hostName maps a fleet index to its (synthetic) DNS name. Named indices
+// mirror the operators the paper calls out; the rest are generic.
+func hostName(i int) string {
+	switch {
+	case i == 0:
+		return "ocsp.identrustsafeca1.test"
+	case i == 1:
+		return "ocsp.identrustsaferootca2.test"
+	case i >= idxDigitalCertFirst && i < idxDigitalCertFirst+5:
+		return fmt.Sprintf("status%c.digitalcertvalidation.test", 'a'+i-idxDigitalCertFirst)
+	case i == idxComodoMain:
+		return "ocsp.comodoca.test"
+	case i > idxComodoMain && i <= idxComodoLast:
+		return fmt.Sprintf("ocsp.comodo-%02d.test", i-idxComodoMain)
+	case i == idxWosign:
+		return "ocsp.wosign.test"
+	case i == idxStartssl:
+		return "ocsp.startssl.test"
+	case i == idxDigicertFirst:
+		return "ocsp.digicert.test"
+	case i > idxDigicertFirst && i <= idxDigicertLast:
+		return fmt.Sprintf("ocsp%d.digicert.test", i-idxDigicertFirst)
+	case i >= idxCertumFirst && i <= idxCertumLast:
+		return fmt.Sprintf("ocsp%02d.certum.test", i-idxCertumFirst)
+	case i == idxWayport:
+		return "ocsp.wayport.test:2560"
+	case i >= idxShecaFirst && i <= idxShecaLast:
+		return fmt.Sprintf("ocsp%d.sheca.test", i-idxShecaFirst)
+	case i >= idxPostsignumFirst && i <= idxPostsignumLast:
+		return fmt.Sprintf("ocsp%d.postsignum.test", i-idxPostsignumFirst)
+	case i == idxCPC:
+		return "ocsp.cpc-gov-ae.test"
+	case i >= idxHinetFirst && i <= idxHinetLast:
+		return fmt.Sprintf("ocsp%d.hinet.test", i-idxHinetFirst)
+	case i == idxCNNIC:
+		return "ocspcnnicroot.cnnic.test"
+	default:
+		return fmt.Sprintf("ocsp%03d.world.test", i)
+	}
+}
+
+// backendFor groups hosts sharing infrastructure, so one backend rule
+// takes the whole group down (the CNAME/shared-IP mechanism of §5.2).
+func backendFor(i int) string {
+	switch {
+	case i >= idxComodoMain && i <= idxComodoLast:
+		return "comodo-backend"
+	case i >= idxDigicertFirst && i <= idxDigicertLast:
+		return "digicert-backend"
+	case i >= idxCertumFirst && i <= idxCertumLast:
+		return "certum-backend"
+	}
+	return ""
+}
+
+func randomReason(rng *rand.Rand) pkixutil.ReasonCode {
+	// Most real revocations carry no reason code.
+	if rng.Float64() < 0.8 {
+		return pkixutil.ReasonAbsent
+	}
+	reasons := []pkixutil.ReasonCode{
+		pkixutil.ReasonUnspecified, pkixutil.ReasonKeyCompromise,
+		pkixutil.ReasonSuperseded, pkixutil.ReasonCessationOfOperation,
+	}
+	return reasons[rng.Intn(len(reasons))]
+}
+
+// profileSpec is one responder's assigned behavior. SuperfluousCertCount
+// is kept out of the Profile because the CA certificate to embed does not
+// exist yet when specs are computed; buildResponders resolves it.
+type profileSpec struct {
+	profile              responder.Profile
+	kind                 ResponderKind
+	superfluousCertCount int
+}
+
+// qualityBudget is one §5.4 defect population to spread over the fleet.
+type qualityBudget struct {
+	count int
+	apply func(*profileSpec)
+}
+
+// qualityBudgets returns the calibrated defect populations, scaled from
+// the 536-responder baseline to fleet size n.
+func qualityBudgets(n int) []qualityBudget {
+	scale := func(c int) int {
+		s := c * n / 536
+		if s == 0 && c > 0 && n > idxQualityPoolFirst {
+			s = 1
+		}
+		return s
+	}
+	return []qualityBudget{
+		// Figure 6: 79 responders average >1 certificate (one, the
+		// cpc.gov.ae analogue, is pinned at idxCPC; 78 here, each
+		// embedding two copies of the issuer chain).
+		{scale(78), func(s *profileSpec) { s.superfluousCertCount = 2 }},
+		// Figure 7: 17 responders always return 20 serials...
+		{scale(17), func(s *profileSpec) { s.profile.ExtraSerials = 19 }},
+		// ...plus ~9 more with a few unsolicited serials.
+		{scale(9), func(s *profileSpec) { s.profile.ExtraSerials = 2 }},
+		// Figure 8: 45 responders with blank nextUpdate.
+		{scale(45), func(s *profileSpec) { s.profile.BlankNextUpdate = true }},
+		// Figure 8: 11 responders with >1 month validity; the extreme
+		// 1,251-day responder is pinned separately below.
+		{scale(10), func(s *profileSpec) { s.profile.Validity = 45 * 24 * time.Hour }},
+		{scale(1), func(s *profileSpec) { s.profile.Validity = 1251 * 24 * time.Hour }},
+		// Figure 9: 85 zero-margin responders (thisUpdate == request
+		// time; necessarily on-demand)...
+		{scale(85), func(s *profileSpec) { s.profile.NoDefaultMargin = true; s.profile.CacheResponses = false }},
+		// ...and 15 with future thisUpdate values.
+		{scale(15), func(s *profileSpec) {
+			s.profile.ThisUpdateOffset = -5 * time.Minute
+			s.profile.NoDefaultMargin = true
+			s.profile.CacheResponses = false
+		}},
+	}
+}
+
+// buildSpecs computes every responder's behavior: the pinned index layout
+// plus the shuffled quality budgets over the healthy pool.
+func buildSpecs(n int, rng *rand.Rand, cfg Config) []profileSpec {
+	specs := make([]profileSpec, n)
+	for i := 0; i < n; i++ {
+		specs[i] = baseSpec(i, rng, cfg)
+	}
+	// Spread the quality budgets over the unpinned healthy pool.
+	var pool []int
+	for i := idxQualityPoolFirst; i < n; i++ {
+		if specs[i].kind == KindHealthy {
+			pool = append(pool, i)
+		}
+	}
+	rng.Shuffle(len(pool), func(a, b int) { pool[a], pool[b] = pool[b], pool[a] })
+	cursor := 0
+	for _, b := range qualityBudgets(n) {
+		for c := 0; c < b.count && cursor < len(pool); c++ {
+			idx := pool[cursor]
+			cursor++
+			b.apply(&specs[idx])
+			specs[idx].kind = KindQualityDefect
+		}
+	}
+	return specs
+}
+
+// baseSpec decides responder i's pinned behavior.
+func baseSpec(i int, rng *rand.Rand, cfg Config) profileSpec {
+	_ = cfg
+	p := responder.Profile{}
+	// §5.4: 51.7% of responders pre-generate (cache) responses rather
+	// than signing on demand. The base probability is set above that,
+	// because the zero-margin and future-thisUpdate quality budgets
+	// force ~100 responders back to on-demand; 0.635 nets out near the
+	// paper's measured share.
+	if rng.Float64() < 0.635 {
+		p.CacheResponses = true
+		// Typical validity around a week, update at half-life.
+		p.Validity = time.Duration(4+rng.Intn(7)) * 24 * time.Hour
+		// A few responders are load-balanced farms with skewed
+		// producedAt values (§5.4 footnote 17).
+		if rng.Float64() < 0.05 {
+			p.Instances = 2 + rng.Intn(3)
+			p.InstanceSkew = time.Duration(1+rng.Intn(4)) * time.Minute
+		}
+	} else {
+		p.Validity = time.Duration(3+rng.Intn(9)) * 24 * time.Hour
+	}
+
+	kind := KindHealthy
+	switch {
+	case i < idxPersistentFirst:
+		kind = KindAlwaysDead
+	case i <= 30:
+		kind = KindPersistentFail
+	case i <= idxCertumLast || i == idxWayport:
+		kind = KindEventOutage
+	case i >= idxMalformedFirst && i <= idxMalformedLast:
+		kind = KindMalformed
+		kinds := []responder.MalformedKind{
+			responder.MalformedEmpty, responder.MalformedZero,
+			responder.MalformedJavaScript, responder.MalformedTruncated,
+		}
+		p.Malformed = kinds[(i-idxMalformedFirst)%len(kinds)]
+	case i >= idxShecaFirst && i <= idxShecaLast:
+		kind = KindMalformed
+		p.Malformed = responder.MalformedZero
+		p.MalformedWindows = []responder.Window{
+			window(2018, 4, 29, 10, 6),
+			window(2018, 7, 28, 17, 3),
+		}
+	case i >= idxPostsignumFirst && i <= idxPostsignumLast:
+		kind = KindMalformed
+		p.Malformed = responder.MalformedZero
+		p.MalformedWindows = []responder.Window{
+			{From: date(2018, 5, 1, 0), To: date(2018, 5, 12, 9)},
+			{From: date(2018, 5, 13, 2)}, // open-ended: "0" until the end
+		}
+	case i == idxCPC:
+		kind = KindQualityDefect
+		// Resolved to a 4-certificate chain (3 extras + the implicit
+		// one) in buildResponders.
+		return profileSpec{profile: p, kind: kind, superfluousCertCount: 3}
+	case i >= idxHinetFirst && i <= idxHinetLast:
+		kind = KindQualityDefect
+		p.CacheResponses = true
+		p.Validity = 7200 * time.Second
+		p.UpdateInterval = 7200 * time.Second
+		p.NoDefaultMargin = true
+		p.ThisUpdateOffset = time.Minute
+	case i == idxCNNIC:
+		kind = KindQualityDefect
+		p.CacheResponses = true
+		p.Validity = 10800 * time.Second
+		p.UpdateInterval = 10800 * time.Second
+		p.NoDefaultMargin = true
+		p.ThisUpdateOffset = time.Minute
+	case i >= idxNonOverlapFirst && i <= idxNonOverlapLast:
+		kind = KindQualityDefect
+		p.CacheResponses = true
+		p.Validity = time.Duration(2+i-idxNonOverlapFirst) * time.Hour
+		p.UpdateInterval = p.Validity
+		p.NoDefaultMargin = true
+		p.ThisUpdateOffset = time.Minute
+	}
+	return profileSpec{profile: p, kind: kind}
+}
+
+func date(y int, m time.Month, d, h int) time.Time {
+	return time.Date(y, m, d, h, 0, 0, 0, time.UTC)
+}
+
+func window(y int, m time.Month, d, h, hours int) responder.Window {
+	from := date(y, m, d, h)
+	return responder.Window{From: from, To: from.Add(time.Duration(hours) * time.Hour)}
+}
+
+func nwindow(y int, m time.Month, d, h, hours int) netsim.Window {
+	from := date(y, m, d, h)
+	return netsim.Window{From: from, To: from.Add(time.Duration(hours) * time.Hour)}
+}

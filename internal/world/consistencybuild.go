@@ -1,0 +1,186 @@
+package world
+
+import (
+	"fmt"
+	"math/big"
+	"math/rand"
+	"time"
+
+	"github.com/netmeasure/muststaple/internal/consistency"
+	"github.com/netmeasure/muststaple/internal/ocsp"
+	"github.com/netmeasure/muststaple/internal/pki"
+	"github.com/netmeasure/muststaple/internal/pkixutil"
+	"github.com/netmeasure/muststaple/internal/responder"
+)
+
+// table1Spec pins one discrepant CRL/OCSP pair of Table 1. Revoked counts
+// are the paper's CRL populations; Good/UnknownAll are the exact
+// discrepancies.
+type table1Spec struct {
+	name       string
+	total      int  // revoked serials in the CRL
+	good       int  // serials the OCSP responder calls Good
+	unknownAll bool // responder says Unknown for every serial
+}
+
+var table1Specs = []table1Spec{
+	{name: "camerfirma", total: 376, good: 7},
+	{name: "quovadis", total: 515, good: 1},
+	{name: "startssl-crl", total: 981, good: 1},
+	{name: "symantec-ss", total: 28_024, good: 1},
+	{name: "twca", total: 123, good: 1},
+	{name: "globalsign-alpha", total: 5_375, unknownAll: true},
+	{name: "firmaprofesional", total: 11, unknownAll: true},
+}
+
+// timeSkewSpec pins the Figure 10 revocation-time discrepancies.
+type timeSkewSpec struct {
+	name    string
+	serials int
+	skew    time.Duration
+}
+
+var timeSkewSpecs = []timeSkewSpec{
+	// ocsp.msocsp.com: every revocation time behind the CRL by 7h–9d.
+	{name: "msocsp", serials: 30, skew: 9 * time.Hour},
+	// The 14.7% negative tail: OCSP earlier than the CRL.
+	{name: "earlyocsp", serials: 7, skew: -8 * time.Hour},
+	// The >4-year extreme of Figure 10's long tail.
+	{name: "ancientskew", serials: 3, skew: 4*365*24*time.Hour + 30*24*time.Hour},
+}
+
+// buildConsistency creates the §5.4 study population: the seven exact
+// Table 1 pairs (scaled by Table1Scale), the pinned time-skew pairs, and
+// the well-behaved remainder, each with a CRL publisher and an OCSP
+// responder reading one shared revocation database.
+func (w *World) buildConsistency(rng *rand.Rand) error {
+	scale := w.Config.Table1Scale
+
+	for _, spec := range table1Specs {
+		// Small rows (firmaprofesional's 11) stay exact at any scale;
+		// large populations are divided, never below the exact Good
+		// discrepancy count.
+		total := spec.total
+		if total > 50 {
+			total /= scale
+		}
+		if total < spec.good {
+			total = spec.good
+		}
+		profile := responder.Profile{}
+		src, db, err := w.addConsistencyCA(rng, spec.name, total, profile, func(serials []*big.Int, p *responder.Profile) {
+			if spec.unknownAll {
+				p.StatusOverrides = map[string]ocsp.CertStatus{}
+				for _, s := range serials {
+					p.StatusOverrides[s.String()] = ocsp.Unknown
+				}
+				return
+			}
+			p.StatusOverrides = map[string]ocsp.CertStatus{}
+			for _, s := range serials[:spec.good] {
+				p.StatusOverrides[s.String()] = ocsp.Good
+			}
+		})
+		if err != nil {
+			return err
+		}
+		_ = db
+		w.ConsistencySources = append(w.ConsistencySources, src)
+	}
+
+	for _, spec := range timeSkewSpecs {
+		src, _, err := w.addConsistencyCA(rng, spec.name, spec.serials, responder.Profile{RevocationTimeSkew: spec.skew}, nil)
+		if err != nil {
+			return err
+		}
+		w.ConsistencySources = append(w.ConsistencySources, src)
+	}
+
+	// The well-behaved remainder. Roughly 15% of pairs differ only in
+	// reason codes — the CRL has one, the OCSP responder drops it.
+	for i := 0; i < w.Config.ConsistentCAs; i++ {
+		name := fmt.Sprintf("consistent%03d", i)
+		profile := responder.Profile{}
+		withReasons := false
+		if float64(i) < 0.15*float64(w.Config.ConsistentCAs) {
+			profile.DropReasonCodes = true
+			withReasons = true
+		}
+		src, db, err := w.addConsistencyCA(rng, name, w.Config.SerialsPerConsistentCA, profile, nil)
+		if err != nil {
+			return err
+		}
+		if withReasons {
+			// Re-revoke with explicit reasons so the CRL side
+			// carries codes the responder will drop.
+			for _, rec := range db.RevokedEntries() {
+				db.Revoke(rec.Serial, rec.RevokedAt, pkixutil.ReasonKeyCompromise)
+			}
+		}
+		w.ConsistencySources = append(w.ConsistencySources, src)
+	}
+	return nil
+}
+
+// addConsistencyCA creates one CRL/OCSP pair: a CA, a database with
+// `revoked` unexpired revoked serials plus ~1.8× expired revoked entries
+// (so the study's expiry cross-referencing step has real work to do, as in
+// the paper's 2,041,345 → 728,261 reduction), an OCSP responder with the
+// given profile, and a CRL publisher. mutate, if non-nil, edits the
+// profile once the serial list is known.
+func (w *World) addConsistencyCA(rng *rand.Rand, name string, revoked int, profile responder.Profile, mutate func([]*big.Int, *responder.Profile)) (consistency.Source, *responder.DB, error) {
+	ocspHost := "ocsp." + name + ".test"
+	crlHost := "crl." + name + ".test"
+	ca, err := pki.NewRootCA(pki.Config{
+		Name:      "Consistency CA " + name,
+		Rand:      rng,
+		OCSPURL:   "http://" + ocspHost,
+		CRLURL:    "http://" + crlHost + "/ca.crl",
+		NotBefore: w.Config.Start.AddDate(-3, 0, 0),
+	})
+	if err != nil {
+		return consistency.Source{}, nil, err
+	}
+	db := responder.NewDB()
+
+	base := int64(1000)
+	var serials []*big.Int
+	for i := 0; i < revoked; i++ {
+		serial := big.NewInt(base + int64(i))
+		expiry := w.Config.Start.AddDate(1, 0, 0)
+		revokedAt := w.Config.Start.AddDate(0, 0, -1-rng.Intn(300)).Truncate(time.Second)
+		db.AddIssued(serial, expiry)
+		db.Revoke(serial, revokedAt, pkixutil.ReasonAbsent)
+		serials = append(serials, serial)
+	}
+	// Expired revoked entries: present in the CRL, filtered by the
+	// study's cross-referencing.
+	expiredCount := revoked * 9 / 5
+	for i := 0; i < expiredCount; i++ {
+		serial := big.NewInt(base + int64(revoked) + int64(i))
+		db.AddIssued(serial, w.Config.Start.AddDate(0, -1-rng.Intn(12), 0))
+		db.Revoke(serial, w.Config.Start.AddDate(-1, 0, 0), pkixutil.ReasonAbsent)
+	}
+
+	if mutate != nil {
+		mutate(serials, &profile)
+	}
+
+	w.Network.RegisterHost(ocspHost, "", responder.New(ocspHost, ca, db, w.Clock, profile))
+	w.Network.RegisterHost(crlHost, "", responder.NewCRLPublisher(ca, db, w.Clock))
+
+	return consistency.Source{
+		Name:      name,
+		Issuer:    ca.Certificate,
+		CRLURL:    "http://" + crlHost + "/ca.crl",
+		OCSPURL:   "http://" + ocspHost,
+		Responder: ocspHost,
+		Expiry: func(serial *big.Int) (time.Time, bool) {
+			rec, ok := db.Lookup(serial)
+			if !ok {
+				return time.Time{}, false
+			}
+			return rec.Expiry, true
+		},
+	}, db, nil
+}
