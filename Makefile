@@ -1,0 +1,35 @@
+# Test tiers for the muststaple reproduction.
+#
+#   tier1       — the seed gate: everything builds and the unit/integration
+#                 suite passes.
+#   tier2       — static analysis plus the full suite under the race
+#                 detector (the pipelined campaign engine is concurrent;
+#                 this is the tier that guards it).
+#   bench-guard — asserts the pipelined engine is not slower than the
+#                 legacy round-barrier engine (reports a "speedup" metric;
+#                 the redesign targets >= 1.5x on >= 4 cores).
+
+GO ?= go
+
+.PHONY: all tier1 tier2 bench-guard bench vet fmt
+
+all: tier1
+
+tier1:
+	$(GO) build ./...
+	$(GO) test ./...
+
+tier2: vet
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt:
+	gofmt -l .
+
+bench-guard:
+	$(GO) test -run - -bench BenchmarkCampaignEngineGuard -benchtime 1x .
+
+bench:
+	$(GO) test -run - -bench . -benchtime 1x .

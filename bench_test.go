@@ -5,9 +5,11 @@
 package muststaple
 
 import (
+	"context"
 	"crypto"
 	"math/big"
 	"net/http"
+	"runtime"
 	"testing"
 	"time"
 
@@ -48,19 +50,103 @@ func benchWorldConfig(seed int64) world.Config {
 
 func benchCampaign(b *testing.B, w *world.World, targets []scanner.Target, hours int, aggs ...scanner.Aggregator) int {
 	b.Helper()
-	camp := &scanner.Campaign{
-		Client:  &scanner.Client{Transport: w.Network},
-		Clock:   w.Clock,
-		Targets: targets,
-		Start:   w.Config.Start,
-		End:     w.Config.Start.Add(time.Duration(hours) * time.Hour),
-		Stride:  time.Hour,
+	return benchCampaignOpts(b, w, targets, hours, nil, aggs...)
+}
+
+func benchCampaignOpts(b *testing.B, w *world.World, targets []scanner.Target, hours int, extra []scanner.Option, aggs ...scanner.Aggregator) int {
+	b.Helper()
+	opts := []scanner.Option{
+		scanner.WithTargets(targets...),
+		scanner.WithWindow(w.Config.Start, w.Config.Start.Add(time.Duration(hours)*time.Hour)),
+		scanner.WithStride(time.Hour),
 	}
-	n, err := camp.Run(aggs...)
+	opts = append(opts, extra...)
+	camp, err := scanner.NewCampaign(&scanner.Client{Transport: w.Network}, w.Clock, opts...)
+	if err != nil {
+		b.Fatal(err)
+	}
+	n, err := camp.Run(context.Background(), aggs...)
 	if err != nil {
 		b.Fatal(err)
 	}
 	return n
+}
+
+// campaignEngineModes are the two engines BenchmarkCampaignEngine compares:
+// the pipelined default and the legacy per-round barrier the seed shipped.
+var campaignEngineModes = []struct {
+	name string
+	opts []scanner.Option
+}{
+	{"pipelined", nil},
+	{"round-barrier", []scanner.Option{scanner.WithRoundBarrier()}},
+}
+
+// engineAggregators is the full Hourly aggregator set, so the benchmark
+// exercises the sharded aggregation path the way cmd/repro does.
+func engineAggregators() []scanner.Aggregator {
+	return []scanner.Aggregator{
+		scanner.NewAvailabilitySeries(time.Hour),
+		scanner.NewUnusableSeries(time.Hour),
+		scanner.NewQualityAggregator(),
+		scanner.NewResponderAvailability(),
+		impact.NewHardFail(),
+		scanner.NewLatencyAggregator(),
+	}
+}
+
+// BenchmarkCampaignEngine compares the pipelined engine against the legacy
+// round-barrier engine over a multi-day campaign with the full Hourly
+// aggregator load. Compare lookups/sec across the two sub-benchmarks.
+func BenchmarkCampaignEngine(b *testing.B) {
+	for _, mode := range campaignEngineModes {
+		b.Run(mode.name, func(b *testing.B) {
+			var lookups int
+			start := time.Now()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				w, err := world.Build(benchWorldConfig(1))
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+				lookups += benchCampaignOpts(b, w, w.Targets, 72, mode.opts, engineAggregators()...)
+			}
+			b.ReportMetric(float64(lookups)/time.Since(start).Seconds(), "lookups/sec")
+		})
+	}
+}
+
+// BenchmarkCampaignEngineGuard is the throughput regression guard: each
+// iteration runs the same campaign under both engines and fails if the
+// pipelined engine is slower than the round-barrier baseline it replaced.
+// (The redesign targets ≥1.5× on ≥4 cores; the guard only enforces ≥1.0×
+// so shared CI machines do not flake.) The comparison is meaningless
+// without parallelism — both engines degenerate to one goroutine doing
+// scan-then-aggregate — so the guard requires at least 4 CPUs.
+func BenchmarkCampaignEngineGuard(b *testing.B) {
+	if runtime.GOMAXPROCS(0) < 4 {
+		b.Skipf("guard needs >= 4 CPUs, have %d", runtime.GOMAXPROCS(0))
+	}
+	runMode := func(opts []scanner.Option) time.Duration {
+		w, err := world.Build(benchWorldConfig(1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		start := time.Now()
+		benchCampaignOpts(b, w, w.Targets, 72, opts, engineAggregators()...)
+		return time.Since(start)
+	}
+	for i := 0; i < b.N; i++ {
+		barrier := runMode([]scanner.Option{scanner.WithRoundBarrier()})
+		pipelined := runMode(nil)
+		speedup := float64(barrier) / float64(pipelined)
+		b.ReportMetric(speedup, "speedup")
+		if speedup < 1.0 {
+			b.Fatalf("pipelined engine slower than round-barrier baseline: %.2fx (barrier %v, pipelined %v)",
+				speedup, barrier, pipelined)
+		}
+	}
 }
 
 // BenchmarkSection4Census regenerates the §4 deployment statistics.
@@ -132,17 +218,17 @@ func BenchmarkFigure5Validity(b *testing.B) {
 			b.Fatal(err)
 		}
 		w.Clock.Set(time.Date(2018, 4, 29, 0, 0, 0, 0, time.UTC))
-		camp := &scanner.Campaign{
-			Client:  &scanner.Client{Transport: w.Network},
-			Clock:   w.Clock,
-			Targets: w.Targets,
-			Start:   time.Date(2018, 4, 29, 0, 0, 0, 0, time.UTC),
-			End:     time.Date(2018, 4, 30, 0, 0, 0, 0, time.UTC),
-			Stride:  time.Hour,
+		camp, err := scanner.NewCampaign(&scanner.Client{Transport: w.Network}, w.Clock,
+			scanner.WithTargets(w.Targets...),
+			scanner.WithWindow(time.Date(2018, 4, 29, 0, 0, 0, 0, time.UTC), time.Date(2018, 4, 30, 0, 0, 0, 0, time.UTC)),
+			scanner.WithStride(time.Hour),
+		)
+		if err != nil {
+			b.Fatal(err)
 		}
 		b.StartTimer()
 		u := scanner.NewUnusableSeries(time.Hour)
-		if _, err := camp.Run(u); err != nil {
+		if _, err := camp.Run(context.Background(), u); err != nil {
 			b.Fatal(err)
 		}
 		asn1, _, _, total := u.Totals()
@@ -264,7 +350,7 @@ func BenchmarkCDNPerspective(b *testing.B) {
 		cdn := census.NewCDNCache(client, w.Clock, netsim.PaperVantages()[1])
 		for round := 0; round < 50; round++ {
 			for _, tgt := range targets {
-				cdn.Lookup(tgt)
+				cdn.Lookup(context.Background(), tgt)
 			}
 		}
 		if cdn.Stats().HitRate() < 0.9 {
@@ -418,7 +504,7 @@ func BenchmarkAblationHTTPMethod(b *testing.B) {
 			oregon := netsim.PaperVantages()[0]
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				if obs := client.Scan(oregon, f.clk.Now(), tgt); obs.Class != scanner.ClassOK {
+				if obs := client.Scan(context.Background(), oregon, f.clk.Now(), tgt); obs.Class != scanner.ClassOK {
 					b.Fatalf("class = %v", obs.Class)
 				}
 			}

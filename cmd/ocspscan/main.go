@@ -7,13 +7,15 @@
 // Usage:
 //
 //	ocspscan -issuer ca.pem -serial 123456 -url http://ocsp.example.com \
-//	         [-rounds 24] [-interval 1h] [-method POST|GET]
+//	         [-rounds 24] [-interval 1h] [-method POST|GET] \
+//	         [-retries 3] [-retry-base 1s] [-timeout 10s] [-metrics]
 //
 // With -demo, it instead spins up an in-process misbehaving responder and
 // scans that, so the tool is demonstrable offline.
 package main
 
 import (
+	"context"
 	"crypto/x509"
 	"encoding/pem"
 	"flag"
@@ -22,9 +24,11 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"os"
+	"os/signal"
 	"time"
 
 	"github.com/netmeasure/muststaple/internal/clock"
+	"github.com/netmeasure/muststaple/internal/metrics"
 	"github.com/netmeasure/muststaple/internal/netsim"
 	"github.com/netmeasure/muststaple/internal/pki"
 	"github.com/netmeasure/muststaple/internal/responder"
@@ -39,7 +43,19 @@ func main() {
 	interval := flag.Duration("interval", time.Hour, "wall-clock interval between rounds (paper: hourly)")
 	method := flag.String("method", http.MethodPost, "HTTP method: POST (paper default) or GET")
 	demo := flag.Bool("demo", false, "scan a built-in demo responder instead of a real one")
+	retries := flag.Int("retries", 1, "max attempts per lookup; >1 retries transient failures with backoff")
+	retryBase := flag.Duration("retry-base", time.Second, "initial retry backoff (doubles per retry)")
+	attemptTimeout := flag.Duration("timeout", 10*time.Second, "per-attempt timeout")
+	showMetrics := flag.Bool("metrics", false, "print the full metrics snapshot after the summary")
 	flag.Parse()
+
+	if *rounds <= 0 {
+		// A zero round count previously slipped through to the summary
+		// line and printed a NaN failure rate.
+		fmt.Fprintln(os.Stderr, "ocspscan: -rounds must be >= 1")
+		flag.Usage()
+		os.Exit(2)
+	}
 
 	var tgt scanner.Target
 	var cleanup func()
@@ -61,18 +77,42 @@ func main() {
 		fail("need -demo, or all of -issuer, -serial, and -url")
 	}
 
+	reg := metrics.NewRegistry()
 	client := &scanner.Client{
-		Transport: &scanner.RealTransport{Client: &http.Client{Timeout: 10 * time.Second}},
+		Transport: &scanner.RealTransport{Client: &http.Client{Timeout: *attemptTimeout}},
 		Method:    *method,
+		Retry: scanner.RetryPolicy{
+			Attempts:          *retries,
+			PerAttemptTimeout: *attemptTimeout,
+			BaseBackoff:       *retryBase,
+		},
+		Metrics: reg,
 	}
 	vantage := netsim.Vantage{Name: "local"}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 
 	var ok, bad int
 	for i := 0; i < *rounds; i++ {
 		if i > 0 && !*demo {
-			time.Sleep(*interval)
+			select {
+			case <-ctx.Done():
+			case <-time.After(*interval):
+			}
 		}
-		obs := client.Scan(vantage, time.Now(), tgt)
+		if ctx.Err() != nil {
+			fmt.Fprintln(os.Stderr, "ocspscan: interrupted")
+			break
+		}
+		obs := client.Scan(ctx, vantage, time.Now(), tgt)
+		if obs.Class == scanner.ClassCanceled {
+			continue
+		}
+		if retried := obs.Attempts - 1; retried > 0 {
+			fmt.Printf("%s retried %d time(s): first=%v final=%v salvaged=%v\n",
+				obs.At.Format(time.RFC3339), retried, obs.Class, obs.FinalClass, obs.Salvaged)
+		}
 		if obs.Class == scanner.ClassOK {
 			ok++
 			next := "blank"
@@ -88,7 +128,14 @@ func main() {
 			fmt.Printf("%s FAIL class=%v http=%d\n", obs.At.Format(time.RFC3339), obs.Class, obs.HTTPStatus)
 		}
 	}
+	if ok+bad == 0 {
+		fmt.Println("summary: no lookups completed")
+		return
+	}
 	fmt.Printf("summary: %d/%d successful (%.1f%% failure rate)\n", ok, ok+bad, 100*float64(bad)/float64(ok+bad))
+	if *showMetrics {
+		fmt.Print(reg.Snapshot())
+	}
 }
 
 // demoTarget builds an in-process responder that misbehaves on a schedule,

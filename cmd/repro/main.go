@@ -12,9 +12,11 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
 	"time"
 
@@ -51,9 +53,14 @@ func main() {
 		cfg.CertsPerResponder = *certs
 	}
 
+	// Interrupting a long campaign (paper-scale runs take minutes) stops
+	// it cleanly between scans instead of killing the process mid-write.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
 	runner := core.NewRunner(cfg, os.Stdout)
 	start := time.Now()
-	if err := runner.Run(*exp); err != nil {
+	if err := runner.Run(ctx, *exp); err != nil {
 		fmt.Fprintf(os.Stderr, "repro: %v\n", err)
 		os.Exit(1)
 	}

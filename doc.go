@@ -15,7 +15,11 @@
 //   - internal/responder, internal/netsim, internal/clock — the simulated
 //     responder fleet and Internet.
 //   - internal/scanner, internal/census, internal/consistency — the
-//     measurement systems (§5 of the paper).
+//     measurement systems (§5 of the paper): a context-aware scan client
+//     with retry/backoff and a pipelined campaign engine with sharded
+//     aggregation (see DESIGN.md §6).
+//   - internal/metrics — the lightweight counters/gauges/histograms
+//     behind Campaign.Stats().
 //   - internal/browser, internal/webserver — the client and server test
 //     suites (§6, §7).
 //   - internal/world, internal/core, internal/report — the calibrated

@@ -15,6 +15,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/big"
@@ -85,20 +86,25 @@ func main() {
 	unusable := scanner.NewUnusableSeries(time.Hour)
 	quality := scanner.NewQualityAggregator()
 
-	camp := &scanner.Campaign{
-		Client:  &scanner.Client{Transport: network},
-		Clock:   clk,
-		Targets: targets,
-		Start:   start,
-		End:     start.Add(72 * time.Hour),
-		Stride:  time.Hour,
+	camp, err := scanner.NewCampaign(&scanner.Client{Transport: network}, clk,
+		scanner.WithTargets(targets...),
+		scanner.WithWindow(start, start.Add(72*time.Hour)),
+		scanner.WithStride(time.Hour),
+		// A production monitor retries transient blips before paging;
+		// salvage counts are reported separately from first-attempt
+		// availability.
+		scanner.WithRetryPolicy(scanner.RetryPolicy{Attempts: 2, BaseBackoff: 30 * time.Second}),
+	)
+	if err != nil {
+		log.Fatal(err)
 	}
-	n, err := camp.Run(avail, respAvail, unusable, quality)
+	n, err := camp.Run(context.Background(), avail, respAvail, unusable, quality)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("monitored %d responders: %d lookups across %d vantages over 3 days\n",
 		len(targets), n, len(netsim.PaperVantages()))
+	report.CampaignStats(os.Stdout, "Monitor campaign", camp.Stats())
 
 	report.Figure3(os.Stdout, avail, 12)
 	report.AvailabilitySummary(os.Stdout, respAvail)

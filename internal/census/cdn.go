@@ -1,6 +1,7 @@
 package census
 
 import (
+	"context"
 	"sync"
 	"time"
 
@@ -79,8 +80,8 @@ func NewCDNCache(client *scanner.Client, clk clock.Clock, vantage netsim.Vantage
 
 // Lookup serves one TLS connection's OCSP need for the target, fetching
 // upstream only on cache miss. It returns true when a valid status was
-// available (from cache or upstream).
-func (c *CDNCache) Lookup(tgt scanner.Target) bool {
+// available (from cache or upstream). ctx bounds the upstream fetch.
+func (c *CDNCache) Lookup(ctx context.Context, tgt scanner.Target) bool {
 	now := c.Clock.Now()
 	key := tgt.Responder + "|" + tgt.Serial.String()
 
@@ -93,7 +94,7 @@ func (c *CDNCache) Lookup(tgt scanner.Target) bool {
 	}
 	c.mu.Unlock()
 
-	obs := c.Client.Scan(c.Vantage, now, tgt)
+	obs := c.Client.Scan(ctx, c.Vantage, now, tgt)
 
 	c.mu.Lock()
 	defer c.mu.Unlock()

@@ -1,6 +1,7 @@
 package census
 
 import (
+	"context"
 	"math"
 	"testing"
 	"time"
@@ -232,7 +233,7 @@ func TestCDNCache(t *testing.T) {
 
 	// 1000 TLS connections over an hour: one upstream fetch.
 	for i := 0; i < 1000; i++ {
-		if !cdn.Lookup(tgt) {
+		if !cdn.Lookup(context.Background(), tgt) {
 			t.Fatal("lookup failed")
 		}
 		clk.Advance(3 * time.Second)
@@ -256,7 +257,7 @@ func TestCDNCache(t *testing.T) {
 
 	// After the TTL expires the CDN refetches.
 	clk.Advance(13 * time.Hour)
-	cdn.Lookup(tgt)
+	cdn.Lookup(context.Background(), tgt)
 	if got := cdn.Stats().UpstreamFetches; got != 2 {
 		t.Errorf("after TTL expiry upstream fetches = %d, want 2", got)
 	}
@@ -271,7 +272,7 @@ func TestCDNCacheUpstreamFailure(t *testing.T) {
 	client := &scanner.Client{Transport: n}
 	cdn := NewCDNCache(client, clk, netsim.PaperVantages()[0])
 	tgt := scanner.Target{ResponderURL: "http://ocsp.down.test", Responder: "ocsp.down.test", Issuer: ca.Certificate, Serial: leaf.Certificate.SerialNumber}
-	if cdn.Lookup(tgt) {
+	if cdn.Lookup(context.Background(), tgt) {
 		t.Error("lookup should fail when upstream is unreachable and cache is cold")
 	}
 	st := cdn.Stats()

@@ -6,6 +6,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
@@ -91,11 +92,13 @@ func Experiments() []string {
 	}
 }
 
-// Run executes one named experiment ("all" runs every one).
-func (r *Runner) Run(name string) error {
+// Run executes one named experiment ("all" runs every one). ctx cancels
+// in-flight measurement campaigns; the first canceled campaign surfaces
+// the context error.
+func (r *Runner) Run(ctx context.Context, name string) error {
 	if name == "all" {
 		for _, exp := range Experiments() {
-			if err := r.Run(exp); err != nil {
+			if err := r.Run(ctx, exp); err != nil {
 				return fmt.Errorf("core: %s: %w", exp, err)
 			}
 		}
@@ -107,11 +110,11 @@ func (r *Runner) Run(name string) error {
 	case "fig2":
 		return r.runFigure2()
 	case "fig3", "fig5", "fig6", "fig7", "fig8", "fig9", "ondemand", "hardfail", "latency":
-		return r.runHourly(name)
+		return r.runHourly(ctx, name)
 	case "vulnwindow":
 		return r.runVulnWindow()
 	case "fig4":
-		return r.runFigure4()
+		return r.runFigure4(ctx)
 	case "table1", "fig10":
 		return r.runConsistency(name)
 	case "table2":
@@ -123,7 +126,7 @@ func (r *Runner) Run(name string) error {
 	case "table3":
 		return r.runTable3()
 	case "cdn":
-		return r.runCDN()
+		return r.runCDN(ctx)
 	default:
 		return fmt.Errorf("core: unknown experiment %q (have %v)", name, Experiments())
 	}
@@ -175,7 +178,7 @@ func (r *Runner) runFigure12() error {
 
 // ensureHourly runs the Hourly-dataset campaign once, attaching every
 // aggregator Figures 3 and 5–9 need.
-func (r *Runner) ensureHourly() (*hourlyResults, error) {
+func (r *Runner) ensureHourly(ctx context.Context) (*hourlyResults, error) {
 	if r.hourly != nil {
 		return r.hourly, nil
 	}
@@ -191,25 +194,26 @@ func (r *Runner) ensureHourly() (*hourlyResults, error) {
 		hardFail: impact.NewHardFail(),
 		latency:  scanner.NewLatencyAggregator(),
 	}
-	camp := &scanner.Campaign{
-		Client:  &scanner.Client{Transport: w.Network},
-		Clock:   w.Clock,
-		Targets: w.Targets,
-		Start:   w.Config.Start,
-		End:     w.Config.End,
-		Stride:  w.Config.Stride,
+	camp, err := scanner.NewCampaign(&scanner.Client{Transport: w.Network}, w.Clock,
+		scanner.WithTargets(w.Targets...),
+		scanner.WithWindow(w.Config.Start, w.Config.End),
+		scanner.WithStride(w.Config.Stride),
+	)
+	if err != nil {
+		return nil, err
 	}
-	n, err := camp.Run(res.avail, res.unusable, res.quality, res.respAv, res.hardFail, res.latency)
+	n, err := camp.Run(ctx, res.avail, res.unusable, res.quality, res.respAv, res.hardFail, res.latency)
 	if err != nil {
 		return nil, err
 	}
 	res.scans = n
+	report.CampaignStats(r.Out, "Hourly campaign", camp.Stats())
 	r.hourly = res
 	return res, nil
 }
 
-func (r *Runner) runHourly(name string) error {
-	res, err := r.ensureHourly()
+func (r *Runner) runHourly(ctx context.Context, name string) error {
+	res, err := r.ensureHourly(ctx)
 	if err != nil {
 		return err
 	}
@@ -236,7 +240,7 @@ func (r *Runner) runHourly(name string) error {
 }
 
 // ensureAlexa runs the Figure 4 impact campaign.
-func (r *Runner) ensureAlexa() (*alexaResults, error) {
+func (r *Runner) ensureAlexa(ctx context.Context) (*alexaResults, error) {
 	if r.alexa != nil {
 		return r.alexa, nil
 	}
@@ -249,25 +253,26 @@ func (r *Runner) ensureAlexa() (*alexaResults, error) {
 	// Figure 4's whole point is catching them. One weighted target per
 	// responder keeps the hourly grid affordable.
 	res := &alexaResults{impact: scanner.NewDomainImpact(time.Hour, 1)}
-	camp := &scanner.Campaign{
-		Client:  &scanner.Client{Transport: w.Network},
-		Clock:   w.Clock,
-		Targets: w.AlexaTargets,
-		Start:   w.Config.Start,
-		End:     w.Config.End,
-		Stride:  time.Hour,
+	camp, err := scanner.NewCampaign(&scanner.Client{Transport: w.Network}, w.Clock,
+		scanner.WithTargets(w.AlexaTargets...),
+		scanner.WithWindow(w.Config.Start, w.Config.End),
+		scanner.WithStride(time.Hour),
+	)
+	if err != nil {
+		return nil, err
 	}
-	n, err := camp.Run(res.impact)
+	n, err := camp.Run(ctx, res.impact)
 	if err != nil {
 		return nil, err
 	}
 	res.scans = n
+	report.CampaignStats(r.Out, "Alexa impact campaign", camp.Stats())
 	r.alexa = res
 	return res, nil
 }
 
-func (r *Runner) runFigure4() error {
-	res, err := r.ensureAlexa()
+func (r *Runner) runFigure4(ctx context.Context) error {
+	res, err := r.ensureAlexa(ctx)
 	if err != nil {
 		return err
 	}
@@ -338,7 +343,7 @@ func (r *Runner) runVulnWindow() error {
 	return nil
 }
 
-func (r *Runner) runCDN() error {
+func (r *Runner) runCDN(ctx context.Context) error {
 	w, err := r.freshWorld()
 	if err != nil {
 		return err
@@ -354,7 +359,7 @@ func (r *Runner) runCDN() error {
 	}
 	for round := 0; round < 200; round++ {
 		for _, tgt := range targets {
-			cdn.Lookup(tgt)
+			cdn.Lookup(ctx, tgt)
 		}
 		w.Clock.Advance(time.Minute)
 	}

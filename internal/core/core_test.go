@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"strings"
 	"testing"
 	"time"
@@ -32,7 +33,7 @@ func TestExperimentNames(t *testing.T) {
 	}
 	var sb strings.Builder
 	r := NewRunner(tinyConfig(), &sb)
-	if err := r.Run("definitely-not-an-experiment"); err == nil {
+	if err := r.Run(context.Background(), "definitely-not-an-experiment"); err == nil {
 		t.Error("unknown experiment must error")
 	}
 }
@@ -41,7 +42,7 @@ func TestRunQuickExperiments(t *testing.T) {
 	var sb strings.Builder
 	r := NewRunner(tinyConfig(), &sb)
 	for _, exp := range []string{"sec4", "fig2", "fig11", "fig12", "table2", "table3", "cdn", "vulnwindow"} {
-		if err := r.Run(exp); err != nil {
+		if err := r.Run(context.Background(), exp); err != nil {
 			t.Fatalf("%s: %v", exp, err)
 		}
 	}
@@ -63,7 +64,7 @@ func TestRunCampaignExperiments(t *testing.T) {
 	var sb strings.Builder
 	r := NewRunner(tinyConfig(), &sb)
 	for _, exp := range []string{"fig3", "fig4", "fig5", "fig6", "fig7", "table1", "fig10", "hardfail", "latency"} {
-		if err := r.Run(exp); err != nil {
+		if err := r.Run(context.Background(), exp); err != nil {
 			t.Fatalf("%s: %v", exp, err)
 		}
 	}

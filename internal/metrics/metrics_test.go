@@ -1,0 +1,106 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterAndGauge(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("scans")
+	c.Inc()
+	c.Add(4)
+	c.Add(-10) // ignored: counters are monotonic
+	if got := c.Value(); got != 5 {
+		t.Errorf("counter = %d, want 5", got)
+	}
+	if r.Counter("scans") != c {
+		t.Error("same name must return the same counter")
+	}
+
+	g := r.Gauge("depth")
+	g.Set(7)
+	g.Add(-2)
+	if got := g.Value(); got != 5 {
+		t.Errorf("gauge = %d, want 5", got)
+	}
+	g.SetMax(3)
+	if g.Value() != 5 {
+		t.Error("SetMax must not lower the gauge")
+	}
+	g.SetMax(11)
+	if g.Value() != 11 {
+		t.Error("SetMax must raise the gauge")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("latency", 10, 100, 1000)
+	for _, v := range []float64{1, 5, 50, 500, 5000} {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	if s.Count != 5 {
+		t.Fatalf("count = %d, want 5", s.Count)
+	}
+	if s.Sum != 5556 {
+		t.Errorf("sum = %v, want 5556", s.Sum)
+	}
+	want := []int64{2, 1, 1, 1} // <=10, <=100, <=1000, overflow
+	for i, c := range s.Counts {
+		if c != want[i] {
+			t.Errorf("bucket %d = %d, want %d", i, c, want[i])
+		}
+	}
+	if s.Mean() != 5556.0/5 {
+		t.Errorf("mean = %v", s.Mean())
+	}
+}
+
+func TestConcurrentUse(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				r.Counter("c").Inc()
+				r.Gauge("g").SetMax(int64(j))
+				r.Histogram("h", 500).Observe(float64(j))
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("c").Value(); got != 8000 {
+		t.Errorf("counter = %d, want 8000", got)
+	}
+	if got := r.Gauge("g").Value(); got != 999 {
+		t.Errorf("gauge max = %d, want 999", got)
+	}
+	if got := r.Histogram("h").Snapshot().Count; got != 8000 {
+		t.Errorf("histogram count = %d, want 8000", got)
+	}
+}
+
+func TestSnapshotRendering(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("b_count").Add(2)
+	r.Counter("a_count").Add(1)
+	r.Gauge("depth").Set(3)
+	r.Histogram("lat", 10).Observe(4)
+	out := r.Snapshot().String()
+	// Sorted, deterministic output.
+	ia, ib := strings.Index(out, "a_count 1"), strings.Index(out, "b_count 2")
+	if ia < 0 || ib < 0 || ia > ib {
+		t.Errorf("counters missing or unsorted:\n%s", out)
+	}
+	if !strings.Contains(out, "depth 3") || !strings.Contains(out, "lat count=1") {
+		t.Errorf("snapshot output:\n%s", out)
+	}
+	if out != r.Snapshot().String() {
+		t.Error("snapshot rendering must be deterministic")
+	}
+}

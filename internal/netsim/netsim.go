@@ -225,8 +225,13 @@ type Result struct {
 
 // Do performs one simulated HTTP exchange from vantage at virtual time at.
 // Transport-level failures (DNS, TCP, TLS) return *Error; HTTP-level
-// failures are reported via Result.Status.
+// failures are reported via Result.Status. A canceled or expired request
+// context returns its error before the exchange is simulated, mirroring a
+// real transport.
 func (n *Network) Do(vantage Vantage, at time.Time, req *http.Request) (*Result, error) {
+	if err := req.Context().Err(); err != nil {
+		return nil, err
+	}
 	host := req.URL.Host
 	n.mu.RLock()
 	entry, registered := n.hosts[host]

@@ -353,3 +353,12 @@ func VulnWindows(w io.Writer, results []vulnwindow.Result) {
 	fmt.Fprintln(w, "(honest-network timing is similar for stapling and Must-Staple; the difference is")
 	fmt.Fprintln(w, " adversarial: soft-fail clients under attack never learn of the revocation at all)")
 }
+
+// CampaignStats renders the measurement engine's instrumentation: lookup
+// and round counts, the retry-salvage report (retries never change the
+// paper-facing aggregates, which come from first-attempt outcomes), and
+// the per-class outcome breakdown.
+func CampaignStats(w io.Writer, title string, st scanner.Stats) {
+	header(w, title+": engine stats")
+	fmt.Fprintf(w, "%s\n", st)
+}

@@ -2,12 +2,13 @@ package scanner
 
 import (
 	"errors"
+	"fmt"
 	"runtime"
-	"sync"
-	"sync/atomic"
+	"strings"
 	"time"
 
 	"github.com/netmeasure/muststaple/internal/clock"
+	"github.com/netmeasure/muststaple/internal/metrics"
 	"github.com/netmeasure/muststaple/internal/netsim"
 )
 
@@ -18,125 +19,257 @@ type Aggregator interface {
 	Add(Observation)
 }
 
+// ShardedAggregator is an Aggregator that additionally supports parallel
+// sharded aggregation. The engine creates one shard per aggregation worker
+// with NewShard, routes every observation to a shard keyed by the
+// observation's Responder (so a given responder's observations reach
+// exactly one shard, in campaign order — order-sensitive per-responder
+// state like producedAt tracking stays exact), and folds the shards back
+// into the root with Merge in shard order when the campaign ends. The root
+// aggregator receives no Add calls in sharded mode, only Merges.
+type ShardedAggregator interface {
+	Aggregator
+	// NewShard returns an empty aggregator of the same kind.
+	NewShard() Aggregator
+	// Merge folds a shard previously produced by NewShard into the
+	// receiver. The engine guarantees shards are responder-disjoint.
+	Merge(shard Aggregator)
+}
+
 // Campaign drives a repeated scan of a target set from multiple vantage
 // points over a span of virtual time — the engine behind the paper's
 // Hourly dataset (536 responders × ≤50 certificates × 6 vantages, hourly,
-// April 25 to September 4, 2018).
+// April 25 to September 4, 2018). Build one with NewCampaign; the zero
+// value is not usable.
 type Campaign struct {
-	// Client performs individual lookups; required.
-	Client *Client
-	// Clock is advanced across the campaign; required (campaigns run in
-	// virtual time).
-	Clock *clock.Simulated
-	// Vantages defaults to netsim.PaperVantages().
-	Vantages []netsim.Vantage
-	// Targets are the (responder, certificate) pairs to probe.
-	Targets []Target
-	// Start and End bound the campaign (End exclusive).
-	Start, End time.Time
-	// Stride is the inter-round interval; 0 means hourly, matching the
-	// paper. Larger strides subsample the same virtual span for quick
-	// runs.
-	Stride time.Duration
-	// Workers parallelizes the scans within each round (every scan in
-	// a round shares the same virtual instant, so rounds are barriers);
-	// 0 means GOMAXPROCS.
-	Workers int
+	client   *Client
+	clk      *clock.Simulated
+	vantages []netsim.Vantage
+	targets  []Target
+	start    time.Time
+	end      time.Time
+	stride   time.Duration
+	workers  int
+	shards   int
+	retry    RetryPolicy
+	barrier  bool
+	reg      *metrics.Registry
 }
 
-func (c *Campaign) stride() time.Duration {
-	if c.Stride > 0 {
-		return c.Stride
+// Option configures a Campaign; invalid values are reported by NewCampaign
+// rather than surfacing later inside Run.
+type Option func(*Campaign) error
+
+// WithVantages sets the measurement vantage points (default: the six
+// paper vantages).
+func WithVantages(vs ...netsim.Vantage) Option {
+	return func(c *Campaign) error {
+		if len(vs) == 0 {
+			return errors.New("scanner: WithVantages needs at least one vantage")
+		}
+		c.vantages = vs
+		return nil
 	}
-	return time.Hour
 }
 
-// Run executes the campaign, feeding every observation to each aggregator.
-// It returns the number of lookups performed.
-func (c *Campaign) Run(aggs ...Aggregator) (int, error) {
-	if c.Client == nil || c.Clock == nil {
-		return 0, errors.New("scanner: campaign needs a client and a clock")
+// WithTargets sets the (responder, certificate) pairs to probe.
+func WithTargets(ts ...Target) Option {
+	return func(c *Campaign) error {
+		c.targets = ts
+		return nil
 	}
-	if c.End.Before(c.Start) {
-		return 0, errors.New("scanner: campaign end precedes start")
-	}
-	vantages := c.Vantages
-	if len(vantages) == 0 {
-		vantages = netsim.PaperVantages()
-	}
-
-	workers := c.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-
-	type job struct {
-		vantage netsim.Vantage
-		target  Target
-	}
-	jobs := make([]job, 0, len(vantages)*len(c.Targets))
-	results := make([]Observation, len(vantages)*len(c.Targets))
-
-	total := 0
-	for at := c.Start; at.Before(c.End); at = at.Add(c.stride()) {
-		c.Clock.Set(at)
-		jobs = jobs[:0]
-		for _, v := range vantages {
-			for _, tgt := range c.Targets {
-				// Stop probing expired certificates (§5.1, fn 9).
-				if !tgt.Expiry.IsZero() && at.After(tgt.Expiry) {
-					continue
-				}
-				jobs = append(jobs, job{vantage: v, target: tgt})
-			}
-		}
-
-		// Fan the round out over the workers; aggregation stays
-		// single-threaded so aggregators need no locking.
-		var next atomic.Int64
-		var wg sync.WaitGroup
-		for wk := 0; wk < workers; wk++ {
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				for {
-					i := int(next.Add(1)) - 1
-					if i >= len(jobs) {
-						return
-					}
-					results[i] = c.Client.Scan(jobs[i].vantage, at, jobs[i].target)
-				}
-			}()
-		}
-		wg.Wait()
-		for i := range jobs {
-			for _, a := range aggs {
-				a.Add(results[i])
-			}
-		}
-		total += len(jobs)
-	}
-	return total, nil
 }
 
-// RunOnce performs a single round at time at (the Alexa1M one-shot scan of
-// §5.1) and returns the observations.
-func (c *Campaign) RunOnce(at time.Time) ([]Observation, error) {
-	if c.Client == nil {
+// WithWindow bounds the campaign in virtual time (end exclusive).
+func WithWindow(start, end time.Time) Option {
+	return func(c *Campaign) error {
+		if end.Before(start) {
+			return fmt.Errorf("scanner: campaign end %v precedes start %v", end, start)
+		}
+		c.start, c.end = start, end
+		return nil
+	}
+}
+
+// WithStride sets the inter-round interval (default: hourly, matching the
+// paper). Larger strides subsample the same virtual span for quick runs.
+func WithStride(d time.Duration) Option {
+	return func(c *Campaign) error {
+		if d <= 0 {
+			return fmt.Errorf("scanner: stride must be positive, got %v", d)
+		}
+		c.stride = d
+		return nil
+	}
+}
+
+// WithWorkers sets the scan worker-pool size (default: GOMAXPROCS).
+func WithWorkers(n int) Option {
+	return func(c *Campaign) error {
+		if n < 0 {
+			return fmt.Errorf("scanner: workers must be >= 0, got %d", n)
+		}
+		if n > 0 {
+			c.workers = n
+		}
+		return nil
+	}
+}
+
+// WithRetryPolicy sets the retry policy applied to every lookup. Campaigns
+// run in virtual time, so a nil policy Sleep is replaced by VirtualSleep:
+// backoff advances the retry's virtual timestamp instead of wall-sleeping.
+func WithRetryPolicy(p RetryPolicy) Option {
+	return func(c *Campaign) error {
+		if p.Attempts < 0 {
+			return fmt.Errorf("scanner: retry attempts must be >= 0, got %d", p.Attempts)
+		}
+		if p.Jitter < 0 || p.Jitter > 1 {
+			return fmt.Errorf("scanner: retry jitter must be in [0, 1], got %v", p.Jitter)
+		}
+		c.retry = p
+		return nil
+	}
+}
+
+// WithAggregationShards sets how many parallel aggregation workers consume
+// observations (default: derived from the worker count; 1 forces fully
+// sequential aggregation, which sharded runs must match byte-for-byte).
+func WithAggregationShards(n int) Option {
+	return func(c *Campaign) error {
+		if n < 0 {
+			return fmt.Errorf("scanner: aggregation shards must be >= 0, got %d", n)
+		}
+		c.shards = n
+		return nil
+	}
+}
+
+// WithRoundBarrier selects the legacy engine: per-round goroutine fan-out
+// with a full barrier and inline single-threaded aggregation between
+// rounds. It exists as the baseline the pipelined engine is benchmarked
+// against and as a debugging fallback.
+func WithRoundBarrier() Option {
+	return func(c *Campaign) error {
+		c.barrier = true
+		return nil
+	}
+}
+
+// WithMetrics routes the campaign's instrumentation into an existing
+// registry instead of a private one.
+func WithMetrics(reg *metrics.Registry) Option {
+	return func(c *Campaign) error {
+		if reg == nil {
+			return errors.New("scanner: WithMetrics needs a non-nil registry")
+		}
+		c.reg = reg
+		return nil
+	}
+}
+
+// NewCampaign builds a validated campaign. The client performs individual
+// lookups; the clock is advanced across rounds (campaigns run in virtual
+// time). Option validation happens here, up front — Run never fails on
+// configuration.
+func NewCampaign(client *Client, clk *clock.Simulated, opts ...Option) (*Campaign, error) {
+	if client == nil {
 		return nil, errors.New("scanner: campaign needs a client")
 	}
-	if c.Clock != nil {
-		c.Clock.Set(at)
+	if clk == nil {
+		return nil, errors.New("scanner: campaign needs a clock")
 	}
-	vantages := c.Vantages
-	if len(vantages) == 0 {
-		vantages = netsim.PaperVantages()
+	c := &Campaign{
+		client:  client,
+		clk:     clk,
+		stride:  time.Hour,
+		workers: runtime.GOMAXPROCS(0),
+		reg:     metrics.NewRegistry(),
 	}
-	var out []Observation
-	for _, v := range vantages {
-		for _, tgt := range c.Targets {
-			out = append(out, c.Client.Scan(v, at, tgt))
+	for _, opt := range opts {
+		if err := opt(c); err != nil {
+			return nil, err
 		}
 	}
-	return out, nil
+	if len(c.vantages) == 0 {
+		c.vantages = netsim.PaperVantages()
+	}
+	if c.shards == 0 {
+		c.shards = c.workers
+		if c.shards > 4 {
+			c.shards = 4
+		}
+	}
+	return c, nil
 }
+
+// Stats summarizes a campaign's instrumentation. Scans counts lookups
+// (first attempts only); Retries and Salvaged report the retry machinery
+// separately, so paper-facing availability figures remain single-attempt.
+type Stats struct {
+	// Scans is the number of lookups performed (first attempts).
+	Scans int64
+	// Retries is the total number of extra attempts issued.
+	Retries int64
+	// Salvaged counts lookups whose first attempt failed with a
+	// transient class but which a retry turned into ClassOK — the
+	// "retry salvage" report.
+	Salvaged int64
+	// Rounds is the number of campaign rounds executed.
+	Rounds int64
+	// ByClass counts first-attempt outcomes per failure class name.
+	ByClass map[string]int64
+	// PeakQueueDepth is the high-water mark of the scan job queue.
+	PeakQueueDepth int64
+	// RoundLatency is the wall-clock round duration histogram (seconds).
+	RoundLatency metrics.HistogramSnapshot
+}
+
+// String renders the stats as one summary line plus a class breakdown.
+func (s Stats) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "scans=%d rounds=%d retries=%d salvaged=%d peak-queue=%d round-latency-mean=%.3fs",
+		s.Scans, s.Rounds, s.Retries, s.Salvaged, s.PeakQueueDepth, s.RoundLatency.Mean())
+	for _, name := range sortedClassNames(s.ByClass) {
+		fmt.Fprintf(&b, "\n  class %-18s %d", name, s.ByClass[name])
+	}
+	return b.String()
+}
+
+func sortedClassNames(m map[string]int64) []string {
+	out := make([]string, 0, len(m))
+	for name := range m {
+		out = append(out, name)
+	}
+	// Small, stable: insertion sort keeps this dependency-free.
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// Stats snapshots the campaign's metrics. Valid during and after Run.
+func (c *Campaign) Stats() Stats {
+	snap := c.reg.Snapshot()
+	st := Stats{
+		Scans:          snap.Counters["campaign_scans_total"],
+		Retries:        snap.Counters["campaign_retries_total"],
+		Salvaged:       snap.Counters["campaign_retry_salvaged_total"],
+		Rounds:         snap.Counters["campaign_rounds_total"],
+		ByClass:        make(map[string]int64),
+		PeakQueueDepth: snap.Gauges["campaign_queue_depth_peak"],
+		RoundLatency:   snap.Histograms["campaign_round_seconds"],
+	}
+	for name, v := range snap.Counters {
+		if cls, ok := strings.CutPrefix(name, "campaign_class_"); ok {
+			st.ByClass[strings.TrimSuffix(cls, "_total")] = v
+		}
+	}
+	return st
+}
+
+// Metrics exposes the campaign's metrics registry (for printing full
+// snapshots from cmd/ tools).
+func (c *Campaign) Metrics() *metrics.Registry { return c.reg }

@@ -1,6 +1,7 @@
 package scanner
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -22,15 +23,15 @@ func TestCampaignParallelismEquivalence(t *testing.T) {
 		})
 		avail := NewAvailabilitySeries(time.Hour)
 		q := NewQualityAggregator()
-		camp := &Campaign{
-			Client:  w.client(),
-			Clock:   w.clk,
-			Targets: []Target{w.target},
-			Start:   t0,
-			End:     t0.Add(12 * time.Hour),
-			Workers: workers,
+		camp, err := NewCampaign(w.client(), w.clk,
+			WithTargets(w.target),
+			WithWindow(t0, t0.Add(12*time.Hour)),
+			WithWorkers(workers),
+		)
+		if err != nil {
+			t.Fatal(err)
 		}
-		n, err := camp.Run(avail, q)
+		n, err := camp.Run(context.Background(), avail, q)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -71,14 +72,14 @@ func TestCampaignRepeatDeterminism(t *testing.T) {
 			Kind:    netsim.FailDNS,
 		})
 		avail := NewAvailabilitySeries(time.Hour)
-		camp := &Campaign{
-			Client:  w.client(),
-			Clock:   w.clk,
-			Targets: []Target{w.target},
-			Start:   t0,
-			End:     t0.Add(24 * time.Hour),
+		camp, err := NewCampaign(w.client(), w.clk,
+			WithTargets(w.target),
+			WithWindow(t0, t0.Add(24*time.Hour)),
+		)
+		if err != nil {
+			t.Fatal(err)
 		}
-		if _, err := camp.Run(avail); err != nil {
+		if _, err := camp.Run(context.Background(), avail); err != nil {
 			t.Fatal(err)
 		}
 		return avail.AverageFailureRate()

@@ -10,6 +10,19 @@
 // The same client runs against the simulated network (campaigns covering
 // months of virtual time) or a real *http.Client (live scans via
 // cmd/ocspscan).
+//
+// Campaigns are built with NewCampaign(client, clock, opts...) and run by
+// a pipelined engine: a persistent worker pool spans rounds, and
+// aggregation of a finished round overlaps the next round's scanning
+// through a bounded queue. Aggregators implementing ShardedAggregator are
+// fanned out across shards keyed by responder (preserving per-responder
+// observation order) and merged deterministically, so sharded results are
+// byte-identical to sequential ones. Scan takes a context.Context and an
+// optional RetryPolicy; retries cover only transient failure classes, and
+// the returned Observation always describes the FIRST attempt — matching
+// the paper's single-attempt methodology — with retry outcomes reported
+// separately via Attempts, FinalClass, Salvaged, and Campaign.Stats().
+// See DESIGN.md §6 for the engine diagram.
 package scanner
 
 import (
@@ -26,6 +39,7 @@ import (
 	"sync"
 	"time"
 
+	"github.com/netmeasure/muststaple/internal/metrics"
 	"github.com/netmeasure/muststaple/internal/netsim"
 	"github.com/netmeasure/muststaple/internal/ocsp"
 	"github.com/netmeasure/muststaple/internal/pkixutil"
@@ -58,6 +72,10 @@ const (
 	ClassSerialUnmatch
 	// ClassSignature is a response whose signature fails validation.
 	ClassSignature
+	// ClassCanceled is a lookup abandoned because its context was
+	// canceled or its deadline expired. Canceled lookups never reach
+	// aggregators: the engine drops them and surfaces the context error.
+	ClassCanceled
 )
 
 var classNames = map[FailureClass]string{
@@ -70,6 +88,7 @@ var classNames = map[FailureClass]string{
 	ClassOCSPError:     "ocsp-error",
 	ClassSerialUnmatch: "serial-unmatch",
 	ClassSignature:     "signature-invalid",
+	ClassCanceled:      "canceled",
 }
 
 func (c FailureClass) String() string {
@@ -85,7 +104,7 @@ func (c FailureClass) String() string {
 // serial mismatch) are still HTTP-successful.
 func (c FailureClass) HTTPSuccessful() bool {
 	switch c {
-	case ClassDNS, ClassTCP, ClassTLS, ClassHTTPStatus:
+	case ClassDNS, ClassTCP, ClassTLS, ClassHTTPStatus, ClassCanceled:
 		return false
 	}
 	return true
@@ -131,6 +150,24 @@ type Observation struct {
 	Class        FailureClass
 	// HTTPStatus is set for every exchange that got an HTTP response.
 	HTTPStatus int
+	// OCSPStatus is the OCSPResponseStatus of a parseable response
+	// (meaningful for ClassOCSPError: tryLater, unauthorized, ...).
+	OCSPStatus ocsp.ResponseStatus
+
+	// Retry accounting. Class and every response field above always
+	// describe the FIRST attempt, so the paper's availability and
+	// validity aggregates (§5.2, §5.3) are computed from single-attempt
+	// outcomes exactly as the original methodology did. Retries only
+	// show up in these fields and in the retry-salvage report.
+	//
+	// Attempts is the number of attempts performed (1 = no retry).
+	Attempts int
+	// FinalClass is the outcome of the last attempt; equal to Class when
+	// no retry happened.
+	FinalClass FailureClass
+	// Salvaged is true when the first attempt failed with a transient
+	// class but some retry succeeded (ClassOK).
+	Salvaged bool
 
 	// The fields below are populated when the response parsed
 	// (ClassOK, ClassSerialUnmatch, ClassSignature).
@@ -197,6 +234,12 @@ type Client struct {
 	Method string
 	// Hash selects the CertID hash; default SHA-1.
 	Hash crypto.Hash
+	// Retry is the default retry policy applied by Scan. The zero value
+	// performs a single attempt, matching the paper's methodology.
+	Retry RetryPolicy
+	// Metrics, when non-nil, receives per-scan instrumentation (scans
+	// issued, retries, salvages, per-class counts).
+	Metrics *metrics.Registry
 	// DisableVerifyCache turns off signature-verification memoization.
 	// By default the client remembers the verdict for byte-identical
 	// (response, issuer) pairs — responders legitimately serve cached
@@ -332,8 +375,17 @@ func (c *Client) hash() crypto.Hash {
 	return c.Hash
 }
 
-// Scan performs one classified OCSP lookup.
-func (c *Client) Scan(vantage netsim.Vantage, at time.Time, tgt Target) Observation {
+// Scan performs one classified OCSP lookup, honoring ctx for cancellation
+// and deadlines and applying the client's retry policy. The returned
+// observation's Class and response fields always describe the first
+// attempt (the paper's single-attempt methodology); Attempts, FinalClass,
+// and Salvaged carry the retry outcome.
+func (c *Client) Scan(ctx context.Context, vantage netsim.Vantage, at time.Time, tgt Target) Observation {
+	return c.ScanWithPolicy(ctx, c.Retry, vantage, at, tgt)
+}
+
+// scanOnce performs a single classified attempt.
+func (c *Client) scanOnce(ctx context.Context, vantage netsim.Vantage, at time.Time, tgt Target) Observation {
 	obs := Observation{
 		Vantage:      vantage.Name,
 		Responder:    tgt.Responder,
@@ -346,13 +398,17 @@ func (c *Client) Scan(vantage netsim.Vantage, at time.Time, tgt Target) Observat
 	if tgt.Serial != nil {
 		obs.Serial = tgt.Serial.String()
 	}
+	if ctx.Err() != nil {
+		obs.Class = ClassCanceled
+		return obs
+	}
 
 	req, reqDER, err := c.requestFor(tgt)
 	if err != nil {
 		obs.Class = ClassASN1
 		return obs
 	}
-	httpReq, err := ocsp.NewHTTPRequest(context.Background(), c.method(), tgt.ResponderURL, reqDER)
+	httpReq, err := ocsp.NewHTTPRequest(ctx, c.method(), tgt.ResponderURL, reqDER)
 	if err != nil {
 		obs.Class = ClassDNS
 		return obs
@@ -376,6 +432,7 @@ func (c *Client) Scan(vantage netsim.Vantage, at time.Time, tgt Target) Observat
 		obs.Class = ClassASN1
 		return obs
 	}
+	obs.OCSPStatus = resp.Status
 	if resp.Status != ocsp.StatusSuccessful {
 		obs.Class = ClassOCSPError
 		return obs
@@ -423,6 +480,9 @@ func parseMaxAge(h http.Header) int {
 }
 
 func classifyTransportError(err error) FailureClass {
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return ClassCanceled
+	}
 	var ne *netsim.Error
 	if errors.As(err, &ne) {
 		switch ne.Kind {

@@ -1,6 +1,7 @@
 package scanner
 
 import (
+	"context"
 	"net/http"
 	"testing"
 	"time"
@@ -65,9 +66,20 @@ func (w *world) client() *Client {
 
 func oregon() netsim.Vantage { return netsim.PaperVantages()[0] }
 
+// newCampaign builds a campaign over the test world, failing the test on
+// configuration errors.
+func newCampaign(t testing.TB, w *world, opts ...Option) *Campaign {
+	t.Helper()
+	camp, err := NewCampaign(w.client(), w.clk, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return camp
+}
+
 func TestScanGood(t *testing.T) {
 	w := newWorld(t, responder.Profile{})
-	obs := w.client().Scan(oregon(), t0, w.target)
+	obs := w.client().Scan(context.Background(), oregon(), t0, w.target)
 	if obs.Class != ClassOK {
 		t.Fatalf("class = %v, want ok", obs.Class)
 	}
@@ -95,7 +107,7 @@ func TestScanGETMethod(t *testing.T) {
 	w := newWorld(t, responder.Profile{})
 	c := w.client()
 	c.Method = http.MethodGet
-	obs := c.Scan(oregon(), t0, w.target)
+	obs := c.Scan(context.Background(), oregon(), t0, w.target)
 	if obs.Class != ClassOK {
 		t.Fatalf("GET scan class = %v", obs.Class)
 	}
@@ -105,7 +117,7 @@ func TestScanRevoked(t *testing.T) {
 	w := newWorld(t, responder.Profile{})
 	revokedAt := t0.Add(-time.Hour)
 	w.db.Revoke(w.leaf.Certificate.SerialNumber, revokedAt, pkixutil.ReasonKeyCompromise)
-	obs := w.client().Scan(oregon(), t0, w.target)
+	obs := w.client().Scan(context.Background(), oregon(), t0, w.target)
 	if obs.Class != ClassOK || obs.CertStatus != ocsp.Revoked {
 		t.Fatalf("got %v/%v, want ok/revoked", obs.Class, obs.CertStatus)
 	}
@@ -138,7 +150,7 @@ func TestScanClassification(t *testing.T) {
 			if tc.rule != nil {
 				w.net.AddRule(tc.rule)
 			}
-			obs := w.client().Scan(oregon(), t0, w.target)
+			obs := w.client().Scan(context.Background(), oregon(), t0, w.target)
 			if obs.Class != tc.want {
 				t.Errorf("class = %v, want %v", obs.Class, tc.want)
 			}
@@ -150,7 +162,7 @@ func TestScanUnregisteredResponder(t *testing.T) {
 	w := newWorld(t, responder.Profile{})
 	tgt := w.target
 	tgt.ResponderURL = "http://ocsp.gone.test"
-	obs := w.client().Scan(oregon(), t0, tgt)
+	obs := w.client().Scan(context.Background(), oregon(), t0, tgt)
 	if obs.Class != ClassDNS {
 		t.Errorf("class = %v, want dns for vanished responder", obs.Class)
 	}
@@ -176,16 +188,13 @@ func TestCampaignRunAndExpiry(t *testing.T) {
 		Expiry:       shortLeaf.Certificate.NotAfter,
 	}
 
-	camp := &Campaign{
-		Client:   w.client(),
-		Clock:    w.clk,
-		Vantages: netsim.PaperVantages()[:2],
-		Targets:  []Target{w.target, shortTarget},
-		Start:    t0,
-		End:      t0.Add(10 * time.Hour),
-	}
+	camp := newCampaign(t, w,
+		WithVantages(netsim.PaperVantages()[:2]...),
+		WithTargets(w.target, shortTarget),
+		WithWindow(t0, t0.Add(10*time.Hour)),
+	)
 	var all []Observation
-	n, err := camp.Run(aggregatorFunc(func(o Observation) { all = append(all, o) }))
+	n, err := camp.Run(context.Background(), aggregatorFunc(func(o Observation) { all = append(all, o) }))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -203,20 +212,37 @@ func TestCampaignRunAndExpiry(t *testing.T) {
 }
 
 func TestCampaignErrors(t *testing.T) {
-	if _, err := (&Campaign{}).Run(); err == nil {
-		t.Error("campaign without client/clock should fail")
-	}
 	w := newWorld(t, responder.Profile{})
-	c := &Campaign{Client: w.client(), Clock: w.clk, Start: t0, End: t0.Add(-time.Hour)}
-	if _, err := c.Run(); err == nil {
-		t.Error("campaign with end before start should fail")
+	if _, err := NewCampaign(nil, w.clk); err == nil {
+		t.Error("campaign without client should fail")
+	}
+	if _, err := NewCampaign(w.client(), nil); err == nil {
+		t.Error("campaign without clock should fail")
+	}
+	bad := []struct {
+		name string
+		opt  Option
+	}{
+		{"end-before-start", WithWindow(t0, t0.Add(-time.Hour))},
+		{"no-vantages", WithVantages()},
+		{"zero-stride", WithStride(0)},
+		{"negative-workers", WithWorkers(-1)},
+		{"negative-shards", WithAggregationShards(-1)},
+		{"negative-attempts", WithRetryPolicy(RetryPolicy{Attempts: -1})},
+		{"bad-jitter", WithRetryPolicy(RetryPolicy{Attempts: 2, Jitter: 1.5})},
+		{"nil-metrics", WithMetrics(nil)},
+	}
+	for _, tc := range bad {
+		if _, err := NewCampaign(w.client(), w.clk, tc.opt); err == nil {
+			t.Errorf("%s: NewCampaign should reject the option", tc.name)
+		}
 	}
 }
 
 func TestCampaignRunOnce(t *testing.T) {
 	w := newWorld(t, responder.Profile{})
-	camp := &Campaign{Client: w.client(), Clock: w.clk, Targets: []Target{w.target}}
-	obs, err := camp.RunOnce(t0.Add(time.Hour))
+	camp := newCampaign(t, w, WithTargets(w.target))
+	obs, err := camp.RunOnce(context.Background(), t0.Add(time.Hour))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -246,15 +272,12 @@ func TestAvailabilityAggregation(t *testing.T) {
 	avail := NewAvailabilitySeries(time.Hour)
 	impact := NewDomainImpact(time.Hour, 100)
 	ra := NewResponderAvailability()
-	camp := &Campaign{
-		Client:   w.client(),
-		Clock:    w.clk,
-		Vantages: netsim.PaperVantages()[:3], // Oregon, Virginia, Sao-Paulo
-		Targets:  []Target{w.target},
-		Start:    t0,
-		End:      t0.Add(10 * time.Hour),
-	}
-	if _, err := camp.Run(avail, impact, ra); err != nil {
+	camp := newCampaign(t, w,
+		WithVantages(netsim.PaperVantages()[:3]...), // Oregon, Virginia, Sao-Paulo
+		WithTargets(w.target),
+		WithWindow(t0, t0.Add(10*time.Hour)),
+	)
+	if _, err := camp.Run(context.Background(), avail, impact, ra); err != nil {
 		t.Fatal(err)
 	}
 
@@ -321,8 +344,8 @@ func TestAlwaysDeadAndPersistent(t *testing.T) {
 		{ResponderURL: "http://ocsp.seoulfail.test", Responder: "ocsp.seoulfail.test", Issuer: ca3.Certificate, Serial: leaf3.Certificate.SerialNumber},
 	}
 	ra := NewResponderAvailability()
-	camp := &Campaign{Client: w.client(), Clock: w.clk, Targets: targets, Start: t0, End: t0.Add(3 * time.Hour)}
-	if _, err := camp.Run(ra); err != nil {
+	camp := newCampaign(t, w, WithTargets(targets...), WithWindow(t0, t0.Add(3*time.Hour)))
+	if _, err := camp.Run(context.Background(), ra); err != nil {
 		t.Fatal(err)
 	}
 	if got := ra.AlwaysDead(); len(got) != 1 || got[0] != "ocsp.dead.test" {
@@ -354,15 +377,12 @@ func TestUnusableAggregation(t *testing.T) {
 	badsig := addResponder("ocsp.badsig.test", responder.Profile{BadSignature: true})
 
 	u := NewUnusableSeries(time.Hour)
-	camp := &Campaign{
-		Client:   w.client(),
-		Clock:    w.clk,
-		Vantages: netsim.PaperVantages()[:1],
-		Targets:  []Target{w.target, malformed, badsig},
-		Start:    t0,
-		End:      t0.Add(8 * time.Hour),
-	}
-	if _, err := camp.Run(u); err != nil {
+	camp := newCampaign(t, w,
+		WithVantages(netsim.PaperVantages()[:1]...),
+		WithTargets(w.target, malformed, badsig),
+		WithWindow(t0, t0.Add(8*time.Hour)),
+	)
+	if _, err := camp.Run(context.Background(), u); err != nil {
 		t.Fatal(err)
 	}
 	asn1, serial, sig, total := u.Totals()
@@ -413,15 +433,12 @@ func TestQualityAggregation(t *testing.T) {
 	cached := add("ocsp.cached.test", responder.Profile{CacheResponses: true, Validity: 2 * time.Hour, UpdateInterval: 2 * time.Hour})
 
 	q := NewQualityAggregator()
-	camp := &Campaign{
-		Client:   w.client(),
-		Clock:    w.clk,
-		Vantages: netsim.PaperVantages()[:1],
-		Targets:  []Target{w.target, blank, multi, zeroMargin, future, cached},
-		Start:    t0,
-		End:      t0.Add(12 * time.Hour),
-	}
-	if _, err := camp.Run(q); err != nil {
+	camp := newCampaign(t, w,
+		WithVantages(netsim.PaperVantages()[:1]...),
+		WithTargets(w.target, blank, multi, zeroMargin, future, cached),
+		WithWindow(t0, t0.Add(12*time.Hour)),
+	)
+	if _, err := camp.Run(context.Background(), q); err != nil {
 		t.Fatal(err)
 	}
 

@@ -1,0 +1,122 @@
+package scanner
+
+import (
+	"github.com/netmeasure/muststaple/internal/stats"
+)
+
+// This file implements ShardedAggregator for every aggregator in the
+// package. The engine routes observations to shards by responder, so a
+// merge either sums commutative counts (time-series buckets, CDF samples)
+// or splices responder-keyed state that is disjoint across shards.
+
+// NewShard implements ShardedAggregator.
+func (a *AvailabilitySeries) NewShard() Aggregator { return NewAvailabilitySeries(a.bucket) }
+
+// Merge implements ShardedAggregator. Bucket counts sum, so the result is
+// independent of how observations were distributed across shards.
+func (a *AvailabilitySeries) Merge(shard Aggregator) {
+	for vantage, series := range shard.(*AvailabilitySeries).series {
+		s := a.series[vantage]
+		if s == nil {
+			s = stats.NewTimeSeries(a.bucket)
+			a.series[vantage] = s
+		}
+		s.Merge(series)
+	}
+}
+
+// NewShard implements ShardedAggregator.
+func (d *DomainImpact) NewShard() Aggregator { return NewDomainImpact(d.bucket, d.DomainWeight) }
+
+// Merge implements ShardedAggregator.
+func (d *DomainImpact) Merge(shard Aggregator) {
+	for vantage, series := range shard.(*DomainImpact).series {
+		s := d.series[vantage]
+		if s == nil {
+			s = stats.NewTimeSeries(d.bucket)
+			d.series[vantage] = s
+		}
+		s.Merge(series)
+	}
+}
+
+// NewShard implements ShardedAggregator.
+func (u *UnusableSeries) NewShard() Aggregator { return NewUnusableSeries(u.series.Bucket) }
+
+// Merge implements ShardedAggregator.
+func (u *UnusableSeries) Merge(shard Aggregator) {
+	u.series.Merge(shard.(*UnusableSeries).series)
+}
+
+// NewShard implements ShardedAggregator.
+func (q *QualityAggregator) NewShard() Aggregator { return NewQualityAggregator() }
+
+// Merge implements ShardedAggregator. Per-responder state (producedAt gap
+// tracking in particular) is order-sensitive, which is exactly why the
+// engine keeps each responder on a single shard: under that contract a
+// responder appears in at most one shard and the merge is a splice. The
+// fallback branch still combines duplicated responders so a hand-driven
+// merge degrades gracefully rather than dropping data.
+func (q *QualityAggregator) Merge(shard Aggregator) {
+	for name, sr := range shard.(*QualityAggregator).responders {
+		r := q.responders[name]
+		if r == nil {
+			q.responders[name] = sr
+			continue
+		}
+		r.certs.Merge(sr.certs)
+		r.serials.Merge(sr.serials)
+		r.validity.Merge(sr.validity)
+		r.margin.Merge(sr.margin)
+		r.blank += sr.blank
+		r.future += sr.future
+		r.usable += sr.usable
+		r.producedGaps = append(r.producedGaps, sr.producedGaps...)
+		r.regressions += sr.regressions
+		r.onDemandSamples += sr.onDemandSamples
+		if sr.lastProducedAt.After(r.lastProducedAt) {
+			r.lastProducedAt = sr.lastProducedAt
+		}
+	}
+}
+
+// NewShard implements ShardedAggregator.
+func (ra *ResponderAvailability) NewShard() Aggregator { return NewResponderAvailability() }
+
+// Merge implements ShardedAggregator. Success/failure tallies sum.
+func (ra *ResponderAvailability) Merge(shard Aggregator) {
+	for responder, byVantage := range shard.(*ResponderAvailability).counts {
+		dst := ra.counts[responder]
+		if dst == nil {
+			ra.counts[responder] = byVantage
+			continue
+		}
+		for vantage, c := range byVantage {
+			d := dst[vantage]
+			if d == nil {
+				dst[vantage] = c
+				continue
+			}
+			d.success += c.success
+			d.fail += c.fail
+		}
+	}
+}
+
+// NewShard implements ShardedAggregator.
+func (l *LatencyAggregator) NewShard() Aggregator { return NewLatencyAggregator() }
+
+// Merge implements ShardedAggregator. CDFs sort lazily on read, so sample
+// order — and therefore shard count — cannot change any derived figure.
+func (l *LatencyAggregator) Merge(shard Aggregator) {
+	sh := shard.(*LatencyAggregator)
+	l.overall.Merge(&sh.overall)
+	for vantage, c := range sh.perVantage {
+		dst := l.perVantage[vantage]
+		if dst == nil {
+			dst = &stats.CDF{}
+			l.perVantage[vantage] = dst
+		}
+		dst.Merge(c)
+	}
+}

@@ -1,6 +1,7 @@
 package world
 
 import (
+	"context"
 	"crypto/ecdsa"
 	"testing"
 	"time"
@@ -127,15 +128,15 @@ func TestQualityBudgetAssignment(t *testing.T) {
 // aggregators.
 func runCampaign(t testing.TB, w *World, start, end time.Time, targets []scanner.Target, aggs ...scanner.Aggregator) {
 	t.Helper()
-	camp := &scanner.Campaign{
-		Client:  &scanner.Client{Transport: w.Network},
-		Clock:   w.Clock,
-		Targets: targets,
-		Start:   start,
-		End:     end,
-		Stride:  time.Hour,
+	camp, err := scanner.NewCampaign(&scanner.Client{Transport: w.Network}, w.Clock,
+		scanner.WithTargets(targets...),
+		scanner.WithWindow(start, end),
+		scanner.WithStride(time.Hour),
+	)
+	if err != nil {
+		t.Fatal(err)
 	}
-	if _, err := camp.Run(aggs...); err != nil {
+	if _, err := camp.Run(context.Background(), aggs...); err != nil {
 		t.Fatal(err)
 	}
 }
