@@ -6,12 +6,17 @@
 #                 detector (the pipelined campaign engine is concurrent;
 #                 this is the tier that guards it).
 #   bench-guard — asserts the pipelined engine is not slower than the
-#                 legacy round-barrier engine (reports a "speedup" metric;
-#                 the redesign targets >= 1.5x on >= 4 cores).
+#                 legacy round-barrier engine and the parallel world build
+#                 is not slower than the serial reference (each reports a
+#                 "speedup" metric; both redesigns target >= 1.5x on
+#                 >= 4 cores).
+#   bench-snapshot — runs the guard benchmarks plus the OCSP/CRL codec and
+#                 scan-client cache micro-benchmarks and archives the
+#                 results as BENCH_PR2.json (via cmd/benchjson).
 
 GO ?= go
 
-.PHONY: all tier1 tier2 bench-guard bench vet fmt
+.PHONY: all tier1 tier2 bench-guard bench bench-snapshot vet fmt
 
 all: tier1
 
@@ -29,7 +34,12 @@ fmt:
 	gofmt -l .
 
 bench-guard:
-	$(GO) test -run - -bench BenchmarkCampaignEngineGuard -benchtime 1x .
+	$(GO) test -run - -bench 'BenchmarkCampaignEngineGuard|BenchmarkWorldBuildGuard' -benchtime 1x .
 
 bench:
 	$(GO) test -run - -bench . -benchtime 1x .
+
+bench-snapshot:
+	{ $(GO) test -run - -bench 'BenchmarkCampaignEngineGuard|BenchmarkWorldBuildGuard' -benchtime 1x . ; \
+	  $(GO) test -run - -bench '^(BenchmarkOCSPCreateResponse|BenchmarkOCSPParseResponse|BenchmarkCRLCreateAndParse)$$' . ; \
+	  $(GO) test -run - -bench BenchmarkClientCaches ./internal/scanner ; } | $(GO) run ./cmd/benchjson > BENCH_PR2.json

@@ -149,8 +149,65 @@ func BenchmarkCampaignEngineGuard(b *testing.B) {
 	}
 }
 
+// BenchmarkWorldBuild measures full world construction — the per-responder
+// CA key generation and certificate signing that dominates campaign setup —
+// under the serial reference build and the default parallel build.
+func BenchmarkWorldBuild(b *testing.B) {
+	for _, mode := range []struct {
+		name    string
+		workers int
+	}{
+		{"serial", 1},
+		{"parallel", 0},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			cfg := benchWorldConfig(1)
+			cfg.BuildWorkers = mode.workers
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := world.Build(cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkWorldBuildGuard is the world-construction regression guard,
+// mirroring BenchmarkCampaignEngineGuard: each iteration builds the same
+// world serially and in parallel and fails if the parallel build is slower
+// than the serial reference it replaced. (The refactor targets ≥1.5× on
+// ≥4 cores; the guard only enforces ≥1.0× so shared CI machines do not
+// flake.) With fewer than 4 CPUs both builds degenerate to nearly the same
+// schedule, so the guard requires at least 4.
+func BenchmarkWorldBuildGuard(b *testing.B) {
+	if runtime.GOMAXPROCS(0) < 4 {
+		b.Skipf("guard needs >= 4 CPUs, have %d", runtime.GOMAXPROCS(0))
+	}
+	runMode := func(workers int) time.Duration {
+		cfg := benchWorldConfig(1)
+		cfg.BuildWorkers = workers
+		start := time.Now()
+		if _, err := world.Build(cfg); err != nil {
+			b.Fatal(err)
+		}
+		return time.Since(start)
+	}
+	for i := 0; i < b.N; i++ {
+		serial := runMode(1)
+		parallel := runMode(0)
+		speedup := float64(serial) / float64(parallel)
+		b.ReportMetric(speedup, "speedup")
+		if speedup < 1.0 {
+			b.Fatalf("parallel world build slower than serial reference: %.2fx (serial %v, parallel %v)",
+				speedup, serial, parallel)
+		}
+	}
+}
+
 // BenchmarkSection4Census regenerates the §4 deployment statistics.
 func BenchmarkSection4Census(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		snap := census.GenerateSnapshot(census.SnapshotConfig{Seed: int64(i)})
 		st := snap.Stats()

@@ -1,0 +1,89 @@
+// Command benchjson converts `go test -bench` text output on stdin into a
+// JSON snapshot on stdout, so benchmark runs can be archived and diffed
+// across PRs (see the bench-snapshot Makefile target).
+//
+// Each benchmark result line becomes one record carrying the benchmark
+// name, the iteration count, and every reported metric (ns/op, B/op,
+// allocs/op, plus custom b.ReportMetric units such as speedup or
+// lookups/sec). Environment header lines (goos, goarch, pkg, cpu) are
+// collected into the snapshot's env map.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+type result struct {
+	Name       string             `json:"name"`
+	Package    string             `json:"package,omitempty"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+type snapshot struct {
+	Env     map[string]string `json:"env"`
+	Results []result          `json:"results"`
+}
+
+func main() {
+	snap := snapshot{Env: map[string]string{}, Results: []result{}}
+	pkg := ""
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos:"),
+			strings.HasPrefix(line, "goarch:"),
+			strings.HasPrefix(line, "cpu:"):
+			k, v, _ := strings.Cut(line, ":")
+			snap.Env[k] = strings.TrimSpace(v)
+		case strings.HasPrefix(line, "pkg:"):
+			_, v, _ := strings.Cut(line, ":")
+			pkg = strings.TrimSpace(v)
+		case strings.HasPrefix(line, "Benchmark"):
+			if r, ok := parseLine(line); ok {
+				r.Package = pkg
+				snap.Results = append(snap.Results, r)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: read: %v\n", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(snap); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: encode: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// parseLine parses one benchmark result line:
+//
+//	BenchmarkName-8   1234   5678 ns/op   90 B/op   1.50 speedup
+func parseLine(line string) (result, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 2 {
+		return result{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return result{}, false
+	}
+	r := result{Name: fields[0], Iterations: iters, Metrics: map[string]float64{}}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			continue
+		}
+		r.Metrics[fields[i+1]] = v
+	}
+	return r, true
+}

@@ -15,6 +15,7 @@ import (
 	"crypto/x509"
 	"fmt"
 	"math/rand"
+	"sort"
 
 	"github.com/netmeasure/muststaple/internal/pki"
 )
@@ -139,9 +140,17 @@ func GenerateSnapshot(cfg SnapshotConfig) *Snapshot {
 
 	// The Must-Staple tier is exact: every such certificate is valid,
 	// supports OCSP (stapling without a responder is meaningless), and
-	// has the paper's CA attribution.
-	for ca, count := range PaperMustStapleByCA {
-		for i := 0; i < count; i++ {
+	// has the paper's CA attribution. Pre-allocated at the known 29,709
+	// total, and filled in sorted CA order so the slice layout is
+	// deterministic (map iteration order is not).
+	s.MustStaple = make([]CertInfo, 0, PaperMustStapleCerts)
+	cas := make([]string, 0, len(PaperMustStapleByCA))
+	for ca := range PaperMustStapleByCA {
+		cas = append(cas, ca)
+	}
+	sort.Strings(cas)
+	for _, ca := range cas {
+		for i := 0; i < PaperMustStapleByCA[ca]; i++ {
 			s.MustStaple = append(s.MustStaple, CertInfo{
 				CA: ca, Valid: true, SupportsOCSP: true, MustStaple: true,
 			})

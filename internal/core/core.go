@@ -70,7 +70,7 @@ func NewRunner(cfg world.Config, out io.Writer) *Runner {
 // identically seeded copy instead.
 func (r *Runner) World() (*world.World, error) {
 	if r.w == nil {
-		w, err := world.Build(r.Config)
+		w, err := r.buildWorld()
 		if err != nil {
 			return nil, err
 		}
@@ -80,7 +80,20 @@ func (r *Runner) World() (*world.World, error) {
 }
 
 func (r *Runner) freshWorld() (*world.World, error) {
-	return world.Build(r.Config)
+	return r.buildWorld()
+}
+
+// buildWorld constructs a world and reports the construction wall time —
+// at paper scale the per-responder key generation dominates setup, so the
+// build cost is worth surfacing next to each campaign's engine stats.
+func (r *Runner) buildWorld() (*world.World, error) {
+	start := time.Now()
+	w, err := world.Build(r.Config)
+	if err != nil {
+		return nil, err
+	}
+	report.WorldBuild(r.Out, time.Since(start), r.Config.BuildWorkers)
+	return w, nil
 }
 
 // Experiments lists the runnable experiment names in presentation order.

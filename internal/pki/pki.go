@@ -16,6 +16,7 @@ import (
 	"crypto/elliptic"
 	cryptorand "crypto/rand"
 	"crypto/rsa"
+	"crypto/sha512"
 	"crypto/x509"
 	"crypto/x509/pkix"
 	"encoding/asn1"
@@ -54,8 +55,11 @@ func (a KeyAlgorithm) String() string {
 // means crypto/rand.Reader). Passing a deterministic reader yields
 // reproducible ECDSA keys: the scalar is derived from a fixed-width read,
 // sidestepping the deliberate nondeterminism (randutil.MaybeReadByte and
-// rejection sampling) inside crypto/ecdsa.GenerateKey. RSA generation is
-// inherently non-reproducible and documented as such.
+// rejection sampling) inside crypto/ecdsa.GenerateKey. Seeded ECDSA keys
+// also sign deterministically (RFC 6979-style derived nonces), so every
+// certificate and OCSP response they produce is byte-reproducible — the
+// property world.Build's parallel construction relies on. RSA generation
+// is inherently non-reproducible and documented as such.
 func GenerateKey(rand io.Reader, alg KeyAlgorithm) (crypto.Signer, error) {
 	switch alg {
 	case ECDSAP256:
@@ -77,7 +81,7 @@ func GenerateKey(rand io.Reader, alg KeyAlgorithm) (crypto.Signer, error) {
 // d = OS2IP(bytes) mod (N−1) + 1. The 64 bits of surplus width make the
 // modular bias negligible; the same reader state always yields the same
 // key, which is what makes seeded worlds reproducible.
-func deterministicP256Key(rand io.Reader) (*ecdsa.PrivateKey, error) {
+func deterministicP256Key(rand io.Reader) (*DeterministicSigner, error) {
 	var buf [40]byte
 	if _, err := io.ReadFull(rand, buf[:]); err != nil {
 		return nil, fmt.Errorf("pki: read key material: %w", err)
@@ -90,7 +94,90 @@ func deterministicP256Key(rand io.Reader) (*ecdsa.PrivateKey, error) {
 	priv := &ecdsa.PrivateKey{D: d}
 	priv.Curve = curve
 	priv.X, priv.Y = curve.ScalarBaseMult(d.Bytes())
-	return priv, nil
+	return &DeterministicSigner{PrivateKey: priv}, nil
+}
+
+// DeterministicSigner is an ECDSA P-256 signer whose signatures are a pure
+// function of (private key, digest): the nonce is derived RFC 6979-style
+// instead of being drawn from the signing entropy source, and the rand
+// argument of Sign is ignored. Two builds of a seeded world therefore emit
+// byte-identical certificate and response DER, which is what lets the
+// parallel world builder be checked bytewise against a serial reference
+// build. Signatures verify with standard crypto/ecdsa verification.
+type DeterministicSigner struct {
+	*ecdsa.PrivateKey
+}
+
+// ecdsaSignature is the SEQUENCE { r INTEGER, s INTEGER } signature form.
+type ecdsaSignature struct {
+	R, S *big.Int
+}
+
+// Sign implements crypto.Signer with a derived nonce. digest must already
+// be hashed; opts' hash function is not consulted (matching how ECDSA
+// signing treats a pre-hashed input).
+func (k *DeterministicSigner) Sign(_ io.Reader, digest []byte, _ crypto.SignerOpts) ([]byte, error) {
+	curve := k.Curve
+	N := curve.Params().N
+	z := hashToInt(digest, N)
+	// Nonce stream: SHA-512(len(d) || d || digest || counter), widened to
+	// 40 bytes and reduced like the key scalar. Same (key, digest) always
+	// yields the same k; distinct digests decouple immediately in the
+	// hash, so nonces never repeat across messages.
+	dBytes := k.D.Bytes()
+	nMinus1 := new(big.Int).Sub(N, big.NewInt(1))
+	for ctr := uint32(0); ; ctr++ {
+		h := sha512.New()
+		var lenByte [1]byte
+		lenByte[0] = byte(len(dBytes))
+		h.Write(lenByte[:])
+		h.Write(dBytes)
+		h.Write(digest)
+		var ctrBytes [4]byte
+		ctrBytes[0] = byte(ctr >> 24)
+		ctrBytes[1] = byte(ctr >> 16)
+		ctrBytes[2] = byte(ctr >> 8)
+		ctrBytes[3] = byte(ctr)
+		h.Write(ctrBytes[:])
+		sum := h.Sum(nil)
+
+		kInt := new(big.Int).SetBytes(sum[:40])
+		kInt.Mod(kInt, nMinus1)
+		kInt.Add(kInt, big.NewInt(1))
+
+		rx, _ := curve.ScalarBaseMult(kInt.Bytes())
+		r := new(big.Int).Mod(rx, N)
+		if r.Sign() == 0 {
+			continue
+		}
+		kInv := new(big.Int).ModInverse(kInt, N)
+		if kInv == nil {
+			continue
+		}
+		s := new(big.Int).Mul(r, k.D)
+		s.Add(s, z)
+		s.Mul(s, kInv)
+		s.Mod(s, N)
+		if s.Sign() == 0 {
+			continue
+		}
+		return asn1.Marshal(ecdsaSignature{R: r, S: s})
+	}
+}
+
+// hashToInt converts a digest to an integer the way ECDSA does: truncate to
+// the bit length of the group order.
+func hashToInt(digest []byte, n *big.Int) *big.Int {
+	orderBits := n.BitLen()
+	orderBytes := (orderBits + 7) / 8
+	if len(digest) > orderBytes {
+		digest = digest[:orderBytes]
+	}
+	out := new(big.Int).SetBytes(digest)
+	if excess := len(digest)*8 - orderBits; excess > 0 {
+		out.Rsh(out, uint(excess))
+	}
+	return out
 }
 
 // CA is a certificate authority able to issue leaves, intermediates,
@@ -159,10 +246,11 @@ func NewRootCA(cfg Config) (*CA, error) {
 		KeyUsage:              x509.KeyUsageCertSign | x509.KeyUsageCRLSign | x509.KeyUsageDigitalSignature,
 	}
 	// Signing randomness comes from crypto/rand even in seeded worlds:
-	// ECDSA signing consumes a nondeterministic number of reader bytes,
-	// which would shift the seeded stream and break key reproducibility
-	// (certificate bytes differ across builds either way, since ECDSA
-	// signatures are randomized).
+	// ECDSA signing would otherwise consume a nondeterministic number of
+	// reader bytes, shifting the seeded stream and breaking key
+	// reproducibility. Seeded keys are DeterministicSigners that ignore
+	// the entropy argument entirely, so seeded certificate DER is still
+	// byte-identical across builds.
 	der, err := x509.CreateCertificate(cryptorand.Reader, tmpl, tmpl, key.Public(), key)
 	if err != nil {
 		return nil, fmt.Errorf("pki: create root certificate: %w", err)

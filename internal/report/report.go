@@ -362,3 +362,13 @@ func CampaignStats(w io.Writer, title string, st scanner.Stats) {
 	header(w, title+": engine stats")
 	fmt.Fprintf(w, "%s\n", st)
 }
+
+// WorldBuild reports world-construction wall time. workers is
+// world.Config.BuildWorkers: 0 means the pool sized itself to GOMAXPROCS.
+func WorldBuild(w io.Writer, d time.Duration, workers int) {
+	pool := "auto"
+	if workers > 0 {
+		pool = fmt.Sprintf("%d", workers)
+	}
+	fmt.Fprintf(w, "[world built in %v, workers=%s]\n", d.Round(time.Millisecond), pool)
+}

@@ -1,0 +1,192 @@
+package scanner
+
+import (
+	"context"
+	"crypto"
+	"fmt"
+	"sync"
+	"testing"
+
+	"github.com/netmeasure/muststaple/internal/clock"
+	"github.com/netmeasure/muststaple/internal/ocsp"
+	"github.com/netmeasure/muststaple/internal/pki"
+	"github.com/netmeasure/muststaple/internal/responder"
+)
+
+// responseBody fetches one raw OCSP response body for the world's leaf
+// straight from a responder, bypassing the network.
+func responseBody(t testing.TB, w *world) []byte {
+	t.Helper()
+	r := responder.New("ocsp.scan.test", w.ca, w.db, w.clk, responder.Profile{})
+	req, err := ocsp.NewRequestForSerial(w.leaf.Certificate.SerialNumber, w.ca.Certificate, crypto.SHA1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	der, err := req.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, ok := r.Respond(der)
+	if !ok {
+		t.Fatal("responder declined request")
+	}
+	return body
+}
+
+// TestParseCacheCollision forces two distinct equal-length bodies onto the
+// same (hash, length) cache key and demands that neither is served the
+// other's parse. Real FNV-64 collisions are infeasible to construct, so the
+// test injects the hash through parseResponseHashed — the exact path
+// parseResponse takes after hashing.
+func TestParseCacheCollision(t *testing.T) {
+	w := newWorld(t, responder.Profile{})
+	good := responseBody(t, w)
+
+	// Same length, different bytes: corrupt the outer SEQUENCE tag so the
+	// second body is unparseable — unambiguously distinguishable from the
+	// first body's successful parse.
+	bad := make([]byte, len(good))
+	copy(bad, good)
+	bad[0] ^= 0xFF
+
+	c := &Client{Transport: w.net}
+	h := fnvSum(good)
+
+	resp, err := c.parseResponseHashed(h, good)
+	if err != nil || resp == nil {
+		t.Fatalf("parse of valid body: resp=%v err=%v", resp, err)
+	}
+
+	// The colliding body must be parsed on its own merits, not served the
+	// cached result for `good`.
+	collResp, collErr := c.parseResponseHashed(h, bad)
+	if collErr == nil {
+		t.Fatalf("collision served the cached parse: resp=%v", collResp)
+	}
+
+	// The collision overwrote the slot; the original body must again
+	// parse correctly rather than inherit the corrupted entry.
+	resp2, err2 := c.parseResponseHashed(h, good)
+	if err2 != nil || resp2 == nil {
+		t.Fatalf("re-parse of valid body after collision: resp=%v err=%v", resp2, err2)
+	}
+	if len(resp2.Responses) != 1 ||
+		resp2.Responses[0].CertID.Serial.Cmp(w.leaf.Certificate.SerialNumber) != 0 {
+		t.Fatalf("re-parse returned wrong response: %+v", resp2.Responses)
+	}
+}
+
+// TestShardedCacheEviction checks the bounded per-shard eviction: a shard
+// over budget is trimmed to half, never wholesale-reset, and the
+// just-inserted entry always survives.
+func TestShardedCacheEviction(t *testing.T) {
+	var c shardedCache[int, int]
+	const budget = 100
+	// Hashes i<<6 all select shard 0 (low six bits zero, high word zero).
+	for i := 0; i < 3*budget; i++ {
+		c.put(uint64(i)<<6, i, i, budget)
+		if v, ok := c.get(uint64(i)<<6, i); !ok || v != i {
+			t.Fatalf("entry %d missing immediately after insert", i)
+		}
+	}
+	if n := c.size(); n > budget+1 {
+		t.Fatalf("shard grew past its budget: %d entries > %d", n, budget+1)
+	}
+	if n := c.size(); n < budget/2 {
+		t.Fatalf("eviction dropped too much: %d entries < %d", n, budget/2)
+	}
+}
+
+// TestClientCacheStress hammers all three client caches from many
+// goroutines — including the forced-collision parse path — so the race
+// detector (tier 2) can observe any unsynchronized access.
+func TestClientCacheStress(t *testing.T) {
+	w := newWorld(t, responder.Profile{})
+	good := responseBody(t, w)
+	bad := make([]byte, len(good))
+	copy(bad, good)
+	bad[0] ^= 0xFF
+	h := fnvSum(good)
+
+	c := &Client{Transport: w.net}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				if _, _, err := c.requestFor(w.target); err != nil {
+					t.Errorf("requestFor: %v", err)
+					return
+				}
+				resp, err := c.parseResponseHashed(h, good)
+				if err != nil {
+					t.Errorf("parse good: %v", err)
+					return
+				}
+				if _, err := c.parseResponseHashed(h, bad); err == nil {
+					t.Error("collision body parsed cleanly")
+					return
+				}
+				if !c.checkSignature(resp, w.ca.Certificate) {
+					t.Error("signature rejected")
+					return
+				}
+				obs := c.Scan(context.Background(), oregon(), w.clk.Now(), w.target)
+				if obs.Class != ClassOK {
+					t.Errorf("scan class %v", obs.Class)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+// BenchmarkClientCaches drives the three memoization caches from all
+// procs at once: the all-hit steady state a campaign settles into, where
+// the seed's single client mutex serialized every worker.
+func BenchmarkClientCaches(b *testing.B) {
+	w := newWorld(b, responder.Profile{})
+
+	// A spread of distinct bodies/targets so shards see mixed traffic.
+	const variants = 32
+	bodies := make([][]byte, variants)
+	targets := make([]Target, variants)
+	for i := range bodies {
+		leaf, err := w.ca.IssueLeaf(pki.LeafOptions{
+			DNSNames:  []string{fmt.Sprintf("bench%02d.scan.test", i)},
+			NotBefore: t0.AddDate(0, -1, 0),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		w.db.AddIssued(leaf.Certificate.SerialNumber, leaf.Certificate.NotAfter)
+		tgt := w.target
+		tgt.Serial = leaf.Certificate.SerialNumber
+		targets[i] = tgt
+		wl := &world{ca: w.ca, db: w.db, clk: clock.NewSimulated(t0), leaf: leaf}
+		bodies[i] = responseBody(b, wl)
+	}
+
+	c := &Client{Transport: w.net}
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			v := i % variants
+			i++
+			if _, _, err := c.requestFor(targets[v]); err != nil {
+				b.Fatal(err)
+			}
+			resp, err := c.parseResponse(bodies[v])
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !c.checkSignature(resp, w.ca.Certificate) {
+				b.Fatal("signature rejected")
+			}
+		}
+	})
+}

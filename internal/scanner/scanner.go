@@ -26,6 +26,7 @@
 package scanner
 
 import (
+	"bytes"
 	"context"
 	"crypto"
 	"crypto/x509"
@@ -36,7 +37,6 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
-	"sync"
 	"time"
 
 	"github.com/netmeasure/muststaple/internal/metrics"
@@ -247,15 +247,28 @@ type Client struct {
 	// on identical input cannot change the outcome.
 	DisableVerifyCache bool
 
-	mu          sync.Mutex
-	verifyCache map[verifyKey]bool
-	parseCache  map[uint64]parsedEntry
-	reqCache    map[string]requestEntry
+	// The memoization caches are sharded by content hash (cache.go) so
+	// concurrent campaign workers don't serialize on one mutex.
+	verifyCache shardedCache[verifyKey, bool]
+	parseCache  shardedCache[parseKey, parsedEntry]
+	reqCache    shardedCache[string, requestEntry]
+}
+
+// parseKey identifies a response body by (FNV-64 hash, length). The length
+// disambiguates most accidental collisions cheaply; the stored body makes
+// the check exact (see parseResponseHashed).
+type parseKey struct {
+	hash   uint64
+	length int
 }
 
 type parsedEntry struct {
 	resp *ocsp.Response
 	err  error
+	// body is the exact bytes this entry was parsed from. A hash
+	// collision between distinct bodies must not hand one body's parse
+	// to the other, so hits are confirmed against the stored bytes.
+	body []byte
 }
 
 type requestEntry struct {
@@ -269,24 +282,18 @@ type requestEntry struct {
 // request bytes never change.
 func (c *Client) requestFor(tgt Target) (*ocsp.Request, []byte, error) {
 	key := tgt.Responder + "|" + tgt.Serial.String()
-	c.mu.Lock()
-	if c.reqCache == nil {
-		c.reqCache = make(map[string]requestEntry)
-	}
-	if e, ok := c.reqCache[key]; ok {
-		c.mu.Unlock()
+	h := fnvSumString(key)
+	if e, ok := c.reqCache.get(h, key); ok {
 		return e.req, e.der, e.err
 	}
-	c.mu.Unlock()
 
 	req, err := ocsp.NewRequestForSerial(tgt.Serial, tgt.Issuer, c.hash())
 	var der []byte
 	if err == nil {
 		der, err = req.Marshal()
 	}
-	c.mu.Lock()
-	c.reqCache[key] = requestEntry{req: req, der: der, err: err}
-	c.mu.Unlock()
+	// Unbounded: the key space is the target list, fixed per campaign.
+	c.reqCache.put(h, key, requestEntry{req: req, der: der, err: err}, 0)
 	return req, der, err
 }
 
@@ -295,56 +302,48 @@ func (c *Client) requestFor(tgt Target) (*ocsp.Request, []byte, error) {
 // change the result. Callers must treat the shared *ocsp.Response as
 // read-only.
 func (c *Client) parseResponse(body []byte) (*ocsp.Response, error) {
-	h := fnvSum(body)
-	c.mu.Lock()
-	if c.parseCache == nil {
-		c.parseCache = make(map[uint64]parsedEntry)
-	}
-	if e, ok := c.parseCache[h]; ok {
-		c.mu.Unlock()
+	return c.parseResponseHashed(fnvSum(body), body)
+}
+
+// parseResponseHashed is the hash-injectable core of parseResponse,
+// separated so the regression test can force a cache-key collision (a real
+// FNV-64 collision is infeasible to construct). A hit is served only when
+// the stored body matches the request bytes exactly; a colliding body is
+// parsed fresh and overwrites the slot.
+func (c *Client) parseResponseHashed(h uint64, body []byte) (*ocsp.Response, error) {
+	key := parseKey{hash: h, length: len(body)}
+	if e, ok := c.parseCache.get(h, key); ok && bytes.Equal(e.body, body) {
 		return e.resp, e.err
 	}
-	c.mu.Unlock()
 	resp, err := ocsp.ParseResponse(body)
-	c.mu.Lock()
-	if len(c.parseCache) > 1<<17 {
-		c.parseCache = make(map[uint64]parsedEntry)
-	}
-	c.parseCache[h] = parsedEntry{resp: resp, err: err}
-	c.mu.Unlock()
+	stored := make([]byte, len(body))
+	copy(stored, body)
+	c.parseCache.put(h, key, parsedEntry{resp: resp, err: err, body: stored}, parseShardBudget)
 	return resp, err
 }
 
 type verifyKey struct {
 	bodyHash     uint64
+	bodyLen      int
 	issuerSerial string
 }
 
-// checkSignature verifies resp against issuer with memoization.
+// checkSignature verifies resp against issuer with memoization. Unlike the
+// parse cache a collision here cannot cross response boundaries in
+// practice — the key also carries the body length and the issuer serial —
+// and a false hit only re-reports a boolean for an equal-length
+// same-issuer body, so the verdict is not re-confirmed against the bytes.
 func (c *Client) checkSignature(resp *ocsp.Response, issuer *x509.Certificate) bool {
 	if c.DisableVerifyCache {
 		return resp.CheckSignatureFrom(issuer) == nil
 	}
-	key := verifyKey{bodyHash: fnvSum(resp.Raw), issuerSerial: issuer.SerialNumber.String()}
-	c.mu.Lock()
-	if c.verifyCache == nil {
-		c.verifyCache = make(map[verifyKey]bool)
-	}
-	if ok, hit := c.verifyCache[key]; hit {
-		c.mu.Unlock()
+	h := fnvSum(resp.Raw)
+	key := verifyKey{bodyHash: h, bodyLen: len(resp.Raw), issuerSerial: issuer.SerialNumber.String()}
+	if ok, hit := c.verifyCache.get(h, key); hit {
 		return ok
 	}
-	c.mu.Unlock()
 	ok := resp.CheckSignatureFrom(issuer) == nil
-	c.mu.Lock()
-	// Bound the cache: responders rotate responses over a campaign, so
-	// entries are useful for hours; a simple reset on overflow keeps
-	// memory flat.
-	if len(c.verifyCache) > 1<<18 {
-		c.verifyCache = make(map[verifyKey]bool)
-	}
-	c.verifyCache[key] = ok
-	c.mu.Unlock()
+	c.verifyCache.put(h, key, ok, verifyShardBudget)
 	return ok
 }
 
@@ -356,6 +355,21 @@ func fnvSum(b []byte) uint64 {
 	h := uint64(offset)
 	for _, c := range b {
 		h ^= uint64(c)
+		h *= prime
+	}
+	return h
+}
+
+// fnvSumString is fnvSum over a string without the []byte conversion
+// allocation on the request-cache hot path.
+func fnvSumString(s string) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
 		h *= prime
 	}
 	return h

@@ -1,8 +1,6 @@
 package world
 
 import (
-	"math/rand"
-
 	"github.com/netmeasure/muststaple/internal/census"
 	"github.com/netmeasure/muststaple/internal/scanner"
 )
@@ -18,7 +16,7 @@ import (
 // domains concentrated on a few large responders (163K domains knocked out
 // by the Comodo event) while only 318 domains (0.05%) sat behind the
 // responders São Paulo could never reach.
-func (w *World) buildAlexa(rng *rand.Rand) {
+func (w *World) buildAlexa() {
 	n := w.Config.Responders
 	alexaResponders := 128
 	if alexaResponders > n {
@@ -89,5 +87,4 @@ func (w *World) buildAlexa(rng *rand.Rand) {
 			Expiry:       w.Config.End.AddDate(0, 0, 30),
 		})
 	}
-	_ = rng
 }

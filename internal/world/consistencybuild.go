@@ -49,12 +49,37 @@ var timeSkewSpecs = []timeSkewSpec{
 	{name: "ancientskew", serials: 3, skew: 4*365*24*time.Hour + 30*24*time.Hour},
 }
 
-// buildConsistency creates the §5.4 study population: the seven exact
-// Table 1 pairs (scaled by Table1Scale), the pinned time-skew pairs, and
-// the well-behaved remainder, each with a CRL publisher and an OCSP
-// responder reading one shared revocation database.
-func (w *World) buildConsistency(rng *rand.Rand) error {
+// consistencyJob describes one CRL/OCSP pair to construct: everything a
+// worker needs, with no shared mutable state.
+type consistencyJob struct {
+	name    string
+	revoked int
+	profile responder.Profile
+	// mutate, if non-nil, edits the profile once the serial list is known.
+	mutate func([]*big.Int, *responder.Profile)
+	// explicitReasons re-revokes every unexpired entry with an explicit
+	// reason code (the CRL carries it, the responder drops it).
+	explicitReasons bool
+}
+
+// consistencyResult is one constructed pair, handed back to the serial
+// assembly loop for network registration.
+type consistencyResult struct {
+	src      consistency.Source
+	ocsp     *responder.Responder
+	crl      *responder.CRLPublisher
+	ocspHost string
+	crlHost  string
+	err      error
+}
+
+// consistencyJobs lays out the §5.4 study population in a fixed order: the
+// seven exact Table 1 pairs (scaled by Table1Scale), the pinned time-skew
+// pairs, then the well-behaved remainder. The slice index doubles as the
+// pair's child-seed index, so each job is reproducible in isolation.
+func (w *World) consistencyJobs() []consistencyJob {
 	scale := w.Config.Table1Scale
+	var jobs []consistencyJob
 
 	for _, spec := range table1Specs {
 		// Small rows (firmaprofesional's 11) stay exact at any scale;
@@ -67,85 +92,95 @@ func (w *World) buildConsistency(rng *rand.Rand) error {
 		if total < spec.good {
 			total = spec.good
 		}
-		profile := responder.Profile{}
-		src, db, err := w.addConsistencyCA(rng, spec.name, total, profile, func(serials []*big.Int, p *responder.Profile) {
-			if spec.unknownAll {
+		spec := spec
+		jobs = append(jobs, consistencyJob{
+			name:    spec.name,
+			revoked: total,
+			mutate: func(serials []*big.Int, p *responder.Profile) {
 				p.StatusOverrides = map[string]ocsp.CertStatus{}
-				for _, s := range serials {
-					p.StatusOverrides[s.String()] = ocsp.Unknown
+				if spec.unknownAll {
+					for _, s := range serials {
+						p.StatusOverrides[s.String()] = ocsp.Unknown
+					}
+					return
 				}
-				return
-			}
-			p.StatusOverrides = map[string]ocsp.CertStatus{}
-			for _, s := range serials[:spec.good] {
-				p.StatusOverrides[s.String()] = ocsp.Good
-			}
+				for _, s := range serials[:spec.good] {
+					p.StatusOverrides[s.String()] = ocsp.Good
+				}
+			},
 		})
-		if err != nil {
-			return err
-		}
-		_ = db
-		w.ConsistencySources = append(w.ConsistencySources, src)
 	}
 
 	for _, spec := range timeSkewSpecs {
-		src, _, err := w.addConsistencyCA(rng, spec.name, spec.serials, responder.Profile{RevocationTimeSkew: spec.skew}, nil)
-		if err != nil {
-			return err
-		}
-		w.ConsistencySources = append(w.ConsistencySources, src)
+		jobs = append(jobs, consistencyJob{
+			name:    spec.name,
+			revoked: spec.serials,
+			profile: responder.Profile{RevocationTimeSkew: spec.skew},
+		})
 	}
 
 	// The well-behaved remainder. Roughly 15% of pairs differ only in
 	// reason codes — the CRL has one, the OCSP responder drops it.
 	for i := 0; i < w.Config.ConsistentCAs; i++ {
-		name := fmt.Sprintf("consistent%03d", i)
-		profile := responder.Profile{}
-		withReasons := false
+		job := consistencyJob{
+			name:    fmt.Sprintf("consistent%03d", i),
+			revoked: w.Config.SerialsPerConsistentCA,
+		}
 		if float64(i) < 0.15*float64(w.Config.ConsistentCAs) {
-			profile.DropReasonCodes = true
-			withReasons = true
+			job.profile.DropReasonCodes = true
+			job.explicitReasons = true
 		}
-		src, db, err := w.addConsistencyCA(rng, name, w.Config.SerialsPerConsistentCA, profile, nil)
-		if err != nil {
-			return err
+		jobs = append(jobs, job)
+	}
+	return jobs
+}
+
+// buildConsistency constructs the study population across the build worker
+// pool — each pair is an independent CA with its own child RNG — then
+// registers the pairs on the network and appends the sources in job order,
+// so the assembled world is identical at any worker count.
+func (w *World) buildConsistency() error {
+	jobs := w.consistencyJobs()
+	results := make([]consistencyResult, len(jobs))
+	w.runParallel(len(jobs), func(i int) {
+		rng := childRNG(w.Config.Seed, streamConsistency, uint64(i))
+		results[i] = w.buildConsistencyCA(rng, jobs[i])
+	})
+	for _, res := range results {
+		if res.err != nil {
+			return res.err
 		}
-		if withReasons {
-			// Re-revoke with explicit reasons so the CRL side
-			// carries codes the responder will drop.
-			for _, rec := range db.RevokedEntries() {
-				db.Revoke(rec.Serial, rec.RevokedAt, pkixutil.ReasonKeyCompromise)
-			}
-		}
-		w.ConsistencySources = append(w.ConsistencySources, src)
+		w.Network.RegisterHost(res.ocspHost, "", res.ocsp)
+		w.Network.RegisterHost(res.crlHost, "", res.crl)
+		w.ConsistencySources = append(w.ConsistencySources, res.src)
 	}
 	return nil
 }
 
-// addConsistencyCA creates one CRL/OCSP pair: a CA, a database with
-// `revoked` unexpired revoked serials plus ~1.8× expired revoked entries
+// buildConsistencyCA creates one CRL/OCSP pair: a CA, a database with
+// job.revoked unexpired revoked serials plus ~1.8× expired revoked entries
 // (so the study's expiry cross-referencing step has real work to do, as in
 // the paper's 2,041,345 → 728,261 reduction), an OCSP responder with the
-// given profile, and a CRL publisher. mutate, if non-nil, edits the
-// profile once the serial list is known.
-func (w *World) addConsistencyCA(rng *rand.Rand, name string, revoked int, profile responder.Profile, mutate func([]*big.Int, *responder.Profile)) (consistency.Source, *responder.DB, error) {
-	ocspHost := "ocsp." + name + ".test"
-	crlHost := "crl." + name + ".test"
+// job's profile, and a CRL publisher. It touches no world state shared
+// with other jobs, so jobs run concurrently.
+func (w *World) buildConsistencyCA(rng *rand.Rand, job consistencyJob) consistencyResult {
+	ocspHost := "ocsp." + job.name + ".test"
+	crlHost := "crl." + job.name + ".test"
 	ca, err := pki.NewRootCA(pki.Config{
-		Name:      "Consistency CA " + name,
+		Name:      "Consistency CA " + job.name,
 		Rand:      rng,
 		OCSPURL:   "http://" + ocspHost,
 		CRLURL:    "http://" + crlHost + "/ca.crl",
 		NotBefore: w.Config.Start.AddDate(-3, 0, 0),
 	})
 	if err != nil {
-		return consistency.Source{}, nil, err
+		return consistencyResult{err: err}
 	}
 	db := responder.NewDB()
 
 	base := int64(1000)
 	var serials []*big.Int
-	for i := 0; i < revoked; i++ {
+	for i := 0; i < job.revoked; i++ {
 		serial := big.NewInt(base + int64(i))
 		expiry := w.Config.Start.AddDate(1, 0, 0)
 		revokedAt := w.Config.Start.AddDate(0, 0, -1-rng.Intn(300)).Truncate(time.Second)
@@ -155,32 +190,43 @@ func (w *World) addConsistencyCA(rng *rand.Rand, name string, revoked int, profi
 	}
 	// Expired revoked entries: present in the CRL, filtered by the
 	// study's cross-referencing.
-	expiredCount := revoked * 9 / 5
+	expiredCount := job.revoked * 9 / 5
 	for i := 0; i < expiredCount; i++ {
-		serial := big.NewInt(base + int64(revoked) + int64(i))
+		serial := big.NewInt(base + int64(job.revoked) + int64(i))
 		db.AddIssued(serial, w.Config.Start.AddDate(0, -1-rng.Intn(12), 0))
 		db.Revoke(serial, w.Config.Start.AddDate(-1, 0, 0), pkixutil.ReasonAbsent)
 	}
-
-	if mutate != nil {
-		mutate(serials, &profile)
+	if job.explicitReasons {
+		// Re-revoke with explicit reasons so the CRL side carries codes
+		// the responder will drop.
+		for _, rec := range db.RevokedEntries() {
+			db.Revoke(rec.Serial, rec.RevokedAt, pkixutil.ReasonKeyCompromise)
+		}
 	}
 
-	w.Network.RegisterHost(ocspHost, "", responder.New(ocspHost, ca, db, w.Clock, profile))
-	w.Network.RegisterHost(crlHost, "", responder.NewCRLPublisher(ca, db, w.Clock))
+	profile := job.profile
+	if job.mutate != nil {
+		job.mutate(serials, &profile)
+	}
 
-	return consistency.Source{
-		Name:      name,
-		Issuer:    ca.Certificate,
-		CRLURL:    "http://" + crlHost + "/ca.crl",
-		OCSPURL:   "http://" + ocspHost,
-		Responder: ocspHost,
-		Expiry: func(serial *big.Int) (time.Time, bool) {
-			rec, ok := db.Lookup(serial)
-			if !ok {
-				return time.Time{}, false
-			}
-			return rec.Expiry, true
+	return consistencyResult{
+		src: consistency.Source{
+			Name:      job.name,
+			Issuer:    ca.Certificate,
+			CRLURL:    "http://" + crlHost + "/ca.crl",
+			OCSPURL:   "http://" + ocspHost,
+			Responder: ocspHost,
+			Expiry: func(serial *big.Int) (time.Time, bool) {
+				rec, ok := db.Lookup(serial)
+				if !ok {
+					return time.Time{}, false
+				}
+				return rec.Expiry, true
+			},
 		},
-	}, db, nil
+		ocsp:     responder.New(ocspHost, ca, db, w.Clock, profile),
+		crl:      responder.NewCRLPublisher(ca, db, w.Clock),
+		ocspHost: ocspHost,
+		crlHost:  crlHost,
+	}
 }

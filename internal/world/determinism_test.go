@@ -1,0 +1,180 @@
+package world
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"github.com/netmeasure/muststaple/internal/scanner"
+)
+
+// detConfig is small enough for repeated builds but keeps every named
+// population and a non-trivial consistency study.
+func detConfig(seed int64) Config {
+	return Config{
+		Seed:                   seed,
+		Responders:             130,
+		CertsPerResponder:      2,
+		AlexaDomains:           4_000,
+		ConsistentCAs:          3,
+		SerialsPerConsistentCA: 10,
+		Table1Scale:            100,
+	}
+}
+
+// compareWorlds checks two builds for structural and bytewise identity:
+// the certificate hierarchies must match DER-for-DER, the target lists
+// field-for-field, and the scheduled events window-for-window.
+func compareWorlds(t *testing.T, a, b *World) {
+	t.Helper()
+
+	if len(a.Responders) != len(b.Responders) {
+		t.Fatalf("responder count %d vs %d", len(a.Responders), len(b.Responders))
+	}
+	for i := range a.Responders {
+		ra, rb := a.Responders[i], b.Responders[i]
+		if ra.Host != rb.Host || ra.Kind != rb.Kind {
+			t.Fatalf("responder %d: (%s,%s) vs (%s,%s)", i, ra.Host, ra.Kind, rb.Host, rb.Kind)
+		}
+		if !bytes.Equal(ra.CA.Certificate.Raw, rb.CA.Certificate.Raw) {
+			t.Fatalf("responder %d (%s): CA certificate DER differs", i, ra.Host)
+		}
+		if ra.AlexaDomains != rb.AlexaDomains {
+			t.Fatalf("responder %d: Alexa weight %d vs %d", i, ra.AlexaDomains, rb.AlexaDomains)
+		}
+	}
+
+	compareTargets(t, "targets", a.Targets, b.Targets)
+	compareTargets(t, "alexa targets", a.AlexaTargets, b.AlexaTargets)
+
+	if len(a.ConsistencySources) != len(b.ConsistencySources) {
+		t.Fatalf("consistency sources %d vs %d", len(a.ConsistencySources), len(b.ConsistencySources))
+	}
+	for i := range a.ConsistencySources {
+		sa, sb := a.ConsistencySources[i], b.ConsistencySources[i]
+		if sa.Name != sb.Name || sa.OCSPURL != sb.OCSPURL || sa.CRLURL != sb.CRLURL {
+			t.Fatalf("consistency source %d: %q vs %q", i, sa.Name, sb.Name)
+		}
+		if !bytes.Equal(sa.Issuer.Raw, sb.Issuer.Raw) {
+			t.Fatalf("consistency source %d (%s): issuer DER differs", i, sa.Name)
+		}
+	}
+
+	if len(a.Events) != len(b.Events) {
+		t.Fatalf("events %d vs %d", len(a.Events), len(b.Events))
+	}
+	for i := range a.Events {
+		ea, eb := a.Events[i], b.Events[i]
+		if ea.Name != eb.Name || !ea.Window.From.Equal(eb.Window.From) || !ea.Window.To.Equal(eb.Window.To) {
+			t.Fatalf("event %d: %+v vs %+v", i, ea, eb)
+		}
+	}
+
+	if a.AlexaScale != b.AlexaScale {
+		t.Fatalf("alexa scale %d vs %d", a.AlexaScale, b.AlexaScale)
+	}
+}
+
+func compareTargets(t *testing.T, label string, a, b []scanner.Target) {
+	t.Helper()
+	if len(a) != len(b) {
+		t.Fatalf("%s: %d vs %d", label, len(a), len(b))
+	}
+	for i := range a {
+		ta, tb := a[i], b[i]
+		if ta.ResponderURL != tb.ResponderURL || ta.Responder != tb.Responder ||
+			ta.Serial.Cmp(tb.Serial) != 0 || !ta.Expiry.Equal(tb.Expiry) ||
+			ta.Domain != tb.Domain || ta.DomainWeight != tb.DomainWeight {
+			t.Fatalf("%s[%d]: %+v vs %+v", label, i, ta, tb)
+		}
+		if !bytes.Equal(ta.Issuer.Raw, tb.Issuer.Raw) {
+			t.Fatalf("%s[%d]: issuer DER differs", label, i)
+		}
+	}
+}
+
+// campaignFingerprint runs a 24-hour hourly campaign over the Hourly target
+// set and summarizes the measurements: total lookups plus the per-vantage
+// overall failure rates.
+func campaignFingerprint(t *testing.T, w *World) (int, map[string]float64) {
+	t.Helper()
+	avail := scanner.NewAvailabilitySeries(time.Hour)
+	start := w.Config.Start
+	camp, err := scanner.NewCampaign(&scanner.Client{Transport: w.Network}, w.Clock,
+		scanner.WithTargets(w.Targets...),
+		scanner.WithWindow(start, start.Add(24*time.Hour)),
+		scanner.WithStride(time.Hour),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := camp.Run(t.Context(), avail)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rates := make(map[string]float64)
+	for _, v := range avail.Vantages() {
+		rates[v] = avail.OverallFailureRate(v)
+	}
+	return n, rates
+}
+
+// TestBuildRepeatedDeterminism rebuilds the same config twice at the
+// default (parallel) worker count and demands bytewise-identical worlds
+// and identical 24-hour campaign measurements.
+func TestBuildRepeatedDeterminism(t *testing.T) {
+	a, err := Build(detConfig(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Build(detConfig(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	compareWorlds(t, a, b)
+
+	na, ratesA := campaignFingerprint(t, a)
+	nb, ratesB := campaignFingerprint(t, b)
+	if na != nb {
+		t.Fatalf("campaign lookups %d vs %d", na, nb)
+	}
+	if len(ratesA) != len(ratesB) {
+		t.Fatalf("vantage count %d vs %d", len(ratesA), len(ratesB))
+	}
+	for v, r := range ratesA {
+		if ratesB[v] != r {
+			t.Fatalf("vantage %s: failure rate %v vs %v", v, r, ratesB[v])
+		}
+	}
+}
+
+// TestBuildSerialParallelEquivalence pins the parallel build to the serial
+// reference: BuildWorkers=1 and BuildWorkers=8 must assemble bytewise
+// identical worlds from the same config.
+func TestBuildSerialParallelEquivalence(t *testing.T) {
+	serialCfg := detConfig(11)
+	serialCfg.BuildWorkers = 1
+	parallelCfg := detConfig(11)
+	parallelCfg.BuildWorkers = 8
+
+	serial, err := Build(serialCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := Build(parallelCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	compareWorlds(t, serial, parallel)
+
+	ns, ratesS := campaignFingerprint(t, serial)
+	np, ratesP := campaignFingerprint(t, parallel)
+	if ns != np {
+		t.Fatalf("campaign lookups: serial %d vs parallel %d", ns, np)
+	}
+	for v, r := range ratesS {
+		if ratesP[v] != r {
+			t.Fatalf("vantage %s: serial rate %v vs parallel %v", v, r, ratesP[v])
+		}
+	}
+}

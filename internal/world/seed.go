@@ -1,0 +1,80 @@
+package world
+
+import (
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Child-seed derivation. Every construction phase owns an independent
+// random stream derived from (Config.Seed, stream tag, index): per-phase
+// tags keep the phases decoupled, and per-index seeds within a phase make
+// each responder's (or consistency CA's) key material a pure function of
+// (seed, index) — independent of build order, which is what lets the
+// worker pool construct the fleet concurrently while staying bytewise
+// identical to a serial build. See DESIGN.md §8.
+const (
+	streamSpecs uint64 = 1 + iota
+	streamResponderCA
+	streamEvents
+	streamTargets
+	streamConsistency
+)
+
+// childSeed mixes (seed, stream, index) through the splitmix64 finalizer —
+// a full-avalanche permutation, so adjacent indices yield uncorrelated
+// seeds.
+func childSeed(seed int64, stream, index uint64) int64 {
+	x := uint64(seed)
+	for _, w := range [2]uint64{stream, index} {
+		x += 0x9E3779B97F4A7C15 * (w + 1)
+		x ^= x >> 30
+		x *= 0xBF58476D1CE4E5B9
+		x ^= x >> 27
+		x *= 0x94D049BB133111EB
+		x ^= x >> 31
+	}
+	return int64(x)
+}
+
+// childRNG returns the dedicated RNG for one (stream, index) cell.
+func childRNG(seed int64, stream, index uint64) *rand.Rand {
+	return rand.New(rand.NewSource(childSeed(seed, stream, index)))
+}
+
+// runParallel executes fn(i) for every i in [0, n) across the configured
+// build worker pool. BuildWorkers <= 1 degenerates to a plain in-order
+// loop (the serial reference build); any other worker count produces the
+// same world because each index derives its own random stream.
+func (w *World) runParallel(n int, fn func(int)) {
+	workers := w.Config.BuildWorkers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for k := 0; k < workers; k++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}

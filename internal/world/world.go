@@ -54,6 +54,11 @@ type Config struct {
 	// (369 … 28,023) to keep quick runs quick; 0 means 10. Set 1 for
 	// the paper's exact counts.
 	Table1Scale int
+	// BuildWorkers bounds the construction worker pool: 0 means
+	// runtime.GOMAXPROCS(0), 1 forces the serial reference build. The
+	// built world is identical for every worker count — all key material
+	// derives from per-index child seeds, not from build order.
+	BuildWorkers int
 }
 
 func (c Config) withDefaults() Config {
@@ -157,49 +162,57 @@ type World struct {
 	AlexaScale int
 }
 
-// Build assembles a world from cfg. All key material is derived from the
-// seed, so equal configs yield bytewise-identical certificate hierarchies.
+// Build assembles a world from cfg. All key material is derived from
+// per-index child seeds of cfg.Seed, so equal configs yield
+// bytewise-identical certificate hierarchies regardless of BuildWorkers:
+// the fleet and the consistency-study CAs are constructed concurrently and
+// assembled in index order.
 func Build(cfg Config) (*World, error) {
 	cfg = cfg.withDefaults()
-	rng := rand.New(rand.NewSource(cfg.Seed))
 	w := &World{
 		Config:  cfg,
 		Network: netsim.New(),
 		Clock:   clock.NewSimulated(cfg.Start),
 	}
 
-	if err := w.buildResponders(rng); err != nil {
+	if err := w.buildResponders(); err != nil {
 		return nil, err
 	}
-	w.scheduleEvents(rng)
-	if err := w.buildTargets(rng); err != nil {
+	w.scheduleEvents(childRNG(cfg.Seed, streamEvents, 0))
+	if err := w.buildTargets(childRNG(cfg.Seed, streamTargets, 0)); err != nil {
 		return nil, err
 	}
-	w.buildAlexa(rng)
-	if err := w.buildConsistency(rng); err != nil {
+	w.buildAlexa()
+	if err := w.buildConsistency(); err != nil {
 		return nil, err
 	}
 	return w, nil
 }
 
 // buildResponders creates the CA + responder fleet with the calibrated
-// behavior mix and registers everything on the network.
-func (w *World) buildResponders(rng *rand.Rand) error {
+// behavior mix and registers everything on the network. Behavior specs are
+// assigned serially (they are one cheap shuffled stream); the expensive
+// part — per-responder CA key generation and certificate signing — fans
+// out across the worker pool, each index on its own child RNG, and the
+// fleet is assembled and registered in index order afterwards.
+func (w *World) buildResponders() error {
 	n := w.Config.Responders
-	specs := buildSpecs(n, rng, w.Config)
-	w.Responders = make([]*ResponderInfo, 0, n)
-	for i := 0; i < n; i++ {
+	specs := buildSpecs(n, childRNG(w.Config.Seed, streamSpecs, 0), w.Config)
+	infos := make([]*ResponderInfo, n)
+	errs := make([]error, n)
+	w.runParallel(n, func(i int) {
 		host := hostName(i)
 		ca, err := pki.NewRootCA(pki.Config{
 			Name:       fmt.Sprintf("CA %03d (%s)", i, host),
-			Rand:       rng,
+			Rand:       childRNG(w.Config.Seed, streamResponderCA, uint64(i)),
 			OCSPURL:    "http://" + host,
 			CRLURL:     fmt.Sprintf("http://crl%03d.world.test/ca.crl", i),
 			SerialBase: int64(i) * 1_000_000,
 			NotBefore:  w.Config.Start.AddDate(-2, 0, 0),
 		})
 		if err != nil {
-			return fmt.Errorf("world: responder %d CA: %w", i, err)
+			errs[i] = fmt.Errorf("world: responder %d CA: %w", i, err)
+			return
 		}
 		profile := specs[i].profile
 		for c := 0; c < specs[i].superfluousCertCount; c++ {
@@ -207,12 +220,19 @@ func (w *World) buildResponders(rng *rand.Rand) error {
 		}
 		db := responder.NewDB()
 		r := responder.New(host, ca, db, w.Clock, profile)
-		info := &ResponderInfo{
+		infos[i] = &ResponderInfo{
 			Index: i, Host: host, Kind: specs[i].kind,
 			CA: ca, DB: db, Responder: r, Profile: profile,
 		}
-		w.Responders = append(w.Responders, info)
-		w.Network.RegisterHost(host, backendFor(i), r)
+	})
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	w.Responders = infos
+	for i, info := range infos {
+		w.Network.RegisterHost(info.Host, backendFor(i), info.Responder)
 	}
 	return nil
 }

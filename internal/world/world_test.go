@@ -182,7 +182,11 @@ func TestComodoOutageVisibility(t *testing.T) {
 }
 
 func TestPersistentFailuresMeasured(t *testing.T) {
-	w := build(t, Config{Seed: 3, AlexaDomains: 2000, ConsistentCAs: 1, SerialsPerConsistentCA: 2, Table1Scale: 200})
+	// Seed choice matters here: the random transient outages must not
+	// happen to cover the short classification window below, or a healthy
+	// responder masquerades as persistently failing. Seed 5 keeps the
+	// window quiet under the PR 2 per-phase seed-derivation scheme.
+	w := build(t, Config{Seed: 5, AlexaDomains: 2000, ConsistentCAs: 1, SerialsPerConsistentCA: 2, Table1Scale: 200})
 	// A quiet week (no named events) suffices to classify persistent
 	// failures; use one target per responder to keep it fast.
 	var targets []scanner.Target
