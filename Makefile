@@ -6,21 +6,26 @@
 #                 detector (the pipelined campaign engine is concurrent;
 #                 this is the tier that guards it).
 #   bench-guard — asserts the pipelined engine is not slower than the
-#                 legacy round-barrier engine and the parallel world build
-#                 is not slower than the serial reference (each reports a
+#                 legacy round-barrier engine, the parallel world build is
+#                 not slower than the serial reference (each reports a
 #                 "speedup" metric; both redesigns target >= 1.5x on
-#                 >= 4 cores).
-#   bench-snapshot — runs the guard benchmarks plus the OCSP/CRL codec and
-#                 scan-client cache micro-benchmarks and archives the
-#                 results as BENCH_PR2.json (via cmd/benchjson).
+#                 >= 4 cores), and the responder signed-response cache hot
+#                 path beats per-scan signing by >= 3x ns/op and >= 5x
+#                 allocs/op (no core gate; the win is eliminated work).
+#   bench-snapshot — runs the guard benchmarks plus the OCSP/CRL codec,
+#                 CRL Find, responder hot-path, and scan-client cache
+#                 micro-benchmarks and archives the results as
+#                 BENCH_PR3.json (via cmd/benchjson).
+#   bench-compare — diffs the archived BENCH_PR2.json snapshot against
+#                 BENCH_PR3.json (via cmd/benchjson -compare).
 
 GO ?= go
 
-.PHONY: all tier1 tier2 bench-guard bench bench-snapshot vet fmt
+.PHONY: all tier1 tier2 bench-guard bench bench-snapshot bench-compare vet fmt
 
 all: tier1
 
-tier1:
+tier1: vet
 	$(GO) build ./...
 	$(GO) test ./...
 
@@ -34,12 +39,16 @@ fmt:
 	gofmt -l .
 
 bench-guard:
-	$(GO) test -run - -bench 'BenchmarkCampaignEngineGuard|BenchmarkWorldBuildGuard' -benchtime 1x .
+	$(GO) test -run - -bench 'BenchmarkCampaignEngineGuard|BenchmarkWorldBuildGuard|BenchmarkResponderRespondGuard' -benchtime 1x .
 
 bench:
 	$(GO) test -run - -bench . -benchtime 1x .
 
 bench-snapshot:
-	{ $(GO) test -run - -bench 'BenchmarkCampaignEngineGuard|BenchmarkWorldBuildGuard' -benchtime 1x . ; \
-	  $(GO) test -run - -bench '^(BenchmarkOCSPCreateResponse|BenchmarkOCSPParseResponse|BenchmarkCRLCreateAndParse)$$' . ; \
-	  $(GO) test -run - -bench BenchmarkClientCaches ./internal/scanner ; } | $(GO) run ./cmd/benchjson > BENCH_PR2.json
+	{ $(GO) test -run - -bench 'BenchmarkCampaignEngineGuard|BenchmarkWorldBuildGuard|BenchmarkResponderRespondGuard' -benchtime 1x . ; \
+	  $(GO) test -run - -bench '^(BenchmarkOCSPCreateResponse|BenchmarkOCSPParseResponse|BenchmarkCRLCreateAndParse|BenchmarkResponderRespond)$$' . ; \
+	  $(GO) test -run - -bench '^BenchmarkCRLFindMiss$$' ./internal/crl ; \
+	  $(GO) test -run - -bench BenchmarkClientCaches ./internal/scanner ; } | $(GO) run ./cmd/benchjson > BENCH_PR3.json
+
+bench-compare:
+	$(GO) run ./cmd/benchjson -compare BENCH_PR2.json BENCH_PR3.json

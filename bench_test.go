@@ -785,3 +785,101 @@ func BenchmarkVulnWindow(b *testing.B) {
 		}
 	}
 }
+
+// --- Responder hot path (DESIGN.md §9) ---
+
+// benchHotProfiles are the two generation disciplines the signed-response
+// cache accelerates: window-cached responders re-serve one response for a
+// whole update window; on-demand responders memoize only the same-instant
+// fan-out (six vantages probing at one virtual tick).
+var benchHotProfiles = []struct {
+	name    string
+	profile responder.Profile
+}{
+	{"cached-window", responder.Profile{CacheResponses: true, Validity: 24 * time.Hour, UpdateInterval: 12 * time.Hour}},
+	{"on-demand-tick", responder.Profile{}},
+}
+
+// BenchmarkResponderRespond measures the responder hot path: repeated
+// lookups of one request at a fixed virtual instant, served from the
+// epoch-keyed cache ("hot") versus fully re-parsed and re-signed every time
+// (the WithOnDemandSigning baseline, "per-scan-signed").
+func BenchmarkResponderRespond(b *testing.B) {
+	modes := []struct {
+		name string
+		opts []responder.Option
+	}{
+		{"hot", nil},
+		{"per-scan-signed", []responder.Option{responder.WithOnDemandSigning()}},
+	}
+	for _, p := range benchHotProfiles {
+		for _, mode := range modes {
+			b.Run(p.name+"/"+mode.name, func(b *testing.B) {
+				f := newRespFixture(b, pki.ECDSAP256)
+				r := responder.New("ocsp.bench.test", f.ca, f.db, f.clk, p.profile, mode.opts...)
+				reqDER := f.requestDER(b, crypto.SHA1)
+				if der, ok := r.Respond(reqDER); !ok || len(der) == 0 {
+					b.Fatal("warm-up response failed")
+				}
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if der, ok := r.Respond(reqDER); !ok || len(der) == 0 {
+						b.Fatal("empty response")
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkResponderRespondGuard enforces the hot-path win: within one
+// update window, cache-served responses must be at least 3× faster and
+// allocate at least 5× less than the per-scan-signed baseline. Unlike the
+// engine guards this one does not gate on CPU count — the win comes from
+// eliminating parse/sign/marshal work, not from parallelism. Measurement is
+// manual (timed loop + MemStats malloc delta): testing.Benchmark deadlocks
+// when invoked from inside a running benchmark.
+func BenchmarkResponderRespondGuard(b *testing.B) {
+	profile := responder.Profile{CacheResponses: true, Validity: 24 * time.Hour, UpdateInterval: 12 * time.Hour}
+	measure := func(iters int, opts ...responder.Option) (nsPerOp, allocsPerOp float64) {
+		f := newRespFixture(b, pki.ECDSAP256)
+		r := responder.New("ocsp.bench.test", f.ca, f.db, f.clk, profile, opts...)
+		reqDER := f.requestDER(b, crypto.SHA1)
+		if der, ok := r.Respond(reqDER); !ok || len(der) == 0 {
+			b.Fatal("warm-up response failed")
+		}
+		runtime.GC()
+		var before, after runtime.MemStats
+		runtime.ReadMemStats(&before)
+		start := time.Now()
+		for i := 0; i < iters; i++ {
+			if der, ok := r.Respond(reqDER); !ok || len(der) == 0 {
+				b.Fatal("empty response")
+			}
+		}
+		elapsed := time.Since(start)
+		runtime.ReadMemStats(&after)
+		return float64(elapsed.Nanoseconds()) / float64(iters),
+			float64(after.Mallocs-before.Mallocs) / float64(iters)
+	}
+	for i := 0; i < b.N; i++ {
+		baseNs, baseAllocs := measure(500, responder.WithOnDemandSigning())
+		hotNs, hotAllocs := measure(50000)
+		if hotAllocs < 1 {
+			hotAllocs = 1 // hit path is allocation-free; avoid a degenerate ratio
+		}
+		nsSpeedup := baseNs / hotNs
+		allocRatio := baseAllocs / hotAllocs
+		b.ReportMetric(nsSpeedup, "ns-speedup")
+		b.ReportMetric(allocRatio, "alloc-ratio")
+		if nsSpeedup < 3 {
+			b.Fatalf("cache hot path only %.2fx faster than per-scan signing (want >= 3x): baseline %.0f ns/op, hot %.0f ns/op",
+				nsSpeedup, baseNs, hotNs)
+		}
+		if allocRatio < 5 {
+			b.Fatalf("cache hot path only %.2fx fewer allocs than per-scan signing (want >= 5x): baseline %.1f, hot %.1f",
+				allocRatio, baseAllocs, hotAllocs)
+		}
+	}
+}

@@ -7,13 +7,18 @@
 // allocs/op, plus custom b.ReportMetric units such as speedup or
 // lookups/sec). Environment header lines (goos, goarch, pkg, cpu) are
 // collected into the snapshot's env map.
+//
+// With -compare OLD NEW it instead reads two archived snapshots and prints
+// a per-benchmark, per-metric delta table (see the bench-compare target).
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -31,6 +36,20 @@ type snapshot struct {
 }
 
 func main() {
+	compare := flag.Bool("compare", false, "compare two snapshot files instead of reading bench output from stdin")
+	flag.Parse()
+	if *compare {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "usage: benchjson -compare OLD.json NEW.json")
+			os.Exit(2)
+		}
+		if err := compareSnapshots(flag.Arg(0), flag.Arg(1)); err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
 	snap := snapshot{Env: map[string]string{}, Results: []result{}}
 	pkg := ""
 	sc := bufio.NewScanner(os.Stdin)
@@ -63,6 +82,83 @@ func main() {
 		fmt.Fprintf(os.Stderr, "benchjson: encode: %v\n", err)
 		os.Exit(1)
 	}
+}
+
+// compareSnapshots prints a per-benchmark, per-metric delta table between
+// two archived snapshots. Benchmarks present in only one file are listed
+// separately so renames and additions across PRs stay visible.
+func compareSnapshots(oldPath, newPath string) error {
+	load := func(path string) (map[string]result, error) {
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		var snap snapshot
+		if err := json.Unmarshal(raw, &snap); err != nil {
+			return nil, fmt.Errorf("parse %s: %w", path, err)
+		}
+		// Keyed by package-qualified base name (the -N GOMAXPROCS suffix
+		// varies across machines and must not break matching).
+		out := make(map[string]result, len(snap.Results))
+		for _, r := range snap.Results {
+			name := strings.TrimRight(r.Name, "0123456789")
+			name = strings.TrimSuffix(name, "-")
+			out[r.Package+"."+name] = r
+		}
+		return out, nil
+	}
+	oldSet, err := load(oldPath)
+	if err != nil {
+		return err
+	}
+	newSet, err := load(newPath)
+	if err != nil {
+		return err
+	}
+
+	var names []string
+	for name := range newSet {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	fmt.Printf("comparing %s -> %s\n", oldPath, newPath)
+	for _, name := range names {
+		nr := newSet[name]
+		or, ok := oldSet[name]
+		if !ok {
+			fmt.Printf("%s: new in %s\n", name, newPath)
+			continue
+		}
+		var metrics []string
+		for m := range nr.Metrics {
+			metrics = append(metrics, m)
+		}
+		sort.Strings(metrics)
+		for _, m := range metrics {
+			nv := nr.Metrics[m]
+			ov, ok := or.Metrics[m]
+			if !ok {
+				fmt.Printf("%s %s: (new metric) %g\n", name, m, nv)
+				continue
+			}
+			delta := "n/a"
+			if ov != 0 {
+				delta = fmt.Sprintf("%+.1f%%", (nv-ov)/ov*100)
+			}
+			fmt.Printf("%s %s: %g -> %g (%s)\n", name, m, ov, nv, delta)
+		}
+	}
+	var dropped []string
+	for name := range oldSet {
+		if _, ok := newSet[name]; !ok {
+			dropped = append(dropped, name)
+		}
+	}
+	sort.Strings(dropped)
+	for _, name := range dropped {
+		fmt.Printf("%s: only in %s\n", name, oldPath)
+	}
+	return nil
 }
 
 // parseLine parses one benchmark result line:

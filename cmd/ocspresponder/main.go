@@ -13,6 +13,7 @@
 //	              [-zero-margin] [-malformed zero|empty|js] [-bad-signature]
 //	              [-serial-mismatch] [-extra-serials 19] [-error-status trylater]
 //	              [-revoke-leaf] [-cached] [-update-interval 1h]
+//	              [-per-scan-signing] [-cpuprofile cpu.out] [-memprofile mem.out]
 package main
 
 import (
@@ -21,12 +22,14 @@ import (
 	"fmt"
 	"net/http"
 	"os"
+	"os/signal"
 	"time"
 
 	"github.com/netmeasure/muststaple/internal/clock"
 	"github.com/netmeasure/muststaple/internal/ocsp"
 	"github.com/netmeasure/muststaple/internal/pki"
 	"github.com/netmeasure/muststaple/internal/pkixutil"
+	"github.com/netmeasure/muststaple/internal/profiling"
 	"github.com/netmeasure/muststaple/internal/responder"
 )
 
@@ -43,7 +46,16 @@ func main() {
 	revokeLeaf := flag.Bool("revoke-leaf", false, "revoke the issued leaf (keyCompromise)")
 	cached := flag.Bool("cached", false, "pre-generate responses per update window instead of signing on demand")
 	updateInterval := flag.Duration("update-interval", 0, "cache update interval (with -cached)")
+	perScanSigning := flag.Bool("per-scan-signing", false, "sign every response on demand, bypassing the signed-response cache")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
+
+	stopProfiling, err := profiling.Start(*cpuProfile, *memProfile)
+	if err != nil {
+		fail("%v", err)
+	}
+	defer stopProfiling()
 
 	profile := responder.Profile{
 		Validity:        *validity,
@@ -103,7 +115,11 @@ func main() {
 		db.Revoke(leaf.Certificate.SerialNumber, time.Now().Add(-30*time.Minute), pkixutil.ReasonKeyCompromise)
 	}
 
-	r := responder.New("localhost", ca, db, clock.Real{}, profile)
+	var opts []responder.Option
+	if *perScanSigning {
+		opts = append(opts, responder.WithOnDemandSigning())
+	}
+	r := responder.New("localhost", ca, db, clock.Real{}, profile, opts...)
 	crlPub := responder.NewCRLPublisher(ca, db, clock.Real{})
 
 	pem.Encode(os.Stdout, &pem.Block{Type: "CERTIFICATE", Bytes: ca.Certificate.Raw})
@@ -116,7 +132,20 @@ func main() {
 	mux := http.NewServeMux()
 	mux.Handle("/ca.crl", crlPub)
 	mux.Handle("/", r)
+
+	// The server runs until interrupted; flush any requested profiles on
+	// SIGINT so -cpuprofile/-memprofile capture the served traffic.
+	interrupt := make(chan os.Signal, 1)
+	signal.Notify(interrupt, os.Interrupt)
+	go func() {
+		<-interrupt
+		stopProfiling()
+		hits, misses := r.CacheStats()
+		fmt.Fprintf(os.Stderr, "ocspresponder: cache hits=%d misses=%d\n", hits, misses)
+		os.Exit(0)
+	}()
 	if err := http.ListenAndServe(*listen, mux); err != nil {
+		stopProfiling()
 		fail("listen: %v", err)
 	}
 }

@@ -9,6 +9,7 @@
 //	ocspscan -issuer ca.pem -serial 123456 -url http://ocsp.example.com \
 //	         [-rounds 24] [-interval 1h] [-method POST|GET] \
 //	         [-retries 3] [-retry-base 1s] [-timeout 10s] [-metrics]
+//	         [-cpuprofile cpu.out] [-memprofile mem.out]
 //
 // With -demo, it instead spins up an in-process misbehaving responder and
 // scans that, so the tool is demonstrable offline.
@@ -31,6 +32,7 @@ import (
 	"github.com/netmeasure/muststaple/internal/metrics"
 	"github.com/netmeasure/muststaple/internal/netsim"
 	"github.com/netmeasure/muststaple/internal/pki"
+	"github.com/netmeasure/muststaple/internal/profiling"
 	"github.com/netmeasure/muststaple/internal/responder"
 	"github.com/netmeasure/muststaple/internal/scanner"
 )
@@ -47,7 +49,15 @@ func main() {
 	retryBase := flag.Duration("retry-base", time.Second, "initial retry backoff (doubles per retry)")
 	attemptTimeout := flag.Duration("timeout", 10*time.Second, "per-attempt timeout")
 	showMetrics := flag.Bool("metrics", false, "print the full metrics snapshot after the summary")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
+
+	stopProfiling, err := profiling.Start(*cpuProfile, *memProfile)
+	if err != nil {
+		fail("%v", err)
+	}
+	defer stopProfiling()
 
 	if *rounds <= 0 {
 		// A zero round count previously slipped through to the summary
@@ -58,10 +68,11 @@ func main() {
 	}
 
 	var tgt scanner.Target
+	var demoResponder *responder.Responder
 	var cleanup func()
 	switch {
 	case *demo:
-		tgt, cleanup = demoTarget()
+		tgt, demoResponder, cleanup = demoTarget()
 		defer cleanup()
 	case *issuerPath != "" && *serialStr != "" && *url != "":
 		issuer, err := loadCert(*issuerPath)
@@ -134,13 +145,17 @@ func main() {
 	}
 	fmt.Printf("summary: %d/%d successful (%.1f%% failure rate)\n", ok, ok+bad, 100*float64(bad)/float64(ok+bad))
 	if *showMetrics {
+		if demoResponder != nil {
+			hits, misses := demoResponder.CacheStats()
+			fmt.Printf("responder cache: hits=%d misses=%d\n", hits, misses)
+		}
 		fmt.Print(reg.Snapshot())
 	}
 }
 
 // demoTarget builds an in-process responder that misbehaves on a schedule,
 // so the classification output is interesting without network access.
-func demoTarget() (scanner.Target, func()) {
+func demoTarget() (scanner.Target, *responder.Responder, func()) {
 	ca, err := pki.NewRootCA(pki.Config{Name: "ocspscan demo CA", NotBefore: time.Now().Add(-time.Hour)})
 	if err != nil {
 		fail("demo CA: %v", err)
@@ -165,7 +180,7 @@ func demoTarget() (scanner.Target, func()) {
 		Responder:    "demo",
 		Issuer:       ca.Certificate,
 		Serial:       leaf.Certificate.SerialNumber,
-	}, srv.Close
+	}, r, srv.Close
 }
 
 func loadCert(path string) (*x509.Certificate, error) {

@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"github.com/netmeasure/muststaple/internal/core"
+	"github.com/netmeasure/muststaple/internal/profiling"
 	"github.com/netmeasure/muststaple/internal/world"
 )
 
@@ -31,7 +32,16 @@ func main() {
 	stride := flag.Duration("stride", 0, "campaign scan interval override (e.g. 1h, 12h)")
 	responders := flag.Int("responders", 0, "responder fleet size override (default 536)")
 	certs := flag.Int("certs", 0, "certificates per responder override (default 5)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
+
+	stopProfiling, err := profiling.Start(*cpuProfile, *memProfile)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "repro: %v\n", err)
+		os.Exit(1)
+	}
+	defer stopProfiling()
 
 	cfg := world.Config{Seed: *seed}
 	if *full {
@@ -62,6 +72,7 @@ func main() {
 	start := time.Now()
 	if err := runner.Run(ctx, *exp); err != nil {
 		fmt.Fprintf(os.Stderr, "repro: %v\n", err)
+		stopProfiling()
 		os.Exit(1)
 	}
 	fmt.Printf("\n[%s completed in %v]\n", *exp, time.Since(start).Round(time.Millisecond))

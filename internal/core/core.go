@@ -16,6 +16,7 @@ import (
 	"github.com/netmeasure/muststaple/internal/census"
 	"github.com/netmeasure/muststaple/internal/consistency"
 	"github.com/netmeasure/muststaple/internal/impact"
+	"github.com/netmeasure/muststaple/internal/metrics"
 	"github.com/netmeasure/muststaple/internal/netsim"
 	"github.com/netmeasure/muststaple/internal/report"
 	"github.com/netmeasure/muststaple/internal/scanner"
@@ -40,6 +41,12 @@ type Runner struct {
 	alexa           *alexaResults
 	qualityDone     bool
 	consistencyDone bool
+
+	// reg accumulates cross-experiment instrumentation (wall-time
+	// histogram, fleet cache counters); worlds tracks every world built
+	// so far, so per-experiment cache-stat deltas cover the whole fleet.
+	reg    *metrics.Registry
+	worlds []*world.World
 }
 
 type hourlyResults struct {
@@ -93,7 +100,35 @@ func (r *Runner) buildWorld() (*world.World, error) {
 		return nil, err
 	}
 	report.WorldBuild(r.Out, time.Since(start), r.Config.BuildWorkers)
+	r.worlds = append(r.worlds, w)
 	return w, nil
+}
+
+// registry returns the runner's metrics registry, creating it on first use
+// (runners are also constructed as plain literals in tests).
+func (r *Runner) registry() *metrics.Registry {
+	if r.reg == nil {
+		r.reg = metrics.NewRegistry()
+	}
+	return r.reg
+}
+
+// Metrics snapshots the runner's cross-experiment instrumentation: the
+// experiment_wall_seconds histogram and the responder fleet's
+// responder_cache_{hits,misses}_total counters.
+func (r *Runner) Metrics() metrics.Snapshot {
+	return r.registry().Snapshot()
+}
+
+// cacheStats sums signed-response cache counters over every world built by
+// this runner so far.
+func (r *Runner) cacheStats() (hits, misses uint64) {
+	for _, w := range r.worlds {
+		h, m := w.CacheStats()
+		hits += h
+		misses += m
+	}
+	return hits, misses
 }
 
 // Experiments lists the runnable experiment names in presentation order.
@@ -108,6 +143,11 @@ func Experiments() []string {
 // Run executes one named experiment ("all" runs every one). ctx cancels
 // in-flight measurement campaigns; the first canceled campaign surfaces
 // the context error.
+//
+// Each experiment is accounted for as it completes: wall time lands in the
+// registry's experiment_wall_seconds histogram and the responder fleet's
+// cache hit/miss deltas in responder_cache_{hits,misses}_total, and both
+// are rendered as a per-experiment stats line.
 func (r *Runner) Run(ctx context.Context, name string) error {
 	if name == "all" {
 		for _, exp := range Experiments() {
@@ -117,6 +157,20 @@ func (r *Runner) Run(ctx context.Context, name string) error {
 		}
 		return nil
 	}
+	h0, m0 := r.cacheStats()
+	stop := r.registry().Timer("experiment_wall_seconds", 1, 10, 60, 600)
+	if err := r.dispatch(ctx, name); err != nil {
+		return err
+	}
+	wall := stop()
+	h1, m1 := r.cacheStats()
+	r.reg.Counter("responder_cache_hits_total").Add(int64(h1 - h0))
+	r.reg.Counter("responder_cache_misses_total").Add(int64(m1 - m0))
+	report.ExperimentStats(r.Out, name, wall, h1-h0, m1-m0)
+	return nil
+}
+
+func (r *Runner) dispatch(ctx context.Context, name string) error {
 	switch name {
 	case "sec4":
 		return r.runSection4()

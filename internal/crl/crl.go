@@ -18,6 +18,7 @@ import (
 	"io"
 	"math/big"
 	"sort"
+	"sync/atomic"
 	"time"
 
 	"github.com/netmeasure/muststaple/internal/pkixutil"
@@ -55,7 +56,21 @@ type CRL struct {
 	// SignatureAlgorithm and Signature are the outer signature fields.
 	SignatureAlgorithm asn1.ObjectIdentifier
 	Signature          []byte
+
+	// sortedState caches whether Entries is sorted by serial, so Find
+	// decides between binary and linear search once instead of paying a
+	// full linear fallback on every miss. Parse and Create record it;
+	// for hand-built lists Find verifies lazily on first use. Entries
+	// must not be reordered after the first Find call.
+	sortedState int32
 }
+
+// sortedState values.
+const (
+	sortednessUnknown int32 = iota
+	sortednessSorted
+	sortednessUnsorted
+)
 
 // Wire structures (RFC 5280 §5.1).
 type certificateListASN1 struct {
@@ -109,6 +124,14 @@ func Create(issuer *x509.Certificate, key crypto.Signer, list *CRL, opts CreateO
 
 	entries := make([]Entry, len(list.Entries))
 	copy(entries, list.Entries)
+	sorted := int32(sortednessSorted)
+	for i := 1; i < len(entries); i++ {
+		if entries[i-1].Serial.Cmp(entries[i].Serial) > 0 {
+			sorted = sortednessUnsorted
+			break
+		}
+	}
+	atomic.StoreInt32(&list.sortedState, sorted)
 	sort.Slice(entries, func(i, j int) bool {
 		return entries[i].Serial.Cmp(entries[j].Serial) < 0
 	})
@@ -196,7 +219,8 @@ func Parse(der []byte) (*CRL, error) {
 		SignatureAlgorithm: w.SignatureAlgorithm.Algorithm,
 		Signature:          w.Signature.RightAlign(),
 	}
-	for _, rc := range tbs.RevokedCertificates {
+	out.sortedState = sortednessSorted
+	for i, rc := range tbs.RevokedCertificates {
 		e := Entry{Serial: rc.Serial, RevokedAt: rc.RevokedAt, Reason: pkixutil.ReasonAbsent}
 		for _, ext := range rc.Extensions {
 			if ext.ID.Equal(pkixutil.OIDExtensionReasonCode) {
@@ -206,6 +230,11 @@ func Parse(der []byte) (*CRL, error) {
 				}
 				e.Reason = r
 			}
+		}
+		// Record order violations as we go: issuers are not obliged to
+		// emit sorted entries, and Find must not assume they do.
+		if i > 0 && out.Entries[i-1].Serial.Cmp(rc.Serial) > 0 {
+			out.sortedState = sortednessUnsorted
 		}
 		out.Entries = append(out.Entries, e)
 	}
@@ -227,14 +256,17 @@ func (c *CRL) CheckSignatureFrom(issuer *x509.Certificate) error {
 }
 
 // Find returns the entry for serial, or nil if the serial is not revoked
-// according to this CRL.
+// according to this CRL. Sorted lists (everything Create emits, and most
+// parsed CRLs) get a binary search; only lists whose entries genuinely
+// violate serial order pay the linear scan — previously every miss did.
 func (c *CRL) Find(serial *big.Int) *Entry {
-	// Entries are sorted by Create; parsed CRLs may not be, so fall
-	// back to linear scan when the sort invariant does not hold.
-	n := len(c.Entries)
-	i := sort.Search(n, func(i int) bool { return c.Entries[i].Serial.Cmp(serial) >= 0 })
-	if i < n && c.Entries[i].Serial.Cmp(serial) == 0 {
-		return &c.Entries[i]
+	if c.sortedness() == sortednessSorted {
+		n := len(c.Entries)
+		i := sort.Search(n, func(i int) bool { return c.Entries[i].Serial.Cmp(serial) >= 0 })
+		if i < n && c.Entries[i].Serial.Cmp(serial) == 0 {
+			return &c.Entries[i]
+		}
+		return nil
 	}
 	for j := range c.Entries {
 		if c.Entries[j].Serial.Cmp(serial) == 0 {
@@ -242,6 +274,23 @@ func (c *CRL) Find(serial *big.Int) *Entry {
 		}
 	}
 	return nil
+}
+
+// sortedness returns the cached sort state, verifying the invariant once
+// for lists built by hand rather than by Parse or Create.
+func (c *CRL) sortedness() int32 {
+	if s := atomic.LoadInt32(&c.sortedState); s != sortednessUnknown {
+		return s
+	}
+	s := sortednessSorted
+	for i := 1; i < len(c.Entries); i++ {
+		if c.Entries[i-1].Serial.Cmp(c.Entries[i].Serial) > 0 {
+			s = sortednessUnsorted
+			break
+		}
+	}
+	atomic.StoreInt32(&c.sortedState, s)
+	return s
 }
 
 // ValidAt reports whether the CRL is within its validity window at t. A

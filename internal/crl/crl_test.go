@@ -2,7 +2,9 @@ package crl
 
 import (
 	"bytes"
+	cryptorand "crypto/rand"
 	"crypto/x509"
+	"encoding/asn1"
 	"math/big"
 	"testing"
 	"time"
@@ -268,5 +270,135 @@ func TestCreateErrors(t *testing.T) {
 	}
 	if _, err := Parse([]byte("garbage")); err == nil {
 		t.Error("Parse of garbage should fail")
+	}
+}
+
+func TestParseUnsortedCRL(t *testing.T) {
+	// Issuers are not obliged to emit entries in serial order. Create
+	// always sorts, so hand-assemble the wire form with out-of-order
+	// serials and check that Parse records the violated invariant and
+	// Find still answers correctly via the linear path.
+	ca := newCA(t)
+	sigAlg, err := pkixutil.SignatureAlgorithmForKey(ca.Key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbs := tbsCertListASN1{
+		Version:    1,
+		Signature:  sigAlg,
+		Issuer:     asn1.RawValue{FullBytes: ca.Certificate.RawSubject},
+		ThisUpdate: thisUpdate,
+		NextUpdate: nextUpdate,
+		RevokedCertificates: []revokedCertASN1{
+			{Serial: big.NewInt(300), RevokedAt: thisUpdate},
+			{Serial: big.NewInt(100), RevokedAt: thisUpdate},
+			{Serial: big.NewInt(200), RevokedAt: thisUpdate},
+		},
+	}
+	tbsDER, err := asn1.Marshal(tbs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	alg, sig, err := pkixutil.SignTBS(cryptorand.Reader, ca.Key, tbsDER)
+	if err != nil {
+		t.Fatal(err)
+	}
+	der, err := asn1.Marshal(certificateListASN1{
+		TBSCertList:        asn1.RawValue{FullBytes: tbsDER},
+		SignatureAlgorithm: alg,
+		Signature:          asn1.BitString{Bytes: sig, BitLength: len(sig) * 8},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	got, err := Parse(der)
+	if err != nil {
+		t.Fatalf("Parse of unsorted CRL: %v", err)
+	}
+	if got.sortedState != sortednessUnsorted {
+		t.Fatalf("sortedState = %d, want sortednessUnsorted", got.sortedState)
+	}
+	// Wire order must be preserved, not silently re-sorted.
+	for i, want := range []int64{300, 100, 200} {
+		if got.Entries[i].Serial.Int64() != want {
+			t.Errorf("entry %d serial = %v, want %d", i, got.Entries[i].Serial, want)
+		}
+	}
+	for _, s := range []int64{100, 200, 300} {
+		if got.Find(big.NewInt(s)) == nil {
+			t.Errorf("Find(%d) missed a revoked serial in an unsorted CRL", s)
+		}
+	}
+	// Misses that a naive binary search over unsorted entries would get
+	// wrong: 150 sits "between" wire positions, 250 past the first entry.
+	for _, s := range []int64{150, 250, 99, 301} {
+		if got.Find(big.NewInt(s)) != nil {
+			t.Errorf("Find(%d) matched a non-revoked serial", s)
+		}
+	}
+	if err := got.CheckSignatureFrom(ca.Certificate); err != nil {
+		t.Errorf("CheckSignatureFrom: %v", err)
+	}
+}
+
+func TestFindHandBuiltLazySortedness(t *testing.T) {
+	// Lists assembled in code (not via Parse/Create) verify the sort
+	// invariant lazily on first Find, then cache the answer.
+	sorted := &CRL{Entries: []Entry{
+		{Serial: big.NewInt(1), RevokedAt: thisUpdate},
+		{Serial: big.NewInt(5), RevokedAt: thisUpdate},
+		{Serial: big.NewInt(9), RevokedAt: thisUpdate},
+	}}
+	if sorted.sortedState != sortednessUnknown {
+		t.Fatalf("fresh list sortedState = %d, want unknown", sorted.sortedState)
+	}
+	if sorted.Find(big.NewInt(5)) == nil || sorted.Find(big.NewInt(4)) != nil {
+		t.Error("Find wrong on sorted hand-built list")
+	}
+	if sorted.sortedState != sortednessSorted {
+		t.Errorf("sortedState = %d after Find, want sorted", sorted.sortedState)
+	}
+
+	unsorted := &CRL{Entries: []Entry{
+		{Serial: big.NewInt(9), RevokedAt: thisUpdate},
+		{Serial: big.NewInt(1), RevokedAt: thisUpdate},
+	}}
+	if unsorted.Find(big.NewInt(1)) == nil || unsorted.Find(big.NewInt(2)) != nil {
+		t.Error("Find wrong on unsorted hand-built list")
+	}
+	if unsorted.sortedState != sortednessUnsorted {
+		t.Errorf("sortedState = %d after Find, want unsorted", unsorted.sortedState)
+	}
+}
+
+// BenchmarkCRLFindMiss is the miss-heavy access pattern of the §5.4
+// consistency study: most queried serials are absent from the list. Before
+// the sortedness cache every miss paid a full linear scan on top of the
+// binary search.
+func BenchmarkCRLFindMiss(b *testing.B) {
+	ca := newCA(b)
+	entries := make([]Entry, 0, 4096)
+	for i := int64(0); i < 4096; i++ {
+		entries = append(entries, Entry{Serial: big.NewInt(i * 2), RevokedAt: thisUpdate})
+	}
+	der, err := Create(ca.Certificate, ca.Key, &CRL{ThisUpdate: thisUpdate, NextUpdate: nextUpdate, Entries: entries}, CreateOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	c, err := Parse(der)
+	if err != nil {
+		b.Fatal(err)
+	}
+	misses := make([]*big.Int, 64)
+	for i := range misses {
+		misses[i] = big.NewInt(int64(i)*128 + 1) // odd: never revoked
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if c.Find(misses[i%len(misses)]) != nil {
+			b.Fatal("miss serial found")
+		}
 	}
 }

@@ -14,6 +14,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Counter is a monotonically increasing int64.
@@ -209,6 +210,20 @@ func (r *Registry) Histogram(name string, bounds ...float64) *Histogram {
 		r.histograms[name] = h
 	}
 	return h
+}
+
+// Timer starts a wall-clock measurement; the returned stop function
+// records the elapsed seconds into the named histogram and returns the
+// elapsed duration. It backs the per-experiment wall-time accounting in
+// internal/core.
+func (r *Registry) Timer(name string, bounds ...float64) func() time.Duration {
+	h := r.Histogram(name, bounds...)
+	start := time.Now()
+	return func() time.Duration {
+		d := time.Since(start)
+		h.Observe(d.Seconds())
+		return d
+	}
 }
 
 // Snapshot captures every metric.

@@ -167,9 +167,10 @@ type hostEntry struct {
 
 // Network is the simulated Internet: a host registry plus failure rules.
 type Network struct {
-	mu    sync.RWMutex
-	hosts map[string]hostEntry
-	rules []*Rule
+	mu        sync.RWMutex
+	hosts     map[string]hostEntry
+	rules     []*Rule
+	serveCost func(http.Header) time.Duration
 }
 
 // New returns an empty network.
@@ -194,6 +195,21 @@ func (n *Network) AddRule(r *Rule) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	n.rules = append(n.rules, r)
+}
+
+// SetServeCost installs an optional server-side processing-delay model:
+// after a handler completes, the hook inspects its response headers and
+// the returned duration is added to the exchange latency. The responder
+// tags each response with how it was produced (responder.SourceHeader), so
+// the hook can charge signing time only to freshly signed responses — the
+// measurable serve-time gap between on-demand and pre-generating
+// responders (Stark et al.'s CDN-fronted responder latency, PAPERS.md).
+// The default (nil) charges nothing, keeping every figure identical to a
+// cost-free network; pass nil to uninstall.
+func (n *Network) SetServeCost(f func(http.Header) time.Duration) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.serveCost = f
 }
 
 // Hosts returns the registered hostnames, sorted.
@@ -236,6 +252,7 @@ func (n *Network) Do(vantage Vantage, at time.Time, req *http.Request) (*Result,
 	n.mu.RLock()
 	entry, registered := n.hosts[host]
 	rules := n.rules
+	serveCost := n.serveCost
 	n.mu.RUnlock()
 
 	backend := entry.backend
@@ -263,7 +280,11 @@ func (n *Network) Do(vantage Vantage, at time.Time, req *http.Request) (*Result,
 
 	rec := newRecorder()
 	entry.handler.ServeHTTP(rec, req)
-	return &Result{Status: rec.status, Body: rec.body.Bytes(), Headers: rec.header, Latency: n.latency(vantage, host, at)}, nil
+	lat := n.latency(vantage, host, at)
+	if serveCost != nil {
+		lat += serveCost(rec.header)
+	}
+	return &Result{Status: rec.status, Body: rec.body.Bytes(), Headers: rec.header, Latency: lat}, nil
 }
 
 // DoSimple is a convenience for POST-style bodies without building an

@@ -7,6 +7,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sync"
 	"time"
 
 	"github.com/netmeasure/muststaple/internal/pkixutil"
@@ -145,7 +146,42 @@ type ResponderTemplate struct {
 	// Rand is the randomness source for signing; nil means crypto/rand
 	// via the signer's default.
 	Rand io.Reader
+
+	// The marshalled ResponderID CHOICE is invariant for a template, so
+	// it is computed once and reused across every response the template
+	// signs.
+	ridOnce sync.Once
+	rid     asn1.RawValue
+	ridErr  error
 }
+
+// responderID returns the memoized ResponderID: the byKey arm hashes the
+// responder certificate's public key (or byName wraps its subject), which
+// never changes over a template's lifetime.
+func (t *ResponderTemplate) responderID() (asn1.RawValue, error) {
+	t.ridOnce.Do(func() {
+		if t.ByName {
+			t.rid, t.ridErr = marshalExplicit(1, t.Certificate.RawSubject)
+			return
+		}
+		keyHash, err := pkixutil.IssuerKeyHash(t.Certificate, crypto.SHA1)
+		if err != nil {
+			t.ridErr = err
+			return
+		}
+		keyDER, err := asn1.Marshal(keyHash)
+		if err != nil {
+			t.ridErr = err
+			return
+		}
+		t.rid, t.ridErr = marshalExplicit(2, keyDER)
+	})
+	return t.rid, t.ridErr
+}
+
+// singlesPool recycles the wire-format single-response slices built per
+// CreateResponse call; the slice is dead once the TBS bytes are marshalled.
+var singlesPool = sync.Pool{New: func() any { s := make([]singleResponseASN1, 0, 8); return &s }}
 
 // CreateResponse builds and signs a successful BasicOCSPResponse asserting
 // the given single responses, produced at producedAt, echoing nonce if
@@ -161,28 +197,15 @@ func CreateResponse(tmpl *ResponderTemplate, producedAt time.Time, singles []Sin
 	var rd responseDataASN1
 	rd.ProducedAt = producedAt.UTC().Truncate(time.Second)
 
-	if tmpl.ByName {
-		name, err := marshalExplicit(1, tmpl.Certificate.RawSubject)
-		if err != nil {
-			return nil, err
-		}
-		rd.ResponderID = name
-	} else {
-		keyHash, err := pkixutil.IssuerKeyHash(tmpl.Certificate, crypto.SHA1)
-		if err != nil {
-			return nil, err
-		}
-		keyDER, err := asn1.Marshal(keyHash)
-		if err != nil {
-			return nil, err
-		}
-		rid, err := marshalExplicit(2, keyDER)
-		if err != nil {
-			return nil, err
-		}
-		rd.ResponderID = rid
+	rid, err := tmpl.responderID()
+	if err != nil {
+		return nil, err
 	}
+	rd.ResponderID = rid
 
+	sp := singlesPool.Get().(*[]singleResponseASN1)
+	rd.Responses = (*sp)[:0]
+	defer func() { *sp = rd.Responses[:0]; singlesPool.Put(sp) }()
 	for _, s := range singles {
 		w, err := singleToASN1(s)
 		if err != nil {
@@ -387,6 +410,7 @@ func ParseResponse(der []byte) (*Response, error) {
 	if len(rd.Responses) == 0 {
 		return nil, errors.New("ocsp: successful response with no single responses")
 	}
+	resp.Responses = make([]SingleResponse, 0, len(rd.Responses))
 	for _, sw := range rd.Responses {
 		s, err := singleFromASN1(sw)
 		if err != nil {

@@ -1,0 +1,35 @@
+package pkixutil
+
+import (
+	"bytes"
+	"sync"
+)
+
+// The buffer pool serves the codec hot paths that read or assemble DER
+// whose lifetime ends within one call — most importantly the responder's
+// per-scan HTTP body reads, which the campaign engine performs millions of
+// times. Pooling them removes the dominant steady-state allocation of the
+// serve path.
+
+// maxPooledBuffer is the largest buffer returned to the pool. OCSP bodies
+// are a few KB; the occasional megabyte read from a misbehaving peer is
+// dropped instead of pinning its backing array forever.
+const maxPooledBuffer = 1 << 16
+
+var bufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
+// GetBuffer returns an empty reusable buffer. Callers must not retain the
+// buffer's bytes past PutBuffer; copy anything that outlives the call.
+func GetBuffer() *bytes.Buffer {
+	b := bufPool.Get().(*bytes.Buffer)
+	b.Reset()
+	return b
+}
+
+// PutBuffer returns a buffer obtained from GetBuffer to the pool.
+func PutBuffer(b *bytes.Buffer) {
+	if b == nil || b.Cap() > maxPooledBuffer {
+		return
+	}
+	bufPool.Put(b)
+}

@@ -1,0 +1,54 @@
+// Package profiling wires runtime/pprof behind the -cpuprofile and
+// -memprofile flags shared by the scan-driving commands (cmd/repro,
+// cmd/ocspscan, cmd/ocspresponder), so a hot-path regression can be
+// localized with `go tool pprof` instead of guessed at from wall times.
+package profiling
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start begins CPU profiling when cpuPath is non-empty and returns a stop
+// function that finishes the CPU profile and, when memPath is non-empty,
+// writes a heap profile (after a GC, so the snapshot reflects live data
+// rather than collection timing). Call stop exactly once, on every exit
+// path — typically via defer plus an explicit call before os.Exit.
+func Start(cpuPath, memPath string) (stop func(), err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("profiling: create cpu profile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("profiling: start cpu profile: %w", err)
+		}
+	}
+	var stopped bool
+	return func() {
+		if stopped {
+			return
+		}
+		stopped = true
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			cpuFile.Close()
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "profiling: create mem profile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "profiling: write mem profile: %v\n", err)
+			}
+		}
+	}, nil
+}

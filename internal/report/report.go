@@ -363,6 +363,22 @@ func CampaignStats(w io.Writer, title string, st scanner.Stats) {
 	fmt.Fprintf(w, "%s\n", st)
 }
 
+// ExperimentStats prints the per-experiment accounting line: wall time
+// plus the responder fleet's signed-response cache hit rate while the
+// experiment ran. Cache-friendly campaigns approach 100%; a world built
+// with OnDemandSigning reports the cache as bypassed. Experiments that
+// reuse an earlier campaign's aggregators drive no new scans and show an
+// idle cache.
+func ExperimentStats(w io.Writer, name string, wall time.Duration, hits, misses uint64) {
+	total := hits + misses
+	if total == 0 {
+		fmt.Fprintf(w, "[%s: wall %v, responder cache idle]\n", name, wall.Round(time.Millisecond))
+		return
+	}
+	fmt.Fprintf(w, "[%s: wall %v, responder cache %.1f%% hits (%d/%d)]\n",
+		name, wall.Round(time.Millisecond), 100*float64(hits)/float64(total), hits, total)
+}
+
 // WorldBuild reports world-construction wall time. workers is
 // world.Config.BuildWorkers: 0 means the pool sized itself to GOMAXPROCS.
 func WorldBuild(w io.Writer, d time.Duration, workers int) {

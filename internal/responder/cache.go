@@ -1,0 +1,122 @@
+package responder
+
+import (
+	"bytes"
+	"sync"
+	"sync/atomic"
+)
+
+// The signed-response cache exploits the paper's §2.2 observation that
+// within one update window an unchanged certificate status yields a
+// byte-identical signed response: the responder can answer a repeated
+// request without parsing, marshalling, or signing anything.
+//
+// Keys are epoch-scoped so expiry needs no sweeper: a cached-mode entry is
+// keyed by its update-window start and simply stops being found once the
+// window rolls over; an on-demand memoization entry is keyed by the exact
+// virtual instant plus the revocation database's status generation, so six
+// vantage points probing on the same clock tick share one signature while
+// a Revoke between ticks forces regeneration. Stale keys are reclaimed by
+// the per-shard half-eviction when a shard exceeds its budget.
+//
+// The shard layout mirrors internal/scanner's shardedCache: power-of-two
+// shard count indexed by a folded FNV-64 of the raw request DER, one mutex
+// per shard (vantage goroutines hammering one responder no longer contend
+// on a single lock), and cache-line padding between shards. Hash keys are
+// confirmed against the stored request bytes, so an FNV collision costs a
+// regeneration instead of serving the wrong certificate's status.
+
+const (
+	respCacheShards = 64
+	// respShardBudget bounds a shard before half-eviction; the whole
+	// cache therefore holds at most 64×256 responses (~16 MB at the
+	// typical ~1 KB response size), far above one responder's working
+	// set of live windows.
+	respShardBudget = 256
+)
+
+// respKey is the epoch-scoped cache key.
+type respKey struct {
+	hash  uint64 // folded FNV-64 of the raw request DER
+	epoch int64  // window start (cached mode) or scan instant (on-demand), UnixNano
+	gen   uint64 // DB status generation (on-demand memoization; 0 in cached mode)
+}
+
+type respEntry struct {
+	reqDER []byte // exact request bytes: confirms the hash against collisions
+	der    []byte
+	meta   Meta
+}
+
+type respShard struct {
+	mu sync.Mutex
+	m  map[respKey]*respEntry
+	_  [40]byte // pad to a cache line: adjacent shard locks must not false-share
+}
+
+type responseCache struct {
+	shards [respCacheShards]respShard
+	hits   atomic.Uint64
+	misses atomic.Uint64
+}
+
+func newResponseCache() *responseCache {
+	c := &responseCache{}
+	for i := range c.shards {
+		c.shards[i].m = make(map[respKey]*respEntry)
+	}
+	return c
+}
+
+func (c *responseCache) shardFor(h uint64) *respShard {
+	return &c.shards[(h^(h>>32))&(respCacheShards-1)]
+}
+
+// get returns the cached response for key, confirming the stored request
+// bytes, and records the hit or miss.
+func (c *responseCache) get(key respKey, reqDER []byte) ([]byte, Meta, bool) {
+	s := c.shardFor(key.hash)
+	s.mu.Lock()
+	e := s.m[key]
+	s.mu.Unlock()
+	if e != nil && bytes.Equal(e.reqDER, reqDER) {
+		c.hits.Add(1)
+		return e.der, e.meta, true
+	}
+	c.misses.Add(1)
+	return nil, Meta{}, false
+}
+
+// put stores a generated response under key, copying reqDER (the caller's
+// buffer may be pooled and reused).
+func (c *responseCache) put(key respKey, reqDER, der []byte, meta Meta) {
+	e := &respEntry{reqDER: append([]byte(nil), reqDER...), der: der, meta: meta}
+	s := c.shardFor(key.hash)
+	s.mu.Lock()
+	if len(s.m) >= respShardBudget {
+		// Over budget: drop about half the shard. Map iteration order
+		// is effectively random, so live epochs survive on average and
+		// dead ones drain — cheaper than tracking per-entry expiry on
+		// the hot path.
+		drop := respShardBudget / 2
+		for k := range s.m {
+			delete(s.m, k)
+			if drop--; drop <= 0 {
+				break
+			}
+		}
+	}
+	s.m[key] = e
+	s.mu.Unlock()
+}
+
+// fnv64 hashes the raw request bytes (FNV-1a, same constants as
+// internal/netsim and internal/scanner use for their deterministic hashes).
+func fnv64(b []byte) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(b); i++ {
+		h ^= uint64(b[i])
+		h *= 1099511628211
+	}
+	return h
+}

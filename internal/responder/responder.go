@@ -24,6 +24,7 @@ import (
 	"sort"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/netmeasure/muststaple/internal/clock"
@@ -46,6 +47,13 @@ type CertRecord struct {
 type DB struct {
 	mu     sync.RWMutex
 	issued map[string]*CertRecord
+	// gen counts status mutations. The responder's on-demand
+	// memoization folds it into its cache key, so a Revoke between two
+	// scans at the same virtual instant forces regeneration instead of
+	// serving the pre-revocation answer. Window-cached responses
+	// deliberately ignore it: a pre-generated response keeps serving
+	// the stale status until its window rolls over (§2.2).
+	gen atomic.Uint64
 }
 
 // NewDB returns an empty revocation database.
@@ -69,8 +77,14 @@ func (db *DB) Revoke(serial *big.Int, at time.Time, reason pkixutil.ReasonCode) 
 		rec.Revoked = true
 		rec.RevokedAt = at
 		rec.Reason = reason
+		db.gen.Add(1)
 	}
 }
+
+// Generation returns the status-mutation counter. It changes exactly when
+// a Revoke lands, so equal generations imply equal lookup results for
+// never-revoked-then-unrevoked databases.
+func (db *DB) Generation() uint64 { return db.gen.Load() }
 
 // Lookup returns the record for serial and whether the serial was issued by
 // this CA at all.
@@ -250,6 +264,50 @@ func (p *Profile) thisUpdateOffset() time.Duration {
 	return p.ThisUpdateOffset
 }
 
+// ServeSource labels how a response body was produced, for the
+// cached-vs-signed serve-time distinction netsim can model.
+type ServeSource uint8
+
+const (
+	// SourceStatic is a profile-injected body that involves no signing
+	// at all: malformed blobs and unsigned OCSP error responses.
+	SourceStatic ServeSource = iota
+	// SourceCache is a hit in the signed-response cache.
+	SourceCache
+	// SourceSigned is a freshly generated and signed response.
+	SourceSigned
+)
+
+func (s ServeSource) String() string {
+	switch s {
+	case SourceCache:
+		return "cache"
+	case SourceSigned:
+		return "sign"
+	}
+	return "static"
+}
+
+// SourceHeader is the response header naming the ServeSource. netsim's
+// optional serve-cost hook reads it to charge signing latency only to
+// responses that were actually signed on the hot path.
+const SourceHeader = "X-Responder-Source"
+
+// ServeCostModel returns a netsim serve-cost hook charging signed
+// processing time to freshly signed responses and cached processing time
+// to everything served from memory (cache hits, static bodies).
+func ServeCostModel(signed, cached time.Duration) func(http.Header) time.Duration {
+	return func(h http.Header) time.Duration {
+		switch h.Get(SourceHeader) {
+		case "sign":
+			return signed
+		case "cache", "static":
+			return cached
+		}
+		return 0
+	}
+}
+
 // Responder is one OCSP responder instance.
 type Responder struct {
 	// Host is the responder's DNS name (used by the world generator to
@@ -276,15 +334,27 @@ type Responder struct {
 	hashOnce                                 sync.Once
 	sha1Name, sha1Key, sha256Name, sha256Key []byte
 
-	mu    sync.Mutex
-	cache map[string]*cachedResponse
-}
+	// onDemandSign (WithOnDemandSigning) disables the signed-response
+	// cache entirely: every request is parsed, generated, and signed.
+	// It exists as the benchmark baseline and as the equivalence-test
+	// counterpart proving the cache changes no observable bytes.
+	onDemandSign bool
 
-type cachedResponse struct {
-	der         []byte
-	windowStart time.Time
-	expiresAt   time.Time
-	meta        Meta
+	cache *responseCache
+
+	// phase is the responder's update-window phase offset, derived once
+	// from the host name (see windowStart).
+	phaseOnce sync.Once
+	phase     time.Duration
+
+	// tmpl memoizes the signing template (and through it the marshalled
+	// byKey ResponderID) across generate calls. Guarded by tmplMu; only
+	// touched on the miss path, so contention is irrelevant.
+	tmplMu     sync.Mutex
+	tmpl       *ocsp.ResponderTemplate
+	tmplSigner crypto.Signer
+	tmplCert   *x509.Certificate
+	tmplRand   io.Reader
 }
 
 // Meta carries the validity window of a generated response, so the HTTP
@@ -296,19 +366,41 @@ type Meta struct {
 	ProducedAt time.Time
 }
 
+// Option configures a Responder at construction.
+type Option func(*Responder)
+
+// WithOnDemandSigning disables the signed-response cache, restoring strict
+// per-request parse+sign behavior. Campaigns run with and without it must
+// produce byte-identical observations (the cache only re-serves bytes that
+// regeneration would reproduce); benchmarks use it as the baseline.
+func WithOnDemandSigning() Option {
+	return func(r *Responder) { r.onDemandSign = true }
+}
+
 // New creates a responder for ca with the given behavior profile.
-func New(host string, ca *pki.CA, db *DB, clk clock.Clock, profile Profile) *Responder {
+func New(host string, ca *pki.CA, db *DB, clk clock.Clock, profile Profile, opts ...Option) *Responder {
 	if clk == nil {
 		clk = clock.Real{}
 	}
-	return &Responder{
+	r := &Responder{
 		Host:    host,
 		CA:      ca,
 		Clock:   clk,
 		DB:      db,
 		Profile: profile,
-		cache:   make(map[string]*cachedResponse),
+		cache:   newResponseCache(),
 	}
+	for _, opt := range opts {
+		opt(r)
+	}
+	return r
+}
+
+// CacheStats returns the signed-response cache hit and miss counts. A miss
+// is any request that had to be parsed and signed; hits were served as
+// stored bytes without touching the parser or the signer.
+func (r *Responder) CacheStats() (hits, misses uint64) {
+	return r.cache.hits.Load(), r.cache.misses.Load()
 }
 
 func (r *Responder) signerAndCert() (crypto.Signer, *x509.Certificate) {
@@ -316,6 +408,24 @@ func (r *Responder) signerAndCert() (crypto.Signer, *x509.Certificate) {
 		return r.Signer, r.SignerCert
 	}
 	return r.CA.Key, r.CA.Certificate
+}
+
+// template returns the memoized signing template, rebuilding it if the
+// signer configuration changed since the last generate.
+func (r *Responder) template() *ocsp.ResponderTemplate {
+	signer, cert := r.signerAndCert()
+	r.tmplMu.Lock()
+	defer r.tmplMu.Unlock()
+	if r.tmpl == nil || r.tmplSigner != signer || r.tmplCert != cert || r.tmplRand != r.Rand {
+		tmpl := &ocsp.ResponderTemplate{Signer: signer, Certificate: cert, Rand: r.Rand}
+		if r.Signer != nil && r.SignerCert != nil {
+			// Delegated responders must embed their certificate.
+			tmpl.IncludeCertificates = append(tmpl.IncludeCertificates, r.SignerCert)
+		}
+		tmpl.IncludeCertificates = append(tmpl.IncludeCertificates, r.Profile.SuperfluousCerts...)
+		r.tmpl, r.tmplSigner, r.tmplCert, r.tmplRand = tmpl, signer, cert, r.Rand
+	}
+	return r.tmpl
 }
 
 func (r *Responder) initHashes() {
@@ -359,12 +469,16 @@ func (r *Responder) ServeHTTP(w http.ResponseWriter, req *http.Request) {
 	var reqDER []byte
 	switch req.Method {
 	case http.MethodPost:
-		body, err := io.ReadAll(io.LimitReader(req.Body, 1<<20))
-		if err != nil {
+		// The request bytes do not outlive this call (the response
+		// cache stores its own copy), so the read buffer is pooled —
+		// the campaign engine POSTs millions of scans through here.
+		buf := pkixutil.GetBuffer()
+		defer pkixutil.PutBuffer(buf)
+		if _, err := buf.ReadFrom(io.LimitReader(req.Body, 1<<20)); err != nil {
 			http.Error(w, "read error", http.StatusBadRequest)
 			return
 		}
-		reqDER = body
+		reqDER = buf.Bytes()
 	case http.MethodGet:
 		der, err := ocsp.DecodeGETPath(req.URL.Path)
 		if err != nil {
@@ -380,14 +494,15 @@ func (r *Responder) ServeHTTP(w http.ResponseWriter, req *http.Request) {
 	// Malformed profile bodies are also served with 200 and the OCSP
 	// content type, exactly as the misbehaving responders in the wild
 	// did — the HTTP layer looks healthy, the body is garbage.
-	respDER, meta, _ := r.RespondMeta(reqDER)
+	respDER, meta, hasMeta, _, src := r.respond(reqDER)
 	w.Header().Set("Content-Type", ocsp.ContentTypeResponse)
+	w.Header().Set(SourceHeader, src.String())
 	// RFC 5019 §6: GET responses from well-behaved responders carry
 	// standard HTTP caching headers derived from the validity window,
 	// so intermediate caches (and CDNs fronting responders, §5.2) can
 	// serve them. POST responses and blank-nextUpdate responses are not
 	// cacheable.
-	if req.Method == http.MethodGet && meta != nil && !meta.NextUpdate.IsZero() {
+	if req.Method == http.MethodGet && hasMeta && !meta.NextUpdate.IsZero() {
 		now := r.Clock.Now()
 		if maxAge := meta.NextUpdate.Sub(now); maxAge > 0 {
 			w.Header().Set("Cache-Control",
@@ -406,7 +521,7 @@ func (r *Responder) ServeHTTP(w http.ResponseWriter, req *http.Request) {
 // rather than DER (callers serving HTTP treat both identically; tests use
 // it to assert the injection happened).
 func (r *Responder) Respond(reqDER []byte) ([]byte, bool) {
-	der, _, ok := r.RespondMeta(reqDER)
+	der, _, _, ok, _ := r.respond(reqDER)
 	return der, ok
 }
 
@@ -414,32 +529,100 @@ func (r *Responder) Respond(reqDER []byte) ([]byte, bool) {
 // nil for malformed bodies and OCSP error responses. The HTTP layer uses
 // it to emit RFC 5019 caching headers.
 func (r *Responder) RespondMeta(reqDER []byte) ([]byte, *Meta, bool) {
+	der, meta, hasMeta, ok, _ := r.respond(reqDER)
+	if !hasMeta {
+		return der, nil, ok
+	}
+	return der, &meta, ok
+}
+
+// respond is the responder hot path. Within one update window an unchanged
+// status yields a byte-identical signed response, so the fast path hashes
+// the raw request bytes, keys them with the current epoch, and serves the
+// stored response without parsing or signing anything. Requests are parsed
+// only on a cache miss.
+func (r *Responder) respond(reqDER []byte) (der []byte, meta Meta, hasMeta, ok bool, src ServeSource) {
 	now := r.Clock.Now()
 
 	if r.Profile.Malformed != MalformedNone &&
 		(len(r.Profile.MalformedWindows) == 0 || anyWindow(r.Profile.MalformedWindows, now)) {
-		return malformedBody(r.Profile.Malformed), nil, false
+		return malformedBody(r.Profile.Malformed), Meta{}, false, false, SourceStatic
 	}
 
 	if r.Profile.ErrorStatus != ocsp.StatusSuccessful {
-		der, err := ocsp.CreateErrorResponse(r.Profile.ErrorStatus)
-		if err == nil {
-			return der, nil, true
+		if der := errorResponse(r.Profile.ErrorStatus); der != nil {
+			return der, Meta{}, false, true, SourceStatic
+		}
+	}
+
+	key, cacheable := r.cacheKeyFor(reqDER, now)
+	if cacheable {
+		if der, meta, hit := r.cache.get(key, reqDER); hit {
+			return der, meta, true, true, SourceCache
 		}
 	}
 
 	req, err := ocsp.ParseRequest(reqDER)
 	if err != nil {
-		der, _ := ocsp.CreateErrorResponse(ocsp.StatusMalformedRequest)
-		return der, nil, true
+		return errorResponse(ocsp.StatusMalformedRequest), Meta{}, false, true, SourceStatic
 	}
 
-	der, meta, err := r.respondFor(req, now)
+	der, meta, err = r.generateFor(req, now)
 	if err != nil {
-		der, _ := ocsp.CreateErrorResponse(ocsp.StatusInternalError)
-		return der, nil, true
+		return errorResponse(ocsp.StatusInternalError), Meta{}, false, true, SourceStatic
 	}
-	return der, &meta, true
+	if cacheable && r.shouldCache(req) {
+		r.cache.put(key, reqDER, der, meta)
+	}
+	return der, meta, true, true, SourceSigned
+}
+
+// cacheKeyFor derives the epoch-scoped cache key for raw request bytes at
+// virtual time now, without parsing them. Cached-mode responders key on
+// their update window (a pre-generated response serves its whole window,
+// revocations included — §2.2); on-demand responders key on the exact
+// instant plus the database's status generation, memoizing only the
+// same-tick fan-out across vantage points.
+func (r *Responder) cacheKeyFor(reqDER []byte, now time.Time) (respKey, bool) {
+	if r.onDemandSign {
+		return respKey{}, false
+	}
+	h := fnv64(reqDER)
+	if r.Profile.CacheResponses {
+		return respKey{hash: h, epoch: r.windowStart(now).UnixNano()}, true
+	}
+	var gen uint64
+	if r.DB != nil {
+		gen = r.DB.Generation()
+	}
+	return respKey{hash: h, epoch: now.UnixNano(), gen: gen}, true
+}
+
+// shouldCache reports whether a freshly generated response may be stored.
+// Multi-instance farms are incoherent by design (each fetch may hit a
+// differently skewed instance), and on-demand responders must not replay
+// nonce-echoing responses.
+func (r *Responder) shouldCache(req *ocsp.Request) bool {
+	if r.Profile.CacheResponses {
+		return r.Profile.Instances <= 1
+	}
+	return len(req.Nonce) == 0
+}
+
+// windowStart returns the start of the update window containing now.
+// Window boundaries carry a per-responder phase so that real fleets'
+// unaligned regeneration schedules are modelled: without it, a campaign
+// whose scan instants happen to be multiples of the update interval would
+// always observe producedAt == receipt time and misclassify caching
+// responders as on-demand.
+func (r *Responder) windowStart(now time.Time) time.Time {
+	interval := r.Profile.updateInterval()
+	r.phaseOnce.Do(func() { r.phase = time.Duration(fnv32(r.Host)) % interval })
+	ws := now.Add(-r.phase).Truncate(interval).Add(r.phase)
+	if ws.After(now) {
+		ws = ws.Add(-interval)
+	}
+	return ws
 }
 
 func malformedBody(k MalformedKind) []byte {
@@ -456,90 +639,57 @@ func malformedBody(k MalformedKind) []byte {
 	return nil
 }
 
-// respondFor builds (or serves from cache) the response for a parsed
-// request at virtual time now.
-func (r *Responder) respondFor(req *ocsp.Request, now time.Time) ([]byte, Meta, error) {
+// Error responses are unsigned and depend only on the status code, so one
+// DER per status serves every responder in the fleet.
+var (
+	errRespOnce [8]sync.Once
+	errRespDER  [8][]byte
+)
+
+func errorResponse(st ocsp.ResponseStatus) []byte {
+	i := int(st)
+	if i < 0 || i >= len(errRespDER) {
+		der, _ := ocsp.CreateErrorResponse(st)
+		return der
+	}
+	errRespOnce[i].Do(func() { errRespDER[i], _ = ocsp.CreateErrorResponse(st) })
+	return errRespDER[i]
+}
+
+// generateFor builds and signs the response for a parsed request at
+// virtual time now, deriving the generation time from the profile. It is
+// a pure function of (request, now, profile, DB state), which is what
+// makes the cache transparent: replaying it for the same epoch reproduces
+// the same bytes (signing is deterministic under pki.DeterministicSigner).
+func (r *Responder) generateFor(req *ocsp.Request, now time.Time) ([]byte, Meta, error) {
 	if !r.Profile.CacheResponses {
-		// On-demand generation — but two requests arriving at the
-		// same instant (six vantage points probing on the same
-		// virtual clock tick) get the same response; memoizing that
-		// is observationally identical and saves one signature per
-		// duplicate. Nonced requests are never memoized.
-		if len(req.Nonce) == 0 {
-			key := cacheKey(req)
-			r.mu.Lock()
-			entry := r.cache[key]
-			if entry != nil && entry.windowStart.Equal(now) {
-				der, meta := entry.der, entry.meta
-				r.mu.Unlock()
-				return der, meta, nil
-			}
-			r.mu.Unlock()
-			der, meta, err := r.generate(req, now, now, nil)
-			if err != nil {
-				return nil, Meta{}, err
-			}
-			r.mu.Lock()
-			r.cache[key] = &cachedResponse{der: der, windowStart: now, meta: meta}
-			r.mu.Unlock()
-			return der, meta, nil
-		}
+		// On-demand generation, echoing a nonce when present.
 		return r.generate(req, now, now, req.Nonce)
 	}
 
-	// Cached mode: one pre-generated response per (request serials,
-	// update window). Nonces cannot be echoed from a cache; real
-	// pre-generating responders ignore them too.
-	//
-	// Window boundaries carry a per-responder phase so that real fleets'
-	// unaligned regeneration schedules are modelled: without it, a
-	// campaign whose scan instants happen to be multiples of the update
-	// interval would always observe producedAt == receipt time and
-	// misclassify caching responders as on-demand.
-	interval := r.Profile.updateInterval()
-	phase := time.Duration(fnv32(r.Host)) % interval
-	windowStart := now.Add(-phase).Truncate(interval).Add(phase)
-	if windowStart.After(now) {
-		windowStart = windowStart.Add(-interval)
-	}
-	key := cacheKey(req)
-
-	r.mu.Lock()
-	entry := r.cache[key]
-	if entry != nil && entry.windowStart.Equal(windowStart) {
-		der, meta := entry.der, entry.meta
-		r.mu.Unlock()
-		return der, meta, nil
-	}
-	r.mu.Unlock()
-
+	// Cached mode: one pre-generated response per update window.
+	// Nonces cannot be echoed from a cache; real pre-generating
+	// responders ignore them too.
+	windowStart := r.windowStart(now)
 	genTime := windowStart
 	if r.Profile.Instances > 1 {
 		// Pick a pseudo-random farm instance; its generation time is
 		// skewed back by its index, so producedAt can regress between
 		// consecutive fetches.
-		idx := int(fnv32(key+now.Format(time.RFC3339)) % uint32(r.Profile.Instances))
+		idx := int(fnv32(instanceKey(req)+now.Format(time.RFC3339)) % uint32(r.Profile.Instances))
 		skew := r.Profile.InstanceSkew
 		if skew == 0 {
 			skew = time.Minute
 		}
 		genTime = windowStart.Add(-time.Duration(idx) * skew)
 	}
-
-	der, meta, err := r.generate(req, now, genTime, nil)
-	if err != nil {
-		return nil, Meta{}, err
-	}
-	if r.Profile.Instances <= 1 {
-		// Only a single-instance cache is coherent enough to store.
-		r.mu.Lock()
-		r.cache[key] = &cachedResponse{der: der, windowStart: windowStart, expiresAt: genTime.Add(r.Profile.validity()), meta: meta}
-		r.mu.Unlock()
-	}
-	return der, meta, nil
+	return r.generate(req, now, genTime, nil)
 }
 
-func cacheKey(req *ocsp.Request) string {
+// instanceKey reproduces the pre-cache-redesign request key (the requested
+// serials), which seeds the multi-instance pick; keeping it bit-identical
+// keeps every seeded world's producedAt-regression stream unchanged.
+func instanceKey(req *ocsp.Request) string {
 	key := ""
 	for _, id := range req.CertIDs {
 		key += id.Serial.String() + "|"
@@ -567,7 +717,7 @@ func (r *Responder) generate(req *ocsp.Request, now, genTime time.Time, nonce []
 		nextUpdate = thisUpdate.Add(p.validity())
 	}
 
-	var singles []ocsp.SingleResponse
+	singles := make([]ocsp.SingleResponse, 0, len(req.CertIDs)+p.ExtraSerials)
 	for _, id := range req.CertIDs {
 		respondID := id
 		if p.SerialMismatch {
@@ -596,19 +746,7 @@ func (r *Responder) generate(req *ocsp.Request, now, genTime time.Time, nonce []
 		})
 	}
 
-	signer, signerCert := r.signerAndCert()
-	tmpl := &ocsp.ResponderTemplate{
-		Signer:      signer,
-		Certificate: signerCert,
-		Rand:        r.Rand,
-	}
-	if r.Signer != nil && r.SignerCert != nil {
-		// Delegated responders must embed their certificate.
-		tmpl.IncludeCertificates = append(tmpl.IncludeCertificates, r.SignerCert)
-	}
-	tmpl.IncludeCertificates = append(tmpl.IncludeCertificates, p.SuperfluousCerts...)
-
-	der, err := ocsp.CreateResponse(tmpl, genTime, singles, nonce)
+	der, err := ocsp.CreateResponse(r.template(), genTime, singles, nonce)
 	if err != nil {
 		return nil, Meta{}, err
 	}

@@ -153,6 +153,7 @@ func (w *World) buildConsistency() error {
 		w.Network.RegisterHost(res.ocspHost, "", res.ocsp)
 		w.Network.RegisterHost(res.crlHost, "", res.crl)
 		w.ConsistencySources = append(w.ConsistencySources, res.src)
+		w.consistencyResponders = append(w.consistencyResponders, res.ocsp)
 	}
 	return nil
 }
@@ -224,7 +225,7 @@ func (w *World) buildConsistencyCA(rng *rand.Rand, job consistencyJob) consisten
 				return rec.Expiry, true
 			},
 		},
-		ocsp:     responder.New(ocspHost, ca, db, w.Clock, profile),
+		ocsp:     responder.New(ocspHost, ca, db, w.Clock, profile, w.responderOpts()...),
 		crl:      responder.NewCRLPublisher(ca, db, w.Clock),
 		ocspHost: ocspHost,
 		crlHost:  crlHost,

@@ -59,6 +59,12 @@ type Config struct {
 	// built world is identical for every worker count — all key material
 	// derives from per-index child seeds, not from build order.
 	BuildWorkers int
+	// OnDemandSigning disables every responder's signed-response cache
+	// (responder.WithOnDemandSigning): each scan is parsed and signed
+	// from scratch. Campaigns are byte-identical either way — this is
+	// the slow reference configuration the equivalence test and the
+	// benchmarks compare against.
+	OnDemandSigning bool
 }
 
 func (c Config) withDefaults() Config {
@@ -160,6 +166,37 @@ type World struct {
 	// AlexaScale is how many real Alexa domains one modelled domain
 	// represents.
 	AlexaScale int
+
+	// consistencyResponders are the OCSP halves of the consistency-study
+	// pairs, retained so CacheStats covers the whole fleet.
+	consistencyResponders []*responder.Responder
+}
+
+// responderOpts translates world-level configuration into per-responder
+// construction options.
+func (w *World) responderOpts() []responder.Option {
+	if w.Config.OnDemandSigning {
+		return []responder.Option{responder.WithOnDemandSigning()}
+	}
+	return nil
+}
+
+// CacheStats sums signed-response cache hits and misses across every
+// responder in the world (the Hourly fleet and the consistency study).
+// Misses count requests that were parsed and signed; hits were served as
+// stored bytes.
+func (w *World) CacheStats() (hits, misses uint64) {
+	for _, info := range w.Responders {
+		h, m := info.Responder.CacheStats()
+		hits += h
+		misses += m
+	}
+	for _, r := range w.consistencyResponders {
+		h, m := r.CacheStats()
+		hits += h
+		misses += m
+	}
+	return hits, misses
 }
 
 // Build assembles a world from cfg. All key material is derived from
@@ -219,7 +256,7 @@ func (w *World) buildResponders() error {
 			profile.SuperfluousCerts = append(profile.SuperfluousCerts, ca.Certificate)
 		}
 		db := responder.NewDB()
-		r := responder.New(host, ca, db, w.Clock, profile)
+		r := responder.New(host, ca, db, w.Clock, profile, w.responderOpts()...)
 		infos[i] = &ResponderInfo{
 			Index: i, Host: host, Kind: specs[i].kind,
 			CA: ca, DB: db, Responder: r, Profile: profile,
