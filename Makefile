@@ -1,10 +1,11 @@
 # Test tiers for the muststaple reproduction.
 #
-#   tier1       — the seed gate: everything builds and the unit/integration
-#                 suite passes.
-#   tier2       — static analysis plus the full suite under the race
-#                 detector (the pipelined campaign engine is concurrent;
-#                 this is the tier that guards it).
+#   tier1       — the seed gate: vet + gofmt + repolint (the determinism/
+#                 concurrency analyzers in internal/lint), everything
+#                 builds, and the unit/integration suite passes.
+#   tier2       — static analysis (vet + repolint) plus the full suite
+#                 under the race detector (the pipelined campaign engine
+#                 is concurrent; this is the tier that guards it).
 #   bench-guard — asserts the pipelined engine is not slower than the
 #                 legacy round-barrier engine, the parallel world build is
 #                 not slower than the serial reference (each reports a
@@ -21,22 +22,35 @@
 
 GO ?= go
 
-.PHONY: all tier1 tier2 bench-guard bench bench-snapshot bench-compare vet fmt
+.PHONY: all tier1 tier2 bench-guard bench bench-snapshot bench-compare vet fmt fmt-check lint
 
 all: tier1
 
-tier1: vet
+tier1: vet fmt-check lint
 	$(GO) build ./...
 	$(GO) test ./...
 
-tier2: vet
+tier2: vet lint
 	$(GO) test -race ./...
 
 vet:
 	$(GO) vet ./...
 
+# fmt fails when any file needs formatting, listing the offenders; run
+# `gofmt -w .` to fix.
 fmt:
-	gofmt -l .
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "$$out"; \
+		echo "gofmt: the files above need formatting (run: gofmt -w .)"; \
+		exit 1; \
+	fi
+
+fmt-check: fmt
+
+# lint runs the repo's determinism/concurrency analyzers (internal/lint,
+# cmd/repolint). See DESIGN.md §10.
+lint:
+	$(GO) run ./cmd/repolint ./...
 
 bench-guard:
 	$(GO) test -run - -bench 'BenchmarkCampaignEngineGuard|BenchmarkWorldBuildGuard|BenchmarkResponderRespondGuard' -benchtime 1x .

@@ -1,0 +1,86 @@
+// Command repolint runs the repository's determinism and concurrency
+// analyzers (internal/lint) over the given package patterns — a
+// multichecker in the go/analysis mold, built on the standard library.
+//
+//	repolint [-config file] [-list] [packages...]
+//
+// Patterns default to ./... relative to the current directory. The exit
+// status is 0 when the tree is clean, 1 when findings are reported, and
+// 2 on usage or load errors, so `make tier1` can gate on it directly.
+//
+// Findings can be suppressed per line with a reasoned annotation:
+//
+//	//lint:allow <analyzer> <reason>
+//
+// either on the flagged line or alone on the line above it. The reason is
+// mandatory; a bare //lint:allow is itself a finding. Package-level scope
+// lives in an optional JSON config (default .repolint.json if present):
+//
+//	{"analyzers": {"wallclock": {"skip": [".../internal/legacy"]}}}
+//
+// See DESIGN.md §10 for each analyzer and the invariant it guards.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/netmeasure/muststaple/internal/lint"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	configPath := flag.String("config", "", "JSON config file (default: .repolint.json if present)")
+	list := flag.Bool("list", false, "list the analyzers and exit")
+	flag.Parse()
+
+	analyzers := lint.All()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+
+	cfg := lint.DefaultConfig()
+	path := *configPath
+	if path == "" {
+		if _, err := os.Stat(".repolint.json"); err == nil {
+			path = ".repolint.json"
+		}
+	}
+	if path != "" {
+		loaded, err := lint.LoadConfig(path, analyzers)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 2
+		}
+		// The file overrides per analyzer; unmentioned analyzers keep
+		// their default scope.
+		for name, ac := range loaded.Analyzers {
+			cfg.Analyzers[name] = ac
+		}
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	diags, err := lint.Run("", analyzers, cfg, patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "repolint: %d finding(s)\n", len(diags))
+		return 1
+	}
+	return 0
+}

@@ -18,6 +18,7 @@ import (
 	"net"
 	"time"
 
+	"github.com/netmeasure/muststaple/internal/clock"
 	"github.com/netmeasure/muststaple/internal/ocsp"
 	"github.com/netmeasure/muststaple/internal/pki"
 )
@@ -165,7 +166,8 @@ type Client struct {
 	Behavior Behavior
 	// Root anchors chain validation.
 	Root *x509.Certificate
-	// Now supplies virtual time for certificate and staple validation.
+	// Now supplies virtual time for certificate and staple validation;
+	// nil falls back to the wall clock (clock.Real).
 	Now func() time.Time
 	// FallbackOCSP performs the browser's own OCSP lookup when the
 	// policy calls for one; may be nil.
@@ -176,7 +178,7 @@ type Client struct {
 // and applies the behavior's Must-Staple policy.
 func (c *Client) Connect(conn net.Conn, serverName string) (Result, error) {
 	res := Result{Behavior: c.Behavior}
-	now := time.Now()
+	now := clock.Real{}.Now()
 	if c.Now != nil {
 		now = c.Now()
 	}

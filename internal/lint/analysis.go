@@ -1,0 +1,102 @@
+// Package lint is a stdlib-only static-analysis suite that mechanically
+// enforces the repository's determinism and concurrency invariants: no
+// wall-clock reads in simulated-time code, no global math/rand streams in
+// world construction, no map-iteration-ordered output, no mutexes held
+// across channel operations, context.Context first, and no silently
+// discarded errors on responder/scanner hot paths.
+//
+// The package mirrors the golang.org/x/tools/go/analysis API shape
+// (Analyzer / Pass / Diagnostic) so analyzers could migrate to the real
+// framework if the dependency ever becomes available, but it is built
+// entirely on go/ast, go/types, and `go list`, because this repository
+// carries no third-party dependencies.
+//
+// See DESIGN.md §10 for the invariant each analyzer guards and for the
+// `//lint:allow <analyzer> <reason>` suppression syntax.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer is one named check. Run inspects a single type-checked package
+// via the Pass and reports findings with Pass.Reportf.
+type Analyzer struct {
+	// Name identifies the analyzer in output and in //lint:allow comments.
+	Name string
+	// Doc is a one-paragraph description: the invariant guarded and why.
+	Doc string
+	// Run performs the check.
+	Run func(*Pass) error
+}
+
+// Pass carries one package's syntax and type information to an analyzer.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	// Files are the package's non-test compilation units, parsed with
+	// comments.
+	Files []*ast.File
+	Pkg   *types.Package
+	Info  *types.Info
+
+	report func(Diagnostic)
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Diagnostic is one finding, positioned and attributed to its analyzer.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+// String renders the go-vet-style "file:line:col: message [analyzer]" form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s [%s]", d.Pos, d.Message, d.Analyzer)
+}
+
+// funcIn reports whether the expression (an identifier or selector) uses a
+// package-level function of pkgPath whose name is in names. It resolves
+// through the type information, so aliased imports and method values do
+// not confuse it.
+func funcIn(info *types.Info, expr ast.Expr, pkgPath string, names ...string) (string, bool) {
+	var id *ast.Ident
+	switch e := ast.Unparen(expr).(type) {
+	case *ast.Ident:
+		id = e
+	case *ast.SelectorExpr:
+		id = e.Sel
+	default:
+		return "", false
+	}
+	fn, ok := info.Uses[id].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != pkgPath {
+		return "", false
+	}
+	if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+		return "", false
+	}
+	for _, n := range names {
+		if fn.Name() == n {
+			return fn.Name(), true
+		}
+	}
+	return "", false
+}
+
+// isErrorType reports whether t is the built-in error interface.
+func isErrorType(t types.Type) bool {
+	return t != nil && types.Identical(t, types.Universe.Lookup("error").Type())
+}

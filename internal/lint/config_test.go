@@ -1,0 +1,84 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestMatchPattern(t *testing.T) {
+	cases := []struct {
+		pattern, path string
+		want          bool
+	}{
+		{".../internal/...", "github.com/netmeasure/muststaple/internal/world", true},
+		{".../internal/...", "github.com/netmeasure/muststaple/cmd/repro", false},
+		{".../internal/clock", "github.com/netmeasure/muststaple/internal/clock", true},
+		{".../internal/clock", "github.com/netmeasure/muststaple/internal/clockwork", false},
+		{".../internal/lint/...", "github.com/netmeasure/muststaple/internal/lint", true},
+		{".../internal/lint/...", "github.com/netmeasure/muststaple/internal/lint/linttest", true},
+		{"example.com/a", "example.com/a", true},
+		{"example.com/a", "example.com/a/b", false},
+	}
+	for _, c := range cases {
+		if got := matchPattern(c.pattern, c.path); got != c.want {
+			t.Errorf("matchPattern(%q, %q) = %v, want %v", c.pattern, c.path, got, c.want)
+		}
+	}
+}
+
+func TestDefaultConfigScopes(t *testing.T) {
+	cfg := DefaultConfig()
+	const mod = "github.com/netmeasure/muststaple"
+	cases := []struct {
+		analyzer, pkg string
+		want          bool
+	}{
+		{"wallclock", mod + "/internal/world", true},
+		{"wallclock", mod + "/internal/clock", false},
+		{"wallclock", mod + "/internal/profiling", false},
+		{"wallclock", mod + "/cmd/repro", false},
+		{"globalrand", mod + "/internal/census", true},
+		{"globalrand", mod + "/cmd/ocspdump", false},
+		{"maporder", mod + "/cmd/repro", true},
+		{"locksafe", mod + "/internal/scanner", true},
+		{"ctxfirst", mod + "/internal/core", true},
+		{"errcheck-hot", mod + "/internal/responder", true},
+		{"errcheck-hot", mod + "/internal/report", false},
+	}
+	for _, c := range cases {
+		if got := cfg.includes(c.analyzer, c.pkg); got != c.want {
+			t.Errorf("includes(%q, %q) = %v, want %v", c.analyzer, c.pkg, got, c.want)
+		}
+	}
+}
+
+func TestLoadConfig(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "repolint.json")
+	ok := `{"analyzers": {"wallclock": {"skip": [".../internal/legacy"]}, "maporder": {"disabled": true}}}`
+	if err := os.WriteFile(path, []byte(ok), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := LoadConfig(path, All())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cfg.includes("wallclock", "x/internal/world") {
+		t.Error("wallclock should include x/internal/world")
+	}
+	if cfg.includes("wallclock", "x/internal/legacy") {
+		t.Error("wallclock should skip x/internal/legacy")
+	}
+	if cfg.includes("maporder", "anything") {
+		t.Error("maporder should be disabled")
+	}
+
+	bad := `{"analyzers": {"no-such-analyzer": {}}}`
+	if err := os.WriteFile(path, []byte(bad), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadConfig(path, All()); err == nil {
+		t.Error("unknown analyzer name should be rejected")
+	}
+}

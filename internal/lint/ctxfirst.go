@@ -1,0 +1,59 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// CtxFirstAnalyzer enforces the standard Go convention on exported APIs:
+// when a function takes a context.Context it must be the first parameter.
+// The scan and engine entry points thread cancellation through multi-hour
+// campaigns; a context buried mid-signature is the kind of API drift that
+// later "loses" the context at a call site.
+var CtxFirstAnalyzer = &Analyzer{
+	Name: "ctxfirst",
+	Doc:  "context.Context must be the first parameter of exported functions and methods",
+	Run:  runCtxFirst,
+}
+
+func runCtxFirst(pass *Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || !fn.Name.IsExported() || fn.Type.Params == nil {
+				continue
+			}
+			// Position of each parameter name (fields may declare several).
+			idx := 0
+			for fi, field := range fn.Type.Params.List {
+				n := len(field.Names)
+				if n == 0 {
+					n = 1
+				}
+				if isContextType(pass.Info.TypeOf(field.Type)) && idx > 0 {
+					pass.Reportf(field.Pos(), "context.Context is parameter %d of exported %s %s; it must be first", idx+1, declKind(fn), fn.Name.Name)
+					break
+				}
+				_ = fi
+				idx += n
+			}
+		}
+	}
+	return nil
+}
+
+func declKind(fn *ast.FuncDecl) string {
+	if fn.Recv != nil {
+		return "method"
+	}
+	return "function"
+}
+
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}

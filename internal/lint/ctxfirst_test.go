@@ -1,0 +1,20 @@
+package lint_test
+
+import (
+	"testing"
+
+	"github.com/netmeasure/muststaple/internal/lint"
+	"github.com/netmeasure/muststaple/internal/lint/linttest"
+)
+
+func TestCtxFirstFindings(t *testing.T) {
+	linttest.Run(t, lint.CtxFirstAnalyzer, "testdata/ctxfirst/bad", "example.com/repo/internal/scanner")
+}
+
+func TestCtxFirstSuppression(t *testing.T) {
+	linttest.Run(t, lint.CtxFirstAnalyzer, "testdata/ctxfirst/suppressed", "example.com/repo/internal/scanner")
+}
+
+func TestCtxFirstClean(t *testing.T) {
+	linttest.Run(t, lint.CtxFirstAnalyzer, "testdata/ctxfirst/clean", "example.com/repo/internal/scanner")
+}

@@ -1,0 +1,84 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// ErrCheckHotAnalyzer forbids silently discarded errors on the
+// responder/scanner hot paths. A dropped parse or signing error there
+// does not crash anything — it quietly turns one observation into a
+// different failure class, which is exactly the kind of corruption the
+// equivalence tests can only catch after the fact. Two shapes are
+// flagged:
+//
+//   - an error result assigned to the blank identifier (`x, _ := f()`,
+//     `_ = f()`), and
+//   - a bare call statement to a function whose only result is an error.
+//
+// Deferred and go-routine'd calls are exempt (deferred cleanup errors are
+// conventionally dropped), as are sites annotated
+// //lint:allow errcheck-hot <reason> where the error is impossible by
+// construction.
+var ErrCheckHotAnalyzer = &Analyzer{
+	Name: "errcheck-hot",
+	Doc:  "errors on responder/scanner hot paths may not be discarded with _ or dropped call statements",
+	Run:  runErrCheckHot,
+}
+
+func runErrCheckHot(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch s := n.(type) {
+			case *ast.AssignStmt:
+				checkBlankedErrors(pass, s)
+			case *ast.ExprStmt:
+				checkDroppedCall(pass, s)
+			case *ast.DeferStmt, *ast.GoStmt:
+				return false
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkBlankedErrors flags each blank identifier on the left-hand side
+// whose corresponding right-hand value is an error.
+func checkBlankedErrors(pass *Pass, s *ast.AssignStmt) {
+	resultType := func(i int) types.Type {
+		if len(s.Rhs) == len(s.Lhs) {
+			return pass.Info.TypeOf(s.Rhs[i])
+		}
+		// Multi-value form: one call (or type assertion / map read)
+		// spread across the left-hand side.
+		if len(s.Rhs) != 1 {
+			return nil
+		}
+		if tuple, ok := pass.Info.TypeOf(s.Rhs[0]).(*types.Tuple); ok && i < tuple.Len() {
+			return tuple.At(i).Type()
+		}
+		return nil
+	}
+	for i, lhs := range s.Lhs {
+		id, ok := lhs.(*ast.Ident)
+		if !ok || id.Name != "_" {
+			continue
+		}
+		if isErrorType(resultType(i)) {
+			pass.Reportf(id.Pos(), "error discarded with _ on a hot path; handle it or annotate the impossibility (//lint:allow errcheck-hot <why>)")
+		}
+	}
+}
+
+// checkDroppedCall flags `f()` statements where f returns exactly one
+// value and that value is an error.
+func checkDroppedCall(pass *Pass, s *ast.ExprStmt) {
+	call, ok := ast.Unparen(s.X).(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	if isErrorType(pass.Info.TypeOf(call)) {
+		pass.Reportf(call.Pos(), "call result is an unchecked error on a hot path; handle it or annotate the impossibility (//lint:allow errcheck-hot <why>)")
+	}
+}

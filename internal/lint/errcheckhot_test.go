@@ -1,0 +1,20 @@
+package lint_test
+
+import (
+	"testing"
+
+	"github.com/netmeasure/muststaple/internal/lint"
+	"github.com/netmeasure/muststaple/internal/lint/linttest"
+)
+
+func TestErrCheckHotFindings(t *testing.T) {
+	linttest.Run(t, lint.ErrCheckHotAnalyzer, "testdata/errcheckhot/bad", "example.com/repo/internal/responder")
+}
+
+func TestErrCheckHotSuppression(t *testing.T) {
+	linttest.Run(t, lint.ErrCheckHotAnalyzer, "testdata/errcheckhot/suppressed", "example.com/repo/internal/responder")
+}
+
+func TestErrCheckHotClean(t *testing.T) {
+	linttest.Run(t, lint.ErrCheckHotAnalyzer, "testdata/errcheckhot/clean", "example.com/repo/internal/responder")
+}

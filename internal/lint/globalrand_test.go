@@ -1,0 +1,20 @@
+package lint_test
+
+import (
+	"testing"
+
+	"github.com/netmeasure/muststaple/internal/lint"
+	"github.com/netmeasure/muststaple/internal/lint/linttest"
+)
+
+func TestGlobalRandFindings(t *testing.T) {
+	linttest.Run(t, lint.GlobalRandAnalyzer, "testdata/globalrand/bad", "example.com/repo/internal/census")
+}
+
+func TestGlobalRandSuppression(t *testing.T) {
+	linttest.Run(t, lint.GlobalRandAnalyzer, "testdata/globalrand/suppressed", "example.com/repo/internal/scanner")
+}
+
+func TestGlobalRandClean(t *testing.T) {
+	linttest.Run(t, lint.GlobalRandAnalyzer, "testdata/globalrand/clean", "example.com/repo/internal/world")
+}

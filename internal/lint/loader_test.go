@@ -1,0 +1,72 @@
+package lint
+
+import (
+	"go/types"
+	"testing"
+)
+
+// TestLoaderTypeInfo loads one real package of this module and checks the
+// type information analyzers rely on: resolved imports, usable Uses map,
+// and the package path the config scoping keys on.
+func TestLoaderTypeInfo(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shells out to go list and type-checks from source")
+	}
+	l := NewLoader("../..")
+	pkgs, err := l.Load("./internal/clock")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("got %d packages, want 1", len(pkgs))
+	}
+	p := pkgs[0]
+	if p.Pkg.Name() != "clock" {
+		t.Errorf("package name = %q, want clock", p.Pkg.Name())
+	}
+	if p.ImportPath != "github.com/netmeasure/muststaple/internal/clock" {
+		t.Errorf("import path = %q", p.ImportPath)
+	}
+	// clock.Real.Now must resolve to a method returning time.Time.
+	obj := p.Pkg.Scope().Lookup("Real")
+	if obj == nil {
+		t.Fatal("clock.Real not found in package scope")
+	}
+	var found bool
+	named := obj.Type().(*types.Named)
+	for i := 0; i < named.NumMethods(); i++ {
+		m := named.Method(i)
+		if m.Name() != "Now" {
+			continue
+		}
+		found = true
+		res := m.Type().(*types.Signature).Results()
+		if res.Len() != 1 || res.At(0).Type().String() != "time.Time" {
+			t.Errorf("Real.Now returns %s, want time.Time", res)
+		}
+	}
+	if !found {
+		t.Error("clock.Real has no Now method")
+	}
+	// The Uses map must be populated: at least one identifier in the
+	// package resolves to an object from the time package.
+	var timeUse bool
+	for _, o := range p.Info.Uses {
+		if o != nil && o.Pkg() != nil && o.Pkg().Path() == "time" {
+			timeUse = true
+			break
+		}
+	}
+	if !timeUse {
+		t.Error("Info.Uses resolves nothing from package time")
+	}
+}
+
+// TestLoaderRejectsUnknownImport ensures imports outside the loaded graph
+// fail loudly instead of silently producing empty type info.
+func TestLoaderRejectsUnknownImport(t *testing.T) {
+	l := NewLoader("../..")
+	if _, err := l.ImportFrom("no/such/package", "", 0); err == nil {
+		t.Error("importing an unregistered path should fail")
+	}
+}

@@ -1,0 +1,192 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// LockSafeAnalyzer flags channel operations performed while a
+// sync.Mutex/RWMutex is held. The sharded caches and the campaign engine
+// mix per-shard mutexes with bounded channels for backpressure; a channel
+// send or receive under a lock turns that backpressure into a potential
+// deadlock (the goroutine that would drain the channel may be waiting for
+// the same lock) and stretches critical sections from nanoseconds to
+// unbounded waits. Hand the value off outside the critical section
+// instead.
+//
+// The check is lexical and per-function: it tracks Lock/RLock …
+// Unlock/RUnlock pairs (including defer'd unlocks) within one function
+// body and flags sends, receives, selects, and range-over-channel in the
+// held region. Function literals are not entered: a goroutine launched
+// under the lock runs on its own stack.
+var LockSafeAnalyzer = &Analyzer{
+	Name: "locksafe",
+	Doc:  "flag channel send/receive/select while holding a sync.Mutex or RWMutex; move blocking operations outside the critical section",
+	Run:  runLockSafe,
+}
+
+func runLockSafe(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				if fn.Body != nil {
+					checkLockRegions(pass, fn.Body)
+				}
+			case *ast.FuncLit:
+				checkLockRegions(pass, fn.Body)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkLockRegions scans one function body's top-level statement lists.
+// held maps the printed receiver expression ("c.mu") to true while locked.
+func checkLockRegions(pass *Pass, body *ast.BlockStmt) {
+	scanStmtList(pass, body.List, map[string]bool{})
+}
+
+func scanStmtList(pass *Pass, stmts []ast.Stmt, held map[string]bool) {
+	// Copy so sibling blocks do not leak lock state to each other.
+	local := make(map[string]bool, len(held))
+	for k, v := range held {
+		local[k] = v
+	}
+	for _, stmt := range stmts {
+		switch s := stmt.(type) {
+		case *ast.ExprStmt:
+			if recv, op, ok := mutexOp(pass, s.X); ok {
+				switch op {
+				case "Lock", "RLock":
+					local[recv] = true
+				case "Unlock", "RUnlock":
+					delete(local, recv)
+				}
+				continue
+			}
+		case *ast.DeferStmt:
+			// defer mu.Unlock() keeps the lock held to function end;
+			// nothing to update — the lock stays in the held set.
+			if _, _, ok := mutexOp(pass, s.Call); ok {
+				continue
+			}
+		case *ast.BlockStmt:
+			scanStmtList(pass, s.List, local)
+			continue
+		case *ast.IfStmt:
+			scanBranches(pass, s, local)
+			continue
+		case *ast.ForStmt:
+			scanStmtList(pass, s.Body.List, local)
+			continue
+		case *ast.RangeStmt:
+			if len(local) > 0 {
+				if t := pass.Info.TypeOf(s.X); t != nil {
+					if _, isChan := t.Underlying().(*types.Chan); isChan {
+						pass.Reportf(s.Pos(), "range over a channel while holding %s; the loop blocks until senders close it — drain outside the critical section", anyKey(local))
+					}
+				}
+			}
+			scanStmtList(pass, s.Body.List, local)
+			continue
+		}
+		if len(local) > 0 {
+			reportChannelOps(pass, stmt, local)
+		}
+	}
+}
+
+func scanBranches(pass *Pass, s *ast.IfStmt, held map[string]bool) {
+	if s.Init != nil && len(held) > 0 {
+		reportChannelOps(pass, s.Init, held)
+	}
+	if len(held) > 0 {
+		reportChannelOps(pass, s.Cond, held)
+	}
+	scanStmtList(pass, s.Body.List, held)
+	switch e := s.Else.(type) {
+	case *ast.BlockStmt:
+		scanStmtList(pass, e.List, held)
+	case *ast.IfStmt:
+		scanBranches(pass, e, held)
+	}
+}
+
+// mutexOp recognizes x.Lock / x.RLock / x.Unlock / x.RUnlock calls where
+// x is a sync.Mutex or sync.RWMutex (possibly behind a pointer), and
+// returns the printed receiver and the operation.
+func mutexOp(pass *Pass, expr ast.Expr) (recv, op string, ok bool) {
+	call, isCall := ast.Unparen(expr).(*ast.CallExpr)
+	if !isCall {
+		return "", "", false
+	}
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	switch sel.Sel.Name {
+	case "Lock", "Unlock", "RLock", "RUnlock":
+	default:
+		return "", "", false
+	}
+	t := pass.Info.TypeOf(sel.X)
+	if t == nil || !isSyncMutex(t) {
+		return "", "", false
+	}
+	return types.ExprString(sel.X), sel.Sel.Name, true
+}
+
+func isSyncMutex(t types.Type) bool {
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return false
+	}
+	return obj.Name() == "Mutex" || obj.Name() == "RWMutex"
+}
+
+// reportChannelOps flags channel operations in node, without descending
+// into function literals.
+func reportChannelOps(pass *Pass, node ast.Node, held map[string]bool) {
+	name := anyKey(held)
+	ast.Inspect(node, func(n ast.Node) bool {
+		switch op := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.SendStmt:
+			pass.Reportf(op.Pos(), "channel send while holding %s; a blocked receiver waiting on the same lock deadlocks — hand off outside the critical section", name)
+		case *ast.UnaryExpr:
+			if op.Op.String() == "<-" {
+				pass.Reportf(op.Pos(), "channel receive while holding %s; the sender may be waiting on the same lock — receive outside the critical section", name)
+			}
+		case *ast.SelectStmt:
+			pass.Reportf(op.Pos(), "select while holding %s; channel operations under a mutex risk deadlock — select outside the critical section", name)
+			return false
+		case *ast.RangeStmt:
+			if t := pass.Info.TypeOf(op.X); t != nil {
+				if _, isChan := t.Underlying().(*types.Chan); isChan {
+					pass.Reportf(op.Pos(), "range over a channel while holding %s; the loop blocks until senders close it — drain outside the critical section", name)
+				}
+			}
+		}
+		return true
+	})
+}
+
+func anyKey(m map[string]bool) string {
+	best := ""
+	for k := range m {
+		if best == "" || k < best {
+			best = k
+		}
+	}
+	return best
+}

@@ -1,0 +1,20 @@
+package lint_test
+
+import (
+	"testing"
+
+	"github.com/netmeasure/muststaple/internal/lint"
+	"github.com/netmeasure/muststaple/internal/lint/linttest"
+)
+
+func TestLockSafeFindings(t *testing.T) {
+	linttest.Run(t, lint.LockSafeAnalyzer, "testdata/locksafe/bad", "example.com/repo/internal/scanner")
+}
+
+func TestLockSafeSuppression(t *testing.T) {
+	linttest.Run(t, lint.LockSafeAnalyzer, "testdata/locksafe/suppressed", "example.com/repo/internal/scanner")
+}
+
+func TestLockSafeClean(t *testing.T) {
+	linttest.Run(t, lint.LockSafeAnalyzer, "testdata/locksafe/clean", "example.com/repo/internal/scanner")
+}

@@ -1,0 +1,112 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// MapOrderAnalyzer flags `range` over a map whose body feeds an output
+// sink — fmt printing, an io.Writer / strings.Builder Write*, or a hash —
+// directly from inside the loop. Go randomizes map iteration order, so
+// such a loop emits its lines in a different order on every run: the
+// classic silent nondeterminism in report rendering and shard-merge code.
+// The fix is the standard idiom: collect the keys, sort them, then range
+// over the sorted slice (collecting keys via append inside the loop is
+// deliberately NOT flagged).
+var MapOrderAnalyzer = &Analyzer{
+	Name: "maporder",
+	Doc:  "flag map iteration that writes to an output sink in iteration order; sort the keys first",
+	Run:  runMapOrder,
+}
+
+// sinkMethods are method names that commit bytes in call order.
+var sinkMethods = map[string]bool{
+	"Write": true, "WriteString": true, "WriteByte": true,
+	"WriteRune": true, "WriteTo": true,
+}
+
+// sinkFns are fmt's ordered emitters. Sprint-style formatters return a
+// string instead of committing output and are not flagged.
+var sinkFns = []string{"Fprint", "Fprintf", "Fprintln", "Print", "Printf", "Println"}
+
+func runMapOrder(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			rng, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			t := pass.Info.TypeOf(rng.X)
+			if t == nil {
+				return true
+			}
+			if _, isMap := t.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			if sink := findSinkCall(pass, rng); sink != nil {
+				pass.Reportf(sink.Pos(), "output written while ranging over a map iterates in random order; collect and sort the keys, then range over the slice")
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// findSinkCall returns the first ordered-output call in the loop body.
+// Nested function literals are skipped (they execute later, not per
+// iteration), and so are sinks declared inside the loop itself: filling a
+// per-iteration buffer is order-independent.
+func findSinkCall(pass *Pass, rng *ast.RangeStmt) (found *ast.CallExpr) {
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		if found != nil {
+			return false
+		}
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if _, ok := funcIn(pass.Info, call.Fun, "fmt", sinkFns...); ok {
+			// Print family writes to the process's stdout; the Fprint
+			// family's destination is the first argument.
+			if len(call.Args) == 0 || !declaredWithin(pass, call.Args[0], rng) {
+				found = call
+			}
+			return false
+		}
+		if sel, ok := call.Fun.(*ast.SelectorExpr); ok && sinkMethods[sel.Sel.Name] {
+			if selInfo, ok := pass.Info.Selections[sel]; ok && selInfo.Kind() == types.MethodVal {
+				if !declaredWithin(pass, sel.X, rng) {
+					found = call
+				}
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// declaredWithin reports whether the root identifier of expr is declared
+// inside the range statement (a per-iteration sink).
+func declaredWithin(pass *Pass, expr ast.Expr, rng *ast.RangeStmt) bool {
+	for {
+		switch e := ast.Unparen(expr).(type) {
+		case *ast.SelectorExpr:
+			expr = e.X
+		case *ast.IndexExpr:
+			expr = e.X
+		case *ast.StarExpr:
+			expr = e.X
+		case *ast.UnaryExpr:
+			expr = e.X
+		case *ast.Ident:
+			obj := pass.Info.ObjectOf(e)
+			return obj != nil && obj.Pos() >= rng.Pos() && obj.Pos() <= rng.End()
+		default:
+			return false
+		}
+	}
+}

@@ -1,0 +1,20 @@
+package lint_test
+
+import (
+	"testing"
+
+	"github.com/netmeasure/muststaple/internal/lint"
+	"github.com/netmeasure/muststaple/internal/lint/linttest"
+)
+
+func TestMapOrderFindings(t *testing.T) {
+	linttest.Run(t, lint.MapOrderAnalyzer, "testdata/maporder/bad", "example.com/repo/internal/report")
+}
+
+func TestMapOrderSuppression(t *testing.T) {
+	linttest.Run(t, lint.MapOrderAnalyzer, "testdata/maporder/suppressed", "example.com/repo/internal/report")
+}
+
+func TestMapOrderClean(t *testing.T) {
+	linttest.Run(t, lint.MapOrderAnalyzer, "testdata/maporder/clean", "example.com/repo/internal/report")
+}

@@ -1,0 +1,13 @@
+package lint
+
+// All returns every analyzer in the suite, in reporting order.
+func All() []*Analyzer {
+	return []*Analyzer{
+		WallclockAnalyzer,
+		GlobalRandAnalyzer,
+		MapOrderAnalyzer,
+		LockSafeAnalyzer,
+		CtxFirstAnalyzer,
+		ErrCheckHotAnalyzer,
+	}
+}

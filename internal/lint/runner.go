@@ -1,0 +1,76 @@
+package lint
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Run loads the packages matching patterns from dir and applies every
+// analyzer enabled for each package, returning the surviving findings in
+// deterministic (file, line, column, analyzer) order. Suppression
+// comments are honoured per file; cfg == nil means DefaultConfig.
+func Run(dir string, analyzers []*Analyzer, cfg *Config, patterns ...string) ([]Diagnostic, error) {
+	loader := NewLoader(dir)
+	pkgs, err := loader.Load(patterns...)
+	if err != nil {
+		return nil, err
+	}
+	if cfg == nil {
+		cfg = DefaultConfig()
+	}
+	var all []Diagnostic
+	for _, p := range pkgs {
+		diags, err := Analyze(loader, p, analyzers, cfg)
+		if err != nil {
+			return nil, err
+		}
+		all = append(all, diags...)
+	}
+	sortDiagnostics(all)
+	return all, nil
+}
+
+// Analyze applies the enabled analyzers to one loaded package and filters
+// the findings through the package's //lint:allow directives. The
+// returned order is the analyzers' reporting order; Run sorts across
+// packages. It is exported for the linttest fixture harness.
+func Analyze(loader *Loader, p *LoadedPackage, analyzers []*Analyzer, cfg *Config) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		if !cfg.includes(a.Name, p.ImportPath) {
+			continue
+		}
+		pass := &Pass{
+			Analyzer: a,
+			Fset:     loader.Fset,
+			Files:    p.Files,
+			Pkg:      p.Pkg,
+			Info:     p.Info,
+			report:   func(d Diagnostic) { diags = append(diags, d) },
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("lint: %s on %s: %v", a.Name, p.ImportPath, err)
+		}
+	}
+	allows := collectAllows(loader.Fset, p.Files)
+	return applyAllows(diags, allows), nil
+}
+
+func sortDiagnostics(diags []Diagnostic) {
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
+}

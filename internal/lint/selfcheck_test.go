@@ -1,0 +1,28 @@
+package lint_test
+
+import (
+	"testing"
+
+	"github.com/netmeasure/muststaple/internal/lint"
+)
+
+// TestRepoIsLintClean is the smoke test behind `make lint`: the whole
+// module must be clean under the default configuration. It is also the
+// tripwire the acceptance criteria call for — introduce a time.Now()
+// into internal/world or a global rand.Intn into internal/census and
+// this test (and `go run ./cmd/repolint ./...`) fails.
+func TestRepoIsLintClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module; skipped in -short")
+	}
+	diags, err := lint.Run("../..", lint.All(), nil, "./...")
+	if err != nil {
+		t.Fatalf("running the suite over the repo: %v", err)
+	}
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+	if len(diags) > 0 {
+		t.Errorf("repolint found %d finding(s); fix them or add a reasoned //lint:allow", len(diags))
+	}
+}

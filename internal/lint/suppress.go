@@ -1,0 +1,105 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// Suppression syntax: a comment of the form
+//
+//	//lint:allow <analyzer> <reason>
+//
+// on the flagged line, or alone on the line directly above it, silences
+// that analyzer's findings for that line. The reason is mandatory: a
+// suppression without one is itself reported, so every exemption in the
+// tree carries its justification next to the code.
+
+const allowPrefix = "//lint:allow"
+
+// allowDirective is one parsed //lint:allow comment.
+type allowDirective struct {
+	analyzer string
+	reason   string
+	pos      token.Position
+}
+
+// collectAllows gathers the directives of every file in the pass, keyed
+// by "filename:line" for both the directive's own line and the line
+// below it (so a directive suppresses findings on either).
+func collectAllows(fset *token.FileSet, files []*ast.File) map[string][]*allowDirective {
+	allows := make(map[string][]*allowDirective)
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, allowPrefix) {
+					continue
+				}
+				rest := strings.TrimPrefix(c.Text, allowPrefix)
+				if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+					continue // e.g. //lint:allowed — not ours
+				}
+				name, reason, _ := strings.Cut(strings.TrimSpace(rest), " ")
+				d := &allowDirective{
+					analyzer: name,
+					reason:   strings.TrimSpace(reason),
+					pos:      fset.Position(c.Pos()),
+				}
+				for _, line := range []int{d.pos.Line, d.pos.Line + 1} {
+					key := lineKey(d.pos.Filename, line)
+					allows[key] = append(allows[key], d)
+				}
+			}
+		}
+	}
+	return allows
+}
+
+func lineKey(filename string, line int) string {
+	return filename + ":" + itoa(line)
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}
+
+// applyAllows filters diagnostics through the directives: a matching
+// directive with a reason drops the finding; a matching directive with no
+// reason converts the finding into a "suppression needs a reason" one at
+// the same site, so the gate still fails.
+func applyAllows(diags []Diagnostic, allows map[string][]*allowDirective) []Diagnostic {
+	var kept []Diagnostic
+	for _, d := range diags {
+		dir := matchAllow(allows, d)
+		switch {
+		case dir == nil:
+			kept = append(kept, d)
+		case dir.reason == "":
+			kept = append(kept, Diagnostic{
+				Analyzer: d.Analyzer,
+				Pos:      d.Pos,
+				Message:  "suppressed without a reason; write //lint:allow " + d.Analyzer + " <why this site is exempt>",
+			})
+		}
+	}
+	return kept
+}
+
+func matchAllow(allows map[string][]*allowDirective, d Diagnostic) *allowDirective {
+	for _, dir := range allows[lineKey(d.Pos.Filename, d.Pos.Line)] {
+		if dir.analyzer == d.Analyzer {
+			return dir
+		}
+	}
+	return nil
+}

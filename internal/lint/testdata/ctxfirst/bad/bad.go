@@ -1,0 +1,17 @@
+// Package bad exercises the ctxfirst analyzer's positive findings.
+package bad
+
+import "context"
+
+// Scanner is an exported API surface.
+type Scanner struct{}
+
+// Scan buries the context mid-signature.
+func (s *Scanner) Scan(target string, ctx context.Context) error { // want "context.Context is parameter 2"
+	return ctx.Err()
+}
+
+// RunAll puts it last.
+func RunAll(names []string, workers int, ctx context.Context) error { // want "context.Context is parameter 3"
+	return ctx.Err()
+}

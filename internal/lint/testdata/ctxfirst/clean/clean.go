@@ -1,0 +1,20 @@
+// Package clean follows the convention and must produce no ctxfirst
+// findings.
+package clean
+
+import "context"
+
+// Scanner is an exported API surface.
+type Scanner struct{}
+
+// Scan takes the context first.
+func (s *Scanner) Scan(ctx context.Context, target string) error {
+	return ctx.Err()
+}
+
+// NoContext functions are unconstrained.
+func NoContext(a, b int) int { return a + b }
+
+// helper is unexported: the convention is only enforced on the API
+// surface.
+func helper(n int, ctx context.Context) error { return ctx.Err() }

@@ -1,0 +1,13 @@
+// Package suppressed shows a reasoned ctxfirst exemption: a frozen
+// callback signature dictated by an external interface.
+package suppressed
+
+import "context"
+
+// Walk matches a pre-existing callback contract that fixes the argument
+// order; changing it would break every registered walker.
+//
+//lint:allow ctxfirst signature frozen by the v1 walker callback contract
+func Walk(path string, ctx context.Context) error {
+	return ctx.Err()
+}

@@ -1,0 +1,28 @@
+// Package bad exercises the errcheck-hot analyzer's positive findings.
+package bad
+
+import "errors"
+
+var errBroken = errors.New("broken")
+
+func parse(b []byte) (int, error) {
+	if len(b) == 0 {
+		return 0, errBroken
+	}
+	return int(b[0]), nil
+}
+
+func validate(n int) error {
+	if n < 0 {
+		return errBroken
+	}
+	return nil
+}
+
+// Respond drops errors three ways on the hot path.
+func Respond(b []byte) int {
+	n, _ := parse(b) // want "error discarded with _"
+	_ = validate(n)  // want "error discarded with _"
+	validate(n + 1)  // want "unchecked error"
+	return n
+}

@@ -1,0 +1,25 @@
+// Package bad exercises the globalrand analyzer's positive findings.
+package bad
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Corpus draws from the process-global stream, so its output depends on
+// every other consumer of that stream.
+func Corpus(n int) []int {
+	out := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, rand.Intn(100)) // want "process-global stream"
+	}
+	rand.Shuffle(len(out), func(i, j int) { // want "process-global stream"
+		out[i], out[j] = out[j], out[i]
+	})
+	return out
+}
+
+// WallSeeded is "seeded", but from the wall clock: still nondeterministic.
+func WallSeeded() *rand.Rand {
+	return rand.New(rand.NewSource(time.Now().UnixNano())) // want "seeded from the wall clock"
+}

@@ -1,0 +1,11 @@
+// Package suppressed shows a reasoned exemption for a jitter source that
+// deliberately must NOT be reproducible.
+package suppressed
+
+import "math/rand"
+
+// Jitter spreads real-deployment retry storms; determinism is explicitly
+// unwanted here.
+func Jitter(maxMillis int) int {
+	return rand.Intn(maxMillis) //lint:allow globalrand live-deployment retry jitter must not be reproducible
+}

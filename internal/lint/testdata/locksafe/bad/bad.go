@@ -1,0 +1,52 @@
+// Package bad exercises the locksafe analyzer's positive findings.
+package bad
+
+import "sync"
+
+// Shard is a mutex-guarded cache shard feeding a results channel.
+type Shard struct {
+	mu   sync.Mutex
+	rwmu sync.RWMutex
+	out  chan int
+	in   chan int
+	data map[int]int
+}
+
+// Publish sends on a channel while holding the shard lock: if the
+// receiver is blocked on the same lock, both goroutines deadlock.
+func (s *Shard) Publish(k int) {
+	s.mu.Lock()
+	s.out <- s.data[k] // want "channel send while holding s.mu"
+	s.mu.Unlock()
+}
+
+// Fill receives under a deferred unlock: the lock is held for the whole
+// blocking wait.
+func (s *Shard) Fill(k int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.data[k] = <-s.in // want "channel receive while holding s.mu"
+}
+
+// Wait selects under a read lock.
+func (s *Shard) Wait() int {
+	s.rwmu.RLock()
+	defer s.rwmu.RUnlock()
+	select { // want "select while holding s.rwmu"
+	case v := <-s.in:
+		return v
+	default:
+		return 0
+	}
+}
+
+// Drain ranges over a channel while locked.
+func (s *Shard) Drain() int {
+	total := 0
+	s.mu.Lock()
+	for v := range s.in { // want "range over a channel while holding s.mu"
+		total += v
+	}
+	s.mu.Unlock()
+	return total
+}

@@ -1,0 +1,29 @@
+// Package clean hands values off outside the critical section and must
+// produce no locksafe findings.
+package clean
+
+import "sync"
+
+// Shard is the corrected pattern: copy under the lock, send after.
+type Shard struct {
+	mu   sync.Mutex
+	out  chan int
+	data map[int]int
+}
+
+// Publish releases the lock before the potentially blocking send.
+func (s *Shard) Publish(k int) {
+	s.mu.Lock()
+	v := s.data[k]
+	s.mu.Unlock()
+	s.out <- v
+}
+
+// Spawn launches a goroutine under the lock; the send runs on the new
+// goroutine's stack after Spawn returns, so it is not flagged.
+func (s *Shard) Spawn(k int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	v := s.data[k]
+	go func() { s.out <- v }()
+}

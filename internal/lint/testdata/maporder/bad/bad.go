@@ -1,0 +1,26 @@
+// Package bad exercises the maporder analyzer's positive findings.
+package bad
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Render emits one line per key in map-iteration order — different on
+// every run.
+func Render(w io.Writer, counts map[string]int) {
+	for name, n := range counts {
+		fmt.Fprintf(w, "%s: %d\n", name, n) // want "ranging over a map"
+	}
+}
+
+// Build concatenates in iteration order into a builder declared outside
+// the loop.
+func Build(counts map[string]int) string {
+	var b strings.Builder
+	for name := range counts {
+		b.WriteString(name) // want "ranging over a map"
+	}
+	return b.String()
+}

@@ -1,0 +1,35 @@
+// Package clean shows the sorted-keys idiom and the per-iteration-sink
+// exemption; it must produce no maporder findings.
+package clean
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Render collects the keys (append inside a map range is fine), sorts,
+// then emits in deterministic order.
+func Render(w io.Writer, counts map[string]int) {
+	keys := make([]string, 0, len(counts))
+	for name := range counts {
+		keys = append(keys, name)
+	}
+	sort.Strings(keys)
+	for _, name := range keys {
+		fmt.Fprintf(w, "%s: %d\n", name, counts[name])
+	}
+}
+
+// Labels writes into a builder created per iteration: no cross-iteration
+// ordering escapes the loop.
+func Labels(counts map[string]int) map[string]string {
+	out := make(map[string]string, len(counts))
+	for name, n := range counts {
+		var b strings.Builder
+		fmt.Fprintf(&b, "%s=%d", name, n)
+		out[name] = b.String()
+	}
+	return out
+}

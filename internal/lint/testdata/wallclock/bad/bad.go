@@ -1,0 +1,13 @@
+// Package bad exercises the wallclock analyzer's positive findings.
+package bad
+
+import "time"
+
+// Elapsed reads the wall clock three ways; simulated-time code must not.
+func Elapsed(start time.Time) time.Duration {
+	now := time.Now()          // want "time.Now reads the wall clock"
+	d := time.Since(start)     // want "time.Since reads the wall clock"
+	d += time.Until(now)       // want "time.Until reads the wall clock"
+	f := time.Now              // want "time.Now reads the wall clock"
+	return d + time.Since(f()) // want "time.Since reads the wall clock"
+}

@@ -1,0 +1,21 @@
+// Package clean must produce no wallclock findings: every timestamp is
+// injected.
+package clean
+
+import "time"
+
+// Clock is the injected time source (mirrors internal/clock.Clock).
+type Clock interface {
+	Now() time.Time
+}
+
+// Elapsed draws from the injected clock only. Methods named Now on other
+// types are not the wall clock.
+func Elapsed(clk Clock, start time.Time) time.Duration {
+	return clk.Now().Sub(start)
+}
+
+// Arithmetic on times is fine; only the global readers are flagged.
+func Later(t time.Time, d time.Duration) time.Time {
+	return t.Add(d)
+}

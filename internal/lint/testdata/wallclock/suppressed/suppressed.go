@@ -1,0 +1,21 @@
+// Package suppressed exercises //lint:allow handling: a reasoned
+// suppression silences the finding, a bare one is itself reported.
+package suppressed
+
+import "time"
+
+// Profile is a genuinely wall-clock timing site.
+func Profile() time.Duration {
+	start := time.Now() //lint:allow wallclock profiling wall time, not simulated time
+	work()
+	//lint:allow wallclock profiling wall time, not simulated time
+	return time.Since(start)
+}
+
+// Bare suppressions do not count: the reason is mandatory.
+func Bare() time.Time {
+	//lint:allow wallclock
+	return time.Now() // want "suppressed without a reason"
+}
+
+func work() {}

@@ -1,0 +1,37 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// WallclockAnalyzer forbids reading the wall clock in simulated-time
+// code. The paper's multi-month campaigns replay under a virtual clock;
+// a single time.Now() in a measurement path silently couples results to
+// the machine the run happened on. Time must come from clock.Clock (the
+// world's simulated clock, or clock.Real injected at the edge).
+//
+// time.Since and time.Until are included because both read time.Now
+// internally. Genuinely wall-clock sites (profiling, progress logging)
+// are annotated //lint:allow wallclock <reason>, and the clock and
+// profiling packages are exempt by configuration.
+var WallclockAnalyzer = &Analyzer{
+	Name: "wallclock",
+	Doc:  "forbid time.Now/time.Since/time.Until outside the clock abstraction: simulated-time code must draw from clock.Clock",
+	Run:  runWallclock,
+}
+
+func runWallclock(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			if name, ok := funcIn(pass.Info, sel, "time", "Now", "Since", "Until"); ok {
+				pass.Reportf(sel.Pos(), "time.%s reads the wall clock; draw from clock.Clock instead (world time in campaigns, injected clock.Real at the edge)", name)
+			}
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,20 @@
+package lint_test
+
+import (
+	"testing"
+
+	"github.com/netmeasure/muststaple/internal/lint"
+	"github.com/netmeasure/muststaple/internal/lint/linttest"
+)
+
+func TestWallclockFindings(t *testing.T) {
+	linttest.Run(t, lint.WallclockAnalyzer, "testdata/wallclock/bad", "example.com/repo/internal/world")
+}
+
+func TestWallclockSuppression(t *testing.T) {
+	linttest.Run(t, lint.WallclockAnalyzer, "testdata/wallclock/suppressed", "example.com/repo/internal/scanner")
+}
+
+func TestWallclockClean(t *testing.T) {
+	linttest.Run(t, lint.WallclockAnalyzer, "testdata/wallclock/clean", "example.com/repo/internal/world")
+}

@@ -15,6 +15,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"github.com/netmeasure/muststaple/internal/clock"
 )
 
 // Counter is a monotonically increasing int64.
@@ -145,10 +147,23 @@ func (s HistogramSnapshot) String() string {
 // Registry is a named collection of metrics. The zero value is not usable;
 // call NewRegistry.
 type Registry struct {
+	// Clock supplies Timer's time source; nil means clock.Real. Tests
+	// and simulated runs inject clock.Simulated so no registry user ever
+	// reads the wall clock directly.
+	Clock clock.Clock
+
 	mu         sync.RWMutex
 	counters   map[string]*Counter
 	gauges     map[string]*Gauge
 	histograms map[string]*Histogram
+}
+
+// timeSource resolves the registry's clock, defaulting to the wall clock.
+func (r *Registry) timeSource() clock.Clock {
+	if r.Clock != nil {
+		return r.Clock
+	}
+	return clock.Real{}
 }
 
 // NewRegistry returns an empty registry.
@@ -212,15 +227,17 @@ func (r *Registry) Histogram(name string, bounds ...float64) *Histogram {
 	return h
 }
 
-// Timer starts a wall-clock measurement; the returned stop function
-// records the elapsed seconds into the named histogram and returns the
-// elapsed duration. It backs the per-experiment wall-time accounting in
-// internal/core.
+// Timer starts an elapsed-time measurement against the registry's clock
+// (wall clock unless one is injected); the returned stop function records
+// the elapsed seconds into the named histogram and returns the elapsed
+// duration. It backs the per-experiment wall-time accounting in
+// internal/core and the campaign engine's per-round histogram.
 func (r *Registry) Timer(name string, bounds ...float64) func() time.Duration {
 	h := r.Histogram(name, bounds...)
-	start := time.Now()
+	clk := r.timeSource()
+	start := clk.Now()
 	return func() time.Duration {
-		d := time.Since(start)
+		d := clk.Now().Sub(start)
 		h.Observe(d.Seconds())
 		return d
 	}

@@ -429,11 +429,15 @@ func (r *Responder) template() *ocsp.ResponderTemplate {
 }
 
 func (r *Responder) initHashes() {
+	// Hashing a parsed certificate's raw subject/SPKI with SHA-1/SHA-256
+	// cannot fail: both algorithms are linked in and the DER was already
+	// validated by x509 parsing. A zero hash would merely make this
+	// responder match no CertID, i.e. respond unauthorized.
 	r.hashOnce.Do(func() {
-		r.sha1Name, _ = pkixutil.IssuerNameHash(r.CA.Certificate, crypto.SHA1)
-		r.sha1Key, _ = pkixutil.IssuerKeyHash(r.CA.Certificate, crypto.SHA1)
-		r.sha256Name, _ = pkixutil.IssuerNameHash(r.CA.Certificate, crypto.SHA256)
-		r.sha256Key, _ = pkixutil.IssuerKeyHash(r.CA.Certificate, crypto.SHA256)
+		r.sha1Name, _ = pkixutil.IssuerNameHash(r.CA.Certificate, crypto.SHA1)     //lint:allow errcheck-hot infallible for parsed certs, see above
+		r.sha1Key, _ = pkixutil.IssuerKeyHash(r.CA.Certificate, crypto.SHA1)       //lint:allow errcheck-hot infallible for parsed certs, see above
+		r.sha256Name, _ = pkixutil.IssuerNameHash(r.CA.Certificate, crypto.SHA256) //lint:allow errcheck-hot infallible for parsed certs, see above
+		r.sha256Key, _ = pkixutil.IssuerKeyHash(r.CA.Certificate, crypto.SHA256)   //lint:allow errcheck-hot infallible for parsed certs, see above
 	})
 }
 
@@ -647,11 +651,15 @@ var (
 )
 
 func errorResponse(st ocsp.ResponseStatus) []byte {
+	// CreateErrorResponse only fails for StatusSuccessful, which no
+	// caller passes (error responses are, by definition, not successful);
+	// marshaling a single enum cannot fail.
 	i := int(st)
 	if i < 0 || i >= len(errRespDER) {
-		der, _ := ocsp.CreateErrorResponse(st)
+		der, _ := ocsp.CreateErrorResponse(st) //lint:allow errcheck-hot only StatusSuccessful errors, never passed here
 		return der
 	}
+	//lint:allow errcheck-hot only StatusSuccessful errors, never passed here
 	errRespOnce[i].Do(func() { errRespDER[i], _ = ocsp.CreateErrorResponse(st) })
 	return errRespDER[i]
 }

@@ -131,7 +131,6 @@ func (c *Campaign) runPipelined(ctx context.Context, start, end time.Time, aggs 
 	pipe := newAggPipeline(aggs, c.shards, c.reg)
 
 	queuePeak := c.reg.Gauge("campaign_queue_depth_peak")
-	roundHist := c.reg.Histogram("campaign_round_seconds", roundLatencyBounds...)
 	roundsCtr := c.reg.Counter("campaign_rounds_total")
 
 	var runErr error
@@ -147,7 +146,7 @@ func (c *Campaign) runPipelined(ctx context.Context, start, end time.Time, aggs 
 			roundsCtr.Inc()
 			continue
 		}
-		roundStart := time.Now()
+		stopRound := c.reg.Timer("campaign_round_seconds", roundLatencyBounds...)
 		block := &roundBlock{obs: make([]Observation, len(pairs))}
 		block.pending.Store(int64(len(pairs)))
 		for i, p := range pairs {
@@ -156,7 +155,7 @@ func (c *Campaign) runPipelined(ctx context.Context, start, end time.Time, aggs 
 		}
 		block = <-scanDone // the round's own block: only one round scans at a time
 		roundsCtr.Inc()
-		roundHist.Observe(time.Since(roundStart).Seconds())
+		stopRound()
 		// Hand the completed round to the aggregation stage; this send
 		// blocks when aggregation is aggQueueDepth rounds behind.
 		pipe.blocks <- block
@@ -178,7 +177,6 @@ func (c *Campaign) runPipelined(ctx context.Context, start, end time.Time, aggs 
 func (c *Campaign) runBarrier(ctx context.Context, start, end time.Time, aggs []Aggregator) (int, error) {
 	retry := c.campaignRetry()
 	counters := newObsCounters(c.reg)
-	roundHist := c.reg.Histogram("campaign_round_seconds", roundLatencyBounds...)
 	roundsCtr := c.reg.Counter("campaign_rounds_total")
 
 	total := 0
@@ -195,7 +193,7 @@ func (c *Campaign) runBarrier(ctx context.Context, start, end time.Time, aggs []
 		}
 		results = results[:len(pairs)]
 
-		roundStart := time.Now()
+		stopRound := c.reg.Timer("campaign_round_seconds", roundLatencyBounds...)
 		var next atomic.Int64
 		var wg sync.WaitGroup
 		for wk := 0; wk < c.workers; wk++ {
@@ -213,7 +211,7 @@ func (c *Campaign) runBarrier(ctx context.Context, start, end time.Time, aggs []
 		}
 		wg.Wait()
 		roundsCtr.Inc()
-		roundHist.Observe(time.Since(roundStart).Seconds())
+		stopRound()
 		for i := range results {
 			if results[i].Class == ClassCanceled {
 				continue

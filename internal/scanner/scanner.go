@@ -39,6 +39,7 @@ import (
 	"strings"
 	"time"
 
+	"github.com/netmeasure/muststaple/internal/clock"
 	"github.com/netmeasure/muststaple/internal/metrics"
 	"github.com/netmeasure/muststaple/internal/netsim"
 	"github.com/netmeasure/muststaple/internal/ocsp"
@@ -197,6 +198,9 @@ type Transport interface {
 // The vantage and virtual time are recorded but do not affect routing.
 type RealTransport struct {
 	Client *http.Client
+	// Clock times each exchange for Result.Latency; nil means the wall
+	// clock (clock.Real), which is what a live scan wants.
+	Clock clock.Clock
 }
 
 // Do implements Transport.
@@ -205,7 +209,11 @@ func (t *RealTransport) Do(_ netsim.Vantage, _ time.Time, req *http.Request) (*n
 	if client == nil {
 		client = http.DefaultClient
 	}
-	start := time.Now()
+	clk := t.Clock
+	if clk == nil {
+		clk = clock.Real{}
+	}
+	start := clk.Now()
 	resp, err := client.Do(req)
 	if err != nil {
 		return nil, err
@@ -223,7 +231,7 @@ func (t *RealTransport) Do(_ netsim.Vantage, _ time.Time, req *http.Request) (*n
 			break
 		}
 	}
-	return &netsim.Result{Status: resp.StatusCode, Body: body, Headers: resp.Header, Latency: time.Since(start)}, nil
+	return &netsim.Result{Status: resp.StatusCode, Body: body, Headers: resp.Header, Latency: clk.Now().Sub(start)}, nil
 }
 
 // Client is the measurement client.
