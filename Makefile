@@ -14,15 +14,21 @@
 #                 path beats per-scan signing by >= 3x ns/op and >= 5x
 #                 allocs/op (no core gate; the win is eliminated work).
 #   bench-snapshot — runs the guard benchmarks plus the OCSP/CRL codec,
-#                 CRL Find, responder hot-path, and scan-client cache
-#                 micro-benchmarks and archives the results as
-#                 BENCH_PR3.json (via cmd/benchjson).
-#   bench-compare — diffs the archived BENCH_PR2.json snapshot against
-#                 BENCH_PR3.json (via cmd/benchjson -compare).
+#                 CRL Find, responder hot-path, scan-client cache, and
+#                 observation-store micro-benchmarks and archives the
+#                 results as BENCH_PR5.json (via cmd/benchjson).
+#   bench-compare — diffs the previous archived snapshot against the
+#                 current one (via cmd/benchjson -compare); warns and
+#                 succeeds when either snapshot is missing, so fresh
+#                 clones and CI runs without archives don't fail.
+#   crash-recovery — end-to-end durability check: runs a campaign, kills
+#                 a second run mid-round via the store failpoint, resumes
+#                 it, and asserts the resumed figures match
+#                 (scripts/crash_recovery.sh).
 
 GO ?= go
 
-.PHONY: all tier1 tier2 bench-guard bench bench-snapshot bench-compare vet fmt fmt-check lint
+.PHONY: all tier1 tier2 bench-guard bench bench-snapshot bench-compare crash-recovery vet fmt fmt-check lint
 
 all: tier1
 
@@ -61,8 +67,19 @@ bench:
 bench-snapshot:
 	{ $(GO) test -run - -bench 'BenchmarkCampaignEngineGuard|BenchmarkWorldBuildGuard|BenchmarkResponderRespondGuard' -benchtime 1x . ; \
 	  $(GO) test -run - -bench '^(BenchmarkOCSPCreateResponse|BenchmarkOCSPParseResponse|BenchmarkCRLCreateAndParse|BenchmarkResponderRespond)$$' . ; \
+	  $(GO) test -run - -bench '^(BenchmarkStoreAppend|BenchmarkStoreScan)$$' -benchtime 100x . ; \
 	  $(GO) test -run - -bench '^BenchmarkCRLFindMiss$$' ./internal/crl ; \
-	  $(GO) test -run - -bench BenchmarkClientCaches ./internal/scanner ; } | $(GO) run ./cmd/benchjson > BENCH_PR3.json
+	  $(GO) test -run - -bench BenchmarkClientCaches ./internal/scanner ; } | $(GO) run ./cmd/benchjson > BENCH_PR5.json
+
+BENCH_BASE ?= BENCH_PR3.json
+BENCH_HEAD ?= BENCH_PR5.json
 
 bench-compare:
-	$(GO) run ./cmd/benchjson -compare BENCH_PR2.json BENCH_PR3.json
+	@if [ ! -f "$(BENCH_BASE)" ] || [ ! -f "$(BENCH_HEAD)" ]; then \
+		echo "bench-compare: snapshot missing ($(BENCH_BASE) and/or $(BENCH_HEAD)); run 'make bench-snapshot' to create one — skipping comparison"; \
+	else \
+		$(GO) run ./cmd/benchjson -compare $(BENCH_BASE) $(BENCH_HEAD); \
+	fi
+
+crash-recovery:
+	./scripts/crash_recovery.sh

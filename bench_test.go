@@ -28,6 +28,7 @@ import (
 	"github.com/netmeasure/muststaple/internal/pkixutil"
 	"github.com/netmeasure/muststaple/internal/responder"
 	"github.com/netmeasure/muststaple/internal/scanner"
+	"github.com/netmeasure/muststaple/internal/store"
 	"github.com/netmeasure/muststaple/internal/vulnwindow"
 	"github.com/netmeasure/muststaple/internal/webserver"
 	"github.com/netmeasure/muststaple/internal/world"
@@ -881,5 +882,109 @@ func BenchmarkResponderRespondGuard(b *testing.B) {
 			b.Fatalf("cache hot path only %.2fx fewer allocs than per-scan signing (want >= 5x): baseline %.1f, hot %.1f",
 				allocRatio, baseAllocs, hotAllocs)
 		}
+	}
+}
+
+// benchStoreRound builds one round of synthetic observations spread over a
+// handful of responders and vantages, matching the index fan-out a real
+// campaign produces.
+func benchStoreRound(at time.Time, n int) []scanner.Observation {
+	obs := make([]scanner.Observation, n)
+	for i := range obs {
+		obs[i] = scanner.Observation{
+			At:         at,
+			Vantage:    []string{"Oregon", "Paris", "Seoul", "Sydney"}[i%4],
+			Responder:  []string{"ocsp.r00.test", "ocsp.r01.test", "ocsp.r02.test"}[i%3],
+			Domain:     "example.net",
+			Serial:     "123456789",
+			Class:      scanner.ClassOK,
+			Latency:    time.Duration(30+i) * time.Millisecond,
+			HTTPStatus: 200,
+			Attempts:   1,
+			NumCerts:   1, NumSerials: 1,
+			CertStatus: 0,
+			ProducedAt: at, ThisUpdate: at, NextUpdate: at.Add(24 * time.Hour),
+			HasNextUpdate: true,
+		}
+	}
+	return obs
+}
+
+// BenchmarkStoreAppend measures the durable-log write path (encode + CRC +
+// buffered write + index insert, fsync disabled) and guards its per-record
+// allocation budget: appending must stay O(1) small allocations per record
+// or long campaigns pay GC tax proportional to their length.
+func BenchmarkStoreAppend(b *testing.B) {
+	s, err := store.Open(b.TempDir(), store.Options{NoSync: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	const perRound = 256
+	start := time.Date(2018, 4, 25, 0, 0, 0, 0, time.UTC)
+	obs := benchStoreRound(start, perRound)
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		at := start.Add(time.Duration(i) * time.Hour)
+		for j := range obs {
+			obs[j].At = at
+		}
+		if err := s.AppendRound(at, obs); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	runtime.ReadMemStats(&after)
+	perRecord := float64(after.Mallocs-before.Mallocs) / float64(b.N*perRound)
+	b.ReportMetric(perRecord, "allocs/record")
+	if perRecord > 8 {
+		b.Fatalf("store append allocates %.1f objects per record, want <= 8", perRecord)
+	}
+}
+
+// BenchmarkStoreScan measures the streaming read path end to end (read +
+// checksum + decode + callback) over a multi-segment store and guards the
+// no-materialization property: allocations per record must stay constant
+// no matter how large the store is.
+func BenchmarkStoreScan(b *testing.B) {
+	s, err := store.Open(b.TempDir(), store.Options{NoSync: true, SegmentSize: 256 << 10})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	const rounds, perRound = 32, 128
+	start := time.Date(2018, 4, 25, 0, 0, 0, 0, time.UTC)
+	for i := 0; i < rounds; i++ {
+		at := start.Add(time.Duration(i) * time.Hour)
+		if err := s.AppendRound(at, benchStoreRound(at, perRound)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n := 0
+		err := s.Reader().Scan(func(o scanner.Observation) error {
+			n++
+			return nil
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if n != rounds*perRound {
+			b.Fatalf("scanned %d records, want %d", n, rounds*perRound)
+		}
+	}
+	b.StopTimer()
+	runtime.ReadMemStats(&after)
+	perRecord := float64(after.Mallocs-before.Mallocs) / float64(b.N*rounds*perRound)
+	b.ReportMetric(perRecord, "allocs/record")
+	if perRecord > 16 {
+		b.Fatalf("store scan allocates %.1f objects per record, want <= 16", perRecord)
 	}
 }

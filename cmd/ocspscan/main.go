@@ -9,7 +9,7 @@
 //	ocspscan -issuer ca.pem -serial 123456 -url http://ocsp.example.com \
 //	         [-rounds 24] [-interval 1h] [-method POST|GET] \
 //	         [-retries 3] [-retry-base 1s] [-timeout 10s] [-metrics]
-//	         [-cpuprofile cpu.out] [-memprofile mem.out]
+//	         [-store dir [-resume]] [-cpuprofile cpu.out] [-memprofile mem.out]
 //
 // With -demo, it instead spins up an in-process misbehaving responder and
 // scans that, so the tool is demonstrable offline.
@@ -35,6 +35,7 @@ import (
 	"github.com/netmeasure/muststaple/internal/profiling"
 	"github.com/netmeasure/muststaple/internal/responder"
 	"github.com/netmeasure/muststaple/internal/scanner"
+	"github.com/netmeasure/muststaple/internal/store"
 )
 
 func main() {
@@ -49,6 +50,8 @@ func main() {
 	retryBase := flag.Duration("retry-base", time.Second, "initial retry backoff (doubles per retry)")
 	attemptTimeout := flag.Duration("timeout", 10*time.Second, "per-attempt timeout")
 	showMetrics := flag.Bool("metrics", false, "print the full metrics snapshot after the summary")
+	storeDir := flag.String("store", "", "persist per-round observations to this store directory")
+	resume := flag.Bool("resume", false, "continue a previous -store run, counting its rounds toward -rounds")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
@@ -104,9 +107,38 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 
-	var ok, bad int
-	for i := 0; i < *rounds; i++ {
-		if i > 0 && !*demo {
+	var okCount, badCount, doneRounds int
+	var st *store.Store
+	if *storeDir != "" {
+		var err error
+		st, err = store.Open(*storeDir, store.Options{Metrics: reg})
+		if err != nil {
+			fail("open store: %v", err)
+		}
+		defer st.Close()
+		if stats := st.Stats(); stats.Records > 0 || stats.Rounds > 0 {
+			if !*resume {
+				fail("store %s already holds %d rounds; pass -resume to continue it", *storeDir, stats.Rounds)
+			}
+			// Restore the summary tallies from the persisted stream so
+			// the final line covers the whole run, not just this process.
+			err := st.Reader().Scan(func(o scanner.Observation) error {
+				if o.Class == scanner.ClassOK {
+					okCount++
+				} else if o.Class != scanner.ClassCanceled {
+					badCount++
+				}
+				return nil
+			})
+			if err != nil {
+				fail("replay store: %v", err)
+			}
+			doneRounds = stats.Rounds
+			fmt.Printf("resuming: %d round(s) already persisted\n", doneRounds)
+		}
+	}
+	for i := doneRounds; i < *rounds; i++ {
+		if i > doneRounds && !*demo {
 			select {
 			case <-ctx.Done():
 			case <-time.After(*interval):
@@ -120,12 +152,17 @@ func main() {
 		if obs.Class == scanner.ClassCanceled {
 			continue
 		}
+		if st != nil {
+			if err := st.AppendRound(obs.At, []scanner.Observation{obs}); err != nil {
+				fail("persist round: %v", err)
+			}
+		}
 		if retried := obs.Attempts - 1; retried > 0 {
 			fmt.Printf("%s retried %d time(s): first=%v final=%v salvaged=%v\n",
 				obs.At.Format(time.RFC3339), retried, obs.Class, obs.FinalClass, obs.Salvaged)
 		}
 		if obs.Class == scanner.ClassOK {
-			ok++
+			okCount++
 			next := "blank"
 			if obs.HasNextUpdate {
 				next = obs.NextUpdate.Format(time.RFC3339)
@@ -135,15 +172,15 @@ func main() {
 				obs.ProducedAt.Format(time.RFC3339), obs.ThisUpdate.Format(time.RFC3339), next,
 				obs.NumSerials, obs.NumCerts, obs.Latency)
 		} else {
-			bad++
+			badCount++
 			fmt.Printf("%s FAIL class=%v http=%d\n", obs.At.Format(time.RFC3339), obs.Class, obs.HTTPStatus)
 		}
 	}
-	if ok+bad == 0 {
+	if okCount+badCount == 0 {
 		fmt.Println("summary: no lookups completed")
 		return
 	}
-	fmt.Printf("summary: %d/%d successful (%.1f%% failure rate)\n", ok, ok+bad, 100*float64(bad)/float64(ok+bad))
+	fmt.Printf("summary: %d/%d successful (%.1f%% failure rate)\n", okCount, okCount+badCount, 100*float64(badCount)/float64(okCount+badCount))
 	if *showMetrics {
 		if demoResponder != nil {
 			hits, misses := demoResponder.CacheStats()

@@ -4,6 +4,7 @@
 // Usage:
 //
 //	repro [-exp all|sec4|fig2|...|table3|cdn] [-seed N] [-full] [-stride 12h]
+//	      [-store DIR [-resume]]
 //
 // The default configuration is a scaled-down world that completes in a
 // couple of minutes; -full switches to paper-scale parameters (hourly
@@ -13,6 +14,7 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -22,6 +24,7 @@ import (
 
 	"github.com/netmeasure/muststaple/internal/core"
 	"github.com/netmeasure/muststaple/internal/profiling"
+	"github.com/netmeasure/muststaple/internal/store"
 	"github.com/netmeasure/muststaple/internal/world"
 )
 
@@ -34,6 +37,9 @@ func main() {
 	certs := flag.Int("certs", 0, "certificates per responder override (default 5)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
+	storeDir := flag.String("store", "", "persist campaign observations to this directory (one subdirectory per campaign)")
+	resume := flag.Bool("resume", false, "resume an interrupted campaign from the -store directory")
+	crashAfterRounds := flag.Int("crash-after-rounds", 0, "testing failpoint: simulate a crash mid-append after N persisted rounds (requires -store)")
 	flag.Parse()
 
 	stopProfiling, err := profiling.Start(*cpuProfile, *memProfile)
@@ -69,10 +75,18 @@ func main() {
 	defer stop()
 
 	runner := core.NewRunner(cfg, os.Stdout)
+	runner.StoreDir = *storeDir
+	runner.Resume = *resume
+	runner.CrashAfterRounds = *crashAfterRounds
 	start := time.Now()
 	if err := runner.Run(ctx, *exp); err != nil {
 		fmt.Fprintf(os.Stderr, "repro: %v\n", err)
 		stopProfiling()
+		// The crash failpoint gets its own exit code so the recovery
+		// harness can tell a simulated crash from a real failure.
+		if errors.Is(err, store.ErrSimulatedCrash) {
+			os.Exit(3)
+		}
 		os.Exit(1)
 	}
 	fmt.Printf("\n[%s completed in %v]\n", *exp, time.Since(start).Round(time.Millisecond))

@@ -7,8 +7,10 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"io"
+	"path/filepath"
 	"sort"
 	"time"
 
@@ -21,6 +23,7 @@ import (
 	"github.com/netmeasure/muststaple/internal/report"
 	"github.com/netmeasure/muststaple/internal/scanner"
 	"github.com/netmeasure/muststaple/internal/stats"
+	"github.com/netmeasure/muststaple/internal/store"
 	"github.com/netmeasure/muststaple/internal/vulnwindow"
 	"github.com/netmeasure/muststaple/internal/webserver"
 	"github.com/netmeasure/muststaple/internal/world"
@@ -33,6 +36,20 @@ type Runner struct {
 	Config world.Config
 	// Out receives the rendered tables and figures.
 	Out io.Writer
+
+	// StoreDir, when non-empty, persists every campaign round to a
+	// durable observation store under this directory (one subdirectory
+	// per campaign: "hourly", "alexa").
+	StoreDir string
+	// Resume continues an interrupted stored campaign from its last
+	// checkpoint: the persisted prefix is replayed through the
+	// aggregators and scanning restarts at the following round. The
+	// world is rebuilt from the same seed, so the combined run is
+	// byte-identical to an uninterrupted one.
+	Resume bool
+	// CrashAfterRounds arms the store's crash failpoint (see
+	// store.Options.CrashAfterRounds) — CI crash-recovery drills only.
+	CrashAfterRounds int
 
 	w *world.World
 
@@ -245,6 +262,77 @@ func (r *Runner) runFigure12() error {
 	return nil
 }
 
+// openCampaignStore opens the durable observation store for one campaign
+// (a subdirectory of StoreDir) and derives the campaign options wiring it
+// in: the per-round sink always; on resume, additionally the replay of
+// the persisted prefix and a window that restarts scanning at the round
+// after the last checkpoint. Returns (nil, nil, nil) when no store is
+// configured. The caller owns the returned store and must Close it after
+// the campaign.
+func (r *Runner) openCampaignStore(sub string, end time.Time, stride time.Duration) (*store.Store, []scanner.Option, error) {
+	if r.StoreDir == "" {
+		return nil, nil, nil
+	}
+	dir := filepath.Join(r.StoreDir, sub)
+	st, err := store.Open(dir, store.Options{
+		Metrics:          r.registry(),
+		CrashAfterRounds: r.CrashAfterRounds,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	opts := []scanner.Option{scanner.WithStore(st)}
+	stats := st.Stats()
+	if stats.Rounds == 0 && stats.Records == 0 {
+		// A fresh store; resuming nothing just runs from the start.
+		return st, opts, nil
+	}
+	if !r.Resume {
+		err := fmt.Errorf("core: store %s already holds %d rounds; pass -resume to continue it or use a fresh -store directory", dir, stats.Rounds)
+		return nil, nil, errors.Join(err, st.Close())
+	}
+	ck, ok := st.LastCheckpoint()
+	if !ok {
+		// Records but no checkpoint: the campaign died before its first
+		// checkpoint landed. Nothing is resumable — cut back to empty
+		// and rescan the whole window.
+		first := st.Rounds()
+		if err := st.TruncateAfter(first[0] - 1); err != nil {
+			return nil, nil, errors.Join(err, st.Close())
+		}
+		return st, opts, nil
+	}
+	// Discard any partially persisted round past the checkpoint, replay
+	// everything up to it, and scan on from the next round. The replay
+	// restores aggregator state and engine counters exactly, so the
+	// resumed run's output matches an uninterrupted one.
+	if err := st.TruncateAfter(ck.Round); err != nil {
+		return nil, nil, errors.Join(err, st.Close())
+	}
+	resumeAt := time.Unix(0, ck.Round).UTC().Add(stride)
+	if resumeAt.After(end) {
+		resumeAt = end // fully persisted campaign: replay only, no scans
+	}
+	opts = append(opts,
+		scanner.WithReplay(st.Reader().Scan, ck.Rounds),
+		scanner.WithWindow(resumeAt, end),
+	)
+	return st, opts, nil
+}
+
+// closeStore folds a store's Close error into a campaign error (a store
+// that cannot make its tail durable is a failed campaign, even when the
+// scans themselves succeeded).
+func closeStore(st *store.Store, err error) error {
+	if st == nil {
+		return err
+	}
+	if cerr := st.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
 // ensureHourly runs the Hourly-dataset campaign once, attaching every
 // aggregator Figures 3 and 5–9 need.
 func (r *Runner) ensureHourly(ctx context.Context) (*hourlyResults, error) {
@@ -263,16 +351,24 @@ func (r *Runner) ensureHourly(ctx context.Context) (*hourlyResults, error) {
 		hardFail: impact.NewHardFail(),
 		latency:  scanner.NewLatencyAggregator(),
 	}
-	camp, err := scanner.NewCampaign(&scanner.Client{Transport: w.Network}, w.Clock,
-		scanner.WithTargets(w.Targets...),
-		scanner.WithWindow(w.Config.Start, w.Config.End),
-		scanner.WithStride(w.Config.Stride),
-	)
+	st, storeOpts, err := r.openCampaignStore("hourly", w.Config.End, w.Config.Stride)
 	if err != nil {
 		return nil, err
 	}
-	n, err := camp.Run(ctx, res.avail, res.unusable, res.quality, res.respAv, res.hardFail, res.latency)
+	opts := append([]scanner.Option{
+		scanner.WithTargets(w.Targets...),
+		scanner.WithWindow(w.Config.Start, w.Config.End),
+		scanner.WithStride(w.Config.Stride),
+	}, storeOpts...)
+	camp, err := scanner.NewCampaign(&scanner.Client{Transport: w.Network}, w.Clock, opts...)
 	if err != nil {
+		return nil, closeStore(st, err)
+	}
+	if st != nil {
+		st.SetCheckpointPayload(func() []byte { return []byte(camp.Stats().String()) })
+	}
+	n, err := camp.Run(ctx, res.avail, res.unusable, res.quality, res.respAv, res.hardFail, res.latency)
+	if err = closeStore(st, err); err != nil {
 		return nil, err
 	}
 	res.scans = n
@@ -322,16 +418,24 @@ func (r *Runner) ensureAlexa(ctx context.Context) (*alexaResults, error) {
 	// Figure 4's whole point is catching them. One weighted target per
 	// responder keeps the hourly grid affordable.
 	res := &alexaResults{impact: scanner.NewDomainImpact(time.Hour, 1)}
-	camp, err := scanner.NewCampaign(&scanner.Client{Transport: w.Network}, w.Clock,
-		scanner.WithTargets(w.AlexaTargets...),
-		scanner.WithWindow(w.Config.Start, w.Config.End),
-		scanner.WithStride(time.Hour),
-	)
+	st, storeOpts, err := r.openCampaignStore("alexa", w.Config.End, time.Hour)
 	if err != nil {
 		return nil, err
 	}
-	n, err := camp.Run(ctx, res.impact)
+	opts := append([]scanner.Option{
+		scanner.WithTargets(w.AlexaTargets...),
+		scanner.WithWindow(w.Config.Start, w.Config.End),
+		scanner.WithStride(time.Hour),
+	}, storeOpts...)
+	camp, err := scanner.NewCampaign(&scanner.Client{Transport: w.Network}, w.Clock, opts...)
 	if err != nil {
+		return nil, closeStore(st, err)
+	}
+	if st != nil {
+		st.SetCheckpointPayload(func() []byte { return []byte(camp.Stats().String()) })
+	}
+	n, err := camp.Run(ctx, res.impact)
+	if err = closeStore(st, err); err != nil {
 		return nil, err
 	}
 	res.scans = n

@@ -42,7 +42,8 @@ type AnalyzerConfig struct {
 //   - maporder and locksafe apply everywhere, including cmd/.
 //   - ctxfirst guards the exported internal/ APIs.
 //   - errcheck-hot guards the responder/scanner/ocsp hot paths, where a
-//     discarded error silently corrupts a measurement.
+//     discarded error silently corrupts a measurement, and the durable
+//     store, where a discarded error silently loses one.
 func DefaultConfig() *Config {
 	return &Config{Analyzers: map[string]AnalyzerConfig{
 		"wallclock": {
@@ -59,6 +60,7 @@ func DefaultConfig() *Config {
 			Only: []string{
 				".../internal/responder", ".../internal/scanner",
 				".../internal/ocsp", ".../internal/crl",
+				".../internal/store",
 			},
 		},
 	}}

@@ -24,3 +24,18 @@ func Build(counts map[string]int) string {
 	}
 	return b.String()
 }
+
+// indexKey mirrors the store's (responder, round, vantage) index key.
+type indexKey struct {
+	Responder string
+	Round     int64
+	Vantage   string
+}
+
+// DumpIndex emits one line per index entry straight out of map-iteration
+// order — the exact bug the store's Keys() accessor exists to prevent.
+func DumpIndex(w io.Writer, index map[indexKey][]int64) {
+	for k, refs := range index {
+		fmt.Fprintf(w, "%s %d %s: %d record(s)\n", k.Responder, k.Round, k.Vantage, len(refs)) // want "ranging over a map"
+	}
+}

@@ -33,3 +33,30 @@ func Labels(counts map[string]int) map[string]string {
 	}
 	return out
 }
+
+// indexKey mirrors the store's (responder, round, vantage) index key.
+type indexKey struct {
+	Responder string
+	Round     int64
+	Vantage   string
+}
+
+// SortedIndexKeys is the store's Keys() idiom: collect inside the range,
+// sort by (round, responder, vantage), and only then let order escape.
+func SortedIndexKeys(index map[indexKey][]int64) []indexKey {
+	out := make([]indexKey, 0, len(index))
+	for k := range index {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Round != b.Round {
+			return a.Round < b.Round
+		}
+		if a.Responder != b.Responder {
+			return a.Responder < b.Responder
+		}
+		return a.Vantage < b.Vantage
+	})
+	return out
+}

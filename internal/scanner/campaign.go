@@ -36,24 +36,44 @@ type ShardedAggregator interface {
 	Merge(shard Aggregator)
 }
 
+// RoundSink receives each completed round's measured observations for
+// durable persistence — internal/store implements it. The engine calls
+// AppendRound from a single dedicated writer goroutine, one call per
+// round in round order, after the round's scans have all finished.
+// Canceled lookups are filtered out first, so the persisted stream is
+// exactly the stream the aggregators saw. The obs slice is only valid
+// for the duration of the call: it may be shared with the aggregation
+// stage or reused for the next round, so implementations must copy (or
+// serialize) what they keep and must never mutate it.
+type RoundSink interface {
+	AppendRound(at time.Time, obs []Observation) error
+}
+
+// ReplaySource streams previously persisted observations in campaign
+// order (round-major). store.Reader.Scan satisfies it.
+type ReplaySource func(fn func(Observation) error) error
+
 // Campaign drives a repeated scan of a target set from multiple vantage
 // points over a span of virtual time — the engine behind the paper's
 // Hourly dataset (536 responders × ≤50 certificates × 6 vantages, hourly,
 // April 25 to September 4, 2018). Build one with NewCampaign; the zero
 // value is not usable.
 type Campaign struct {
-	client   *Client
-	clk      *clock.Simulated
-	vantages []netsim.Vantage
-	targets  []Target
-	start    time.Time
-	end      time.Time
-	stride   time.Duration
-	workers  int
-	shards   int
-	retry    RetryPolicy
-	barrier  bool
-	reg      *metrics.Registry
+	client       *Client
+	clk          *clock.Simulated
+	vantages     []netsim.Vantage
+	targets      []Target
+	start        time.Time
+	end          time.Time
+	stride       time.Duration
+	workers      int
+	shards       int
+	retry        RetryPolicy
+	barrier      bool
+	reg          *metrics.Registry
+	sink         RoundSink
+	replay       ReplaySource
+	replayRounds int64
 }
 
 // Option configures a Campaign; invalid values are reported by NewCampaign
@@ -152,6 +172,46 @@ func WithAggregationShards(n int) Option {
 func WithRoundBarrier() Option {
 	return func(c *Campaign) error {
 		c.barrier = true
+		return nil
+	}
+}
+
+// WithStore attaches a durable per-round sink. Completed rounds are
+// handed to a dedicated writer goroutine over a bounded queue: when the
+// sink falls behind by a few rounds the dispatcher blocks, so campaign
+// memory stays fixed no matter how slow the disk is. A sink error stops
+// the campaign and is returned from Run; rounds already in flight when a
+// cancellation arrives are not persisted (a canceled round is not a
+// complete measurement).
+func WithStore(sink RoundSink) Option {
+	return func(c *Campaign) error {
+		if sink == nil {
+			return errors.New("scanner: WithStore needs a non-nil sink")
+		}
+		c.sink = sink
+		return nil
+	}
+}
+
+// WithReplay streams previously persisted observations through the
+// campaign's aggregation pipeline before any scanning starts — the resume
+// path. Replayed observations flow through the same shard router as live
+// ones (per-responder streams stay contiguous, so order-sensitive
+// aggregator state is exact) and restore the campaign's scan/class
+// counters, so a resumed campaign's Stats and aggregates match an
+// uninterrupted run's. rounds is how many rounds the source covers
+// (store.Checkpoint.Rounds); it restores the round counter, which cannot
+// be derived from the stream because a round may carry no observations.
+func WithReplay(src ReplaySource, rounds int64) Option {
+	return func(c *Campaign) error {
+		if src == nil {
+			return errors.New("scanner: WithReplay needs a non-nil source")
+		}
+		if rounds < 0 {
+			return fmt.Errorf("scanner: WithReplay rounds must be >= 0, got %d", rounds)
+		}
+		c.replay = src
+		c.replayRounds = rounds
 		return nil
 	}
 }

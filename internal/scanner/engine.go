@@ -105,8 +105,73 @@ type scanJob struct {
 // outstanding scans; the worker that completes the last one signals the
 // dispatcher.
 type roundBlock struct {
+	at      time.Time
 	obs     []Observation
 	pending atomic.Int64
+}
+
+// sinkQueueDepth bounds how many completed rounds may wait for the store
+// writer. Like aggQueueDepth, it is backpressure, not buffering: a slow
+// disk blocks the dispatcher instead of growing a backlog.
+const sinkQueueDepth = 2
+
+// sinkWriter is the dedicated store-writer goroutine: it drains completed
+// rounds off a bounded queue and appends each to the RoundSink, keeping
+// disk latency off the scan path. The first sink error is sticky — later
+// rounds are drained and dropped so the dispatcher never deadlocks, and
+// the error surfaces from Run.
+type sinkWriter struct {
+	sink   RoundSink
+	blocks chan *roundBlock
+	done   chan struct{}
+	err    atomic.Pointer[error]
+}
+
+func startSinkWriter(sink RoundSink) *sinkWriter {
+	sw := &sinkWriter{
+		sink:   sink,
+		blocks: make(chan *roundBlock, sinkQueueDepth),
+		done:   make(chan struct{}),
+	}
+	go func() {
+		defer close(sw.done)
+		for b := range sw.blocks {
+			if sw.err.Load() != nil {
+				continue
+			}
+			if err := sw.sink.AppendRound(b.at, measuredOnly(b.obs)); err != nil {
+				sw.err.Store(&err)
+			}
+		}
+	}()
+	return sw
+}
+
+// failure returns the first sink error, if any.
+func (sw *sinkWriter) failure() error {
+	if p := sw.err.Load(); p != nil {
+		return *p
+	}
+	return nil
+}
+
+// measuredOnly filters canceled lookups out of a round — they are not
+// measurements and never reach aggregators, so they are not persisted
+// either. The common all-measured case returns obs unchanged; the block
+// is shared with the aggregation stage and must not be mutated.
+func measuredOnly(obs []Observation) []Observation {
+	for i := range obs {
+		if obs[i].Class == ClassCanceled {
+			out := make([]Observation, 0, len(obs)-1)
+			for j := range obs {
+				if obs[j].Class != ClassCanceled {
+					out = append(out, obs[j])
+				}
+			}
+			return out
+		}
+	}
+	return obs
 }
 
 func (c *Campaign) runPipelined(ctx context.Context, start, end time.Time, aggs []Aggregator) (int, error) {
@@ -133,42 +198,113 @@ func (c *Campaign) runPipelined(ctx context.Context, start, end time.Time, aggs 
 	queuePeak := c.reg.Gauge("campaign_queue_depth_peak")
 	roundsCtr := c.reg.Counter("campaign_rounds_total")
 
+	var sw *sinkWriter
+	if c.sink != nil {
+		sw = startSinkWriter(c.sink)
+	}
+
 	var runErr error
+	if c.replay != nil {
+		// Resume: stream the persisted prefix through the aggregation
+		// pipeline before scanning. It uses the same shard router as
+		// live rounds, so per-responder order-sensitive state is exact.
+		runErr = c.feedReplay(pipe, roundsCtr)
+	}
+
 	var pairs []scanPair
-	for at := start; at.Before(end); at = at.Add(c.stride) {
-		if err := ctx.Err(); err != nil {
-			runErr = err
-			break
-		}
-		c.clk.Set(at)
-		pairs = c.roundJobs(at, pairs)
-		if len(pairs) == 0 {
+	if runErr == nil {
+		for at := start; at.Before(end); at = at.Add(c.stride) {
+			if err := ctx.Err(); err != nil {
+				runErr = err
+				break
+			}
+			if sw != nil {
+				if err := sw.failure(); err != nil {
+					runErr = err
+					break
+				}
+			}
+			c.clk.Set(at)
+			pairs = c.roundJobs(at, pairs)
+			if len(pairs) == 0 {
+				roundsCtr.Inc()
+				if sw != nil {
+					// Empty rounds (every target expired) persist as a
+					// round marker so resume accounting stays exact.
+					sw.blocks <- &roundBlock{at: at}
+				}
+				continue
+			}
+			stopRound := c.reg.Timer("campaign_round_seconds", roundLatencyBounds...)
+			block := &roundBlock{at: at, obs: make([]Observation, len(pairs))}
+			block.pending.Store(int64(len(pairs)))
+			for i, p := range pairs {
+				jobs <- scanJob{slot: i, at: at, pair: p, block: block}
+				queuePeak.SetMax(int64(len(jobs)))
+			}
+			block = <-scanDone // the round's own block: only one round scans at a time
 			roundsCtr.Inc()
-			continue
+			stopRound()
+			if sw != nil && ctx.Err() == nil {
+				// Durable write: this send blocks when the store is
+				// sinkQueueDepth rounds behind. Rounds cut short by a
+				// cancellation are aggregated (their measured part) but
+				// not persisted — a resume rescans them whole.
+				sw.blocks <- block
+			}
+			// Hand the completed round to the aggregation stage; this send
+			// blocks when aggregation is aggQueueDepth rounds behind.
+			pipe.blocks <- block
 		}
-		stopRound := c.reg.Timer("campaign_round_seconds", roundLatencyBounds...)
-		block := &roundBlock{obs: make([]Observation, len(pairs))}
-		block.pending.Store(int64(len(pairs)))
-		for i, p := range pairs {
-			jobs <- scanJob{slot: i, at: at, pair: p, block: block}
-			queuePeak.SetMax(int64(len(jobs)))
-		}
-		block = <-scanDone // the round's own block: only one round scans at a time
-		roundsCtr.Inc()
-		stopRound()
-		// Hand the completed round to the aggregation stage; this send
-		// blocks when aggregation is aggQueueDepth rounds behind.
-		pipe.blocks <- block
 	}
 
 	close(jobs)
 	wg.Wait()
+	if sw != nil {
+		close(sw.blocks)
+		<-sw.done
+	}
 	close(pipe.blocks)
 	<-pipe.done
 	if runErr == nil {
 		runErr = ctx.Err() // a cancel during the final round still surfaces
 	}
+	if runErr == nil && sw != nil {
+		runErr = sw.failure()
+	}
 	return pipe.total, runErr
+}
+
+// replayBatch is how many replayed observations are grouped into one
+// pipeline block: big enough to amortize channel hops, small enough that
+// replay memory stays bounded (aggQueueDepth+1 batches in flight).
+const replayBatch = 1024
+
+// feedReplay pushes every persisted observation into the aggregation
+// pipeline in bounded batches and restores the round counter from the
+// replay's declared round count (rounds may be empty of observations, so
+// the count cannot be derived from the stream). The pipeline's router
+// restores the scan/class/retry counters exactly as it does for live
+// rounds.
+func (c *Campaign) feedReplay(pipe *aggPipeline, roundsCtr *metrics.Counter) error {
+	roundsCtr.Add(c.replayRounds)
+	batch := make([]Observation, 0, replayBatch)
+	flush := func() {
+		if len(batch) == 0 {
+			return
+		}
+		pipe.blocks <- &roundBlock{obs: batch}
+		batch = make([]Observation, 0, replayBatch)
+	}
+	err := c.replay(func(o Observation) error {
+		batch = append(batch, o)
+		if len(batch) == replayBatch {
+			flush()
+		}
+		return nil
+	})
+	flush()
+	return err
 }
 
 // runBarrier is the legacy engine the seed shipped: per-round goroutine
@@ -180,6 +316,27 @@ func (c *Campaign) runBarrier(ctx context.Context, start, end time.Time, aggs []
 	roundsCtr := c.reg.Counter("campaign_rounds_total")
 
 	total := 0
+	if c.replay != nil {
+		// Resume: replay the persisted prefix straight into the
+		// aggregators, mirroring the live path below (canceled lookups
+		// are never persisted, but an arbitrary ReplaySource gets the
+		// same filtering the live path applies).
+		roundsCtr.Add(c.replayRounds)
+		err := c.replay(func(o Observation) error {
+			if o.Class == ClassCanceled {
+				return nil
+			}
+			counters.record(o)
+			total++
+			for _, a := range aggs {
+				a.Add(o)
+			}
+			return nil
+		})
+		if err != nil {
+			return total, err
+		}
+	}
 	var pairs []scanPair
 	var results []Observation
 	for at := start; at.Before(end); at = at.Add(c.stride) {
@@ -212,6 +369,13 @@ func (c *Campaign) runBarrier(ctx context.Context, start, end time.Time, aggs []
 		wg.Wait()
 		roundsCtr.Inc()
 		stopRound()
+		if c.sink != nil && ctx.Err() == nil {
+			// The barrier engine has no writer goroutine; the sink is
+			// fed inline between rounds, same filtering as pipelined.
+			if err := c.sink.AppendRound(at, measuredOnly(results)); err != nil {
+				return total, err
+			}
+		}
 		for i := range results {
 			if results[i].Class == ClassCanceled {
 				continue

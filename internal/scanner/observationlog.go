@@ -61,6 +61,11 @@ func (l *ObservationLog) Diff(other *ObservationLog) string {
 	return ""
 }
 
+// CanonicalLine renders the observation in the same canonical one-line
+// text form ObservationLog records — for dump and diff tooling
+// (cmd/storedump -v).
+func (o Observation) CanonicalLine() string { return observationLine(o) }
+
 func observationLine(o Observation) string {
 	var b strings.Builder
 	ts := func(t time.Time) string {

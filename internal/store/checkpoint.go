@@ -1,0 +1,243 @@
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Checkpoint files are named ckpt-NNNNNNNNNNNNNNNN.ckpt (seq, zero-padded
+// decimal) and written atomically (temp file + rename), so a checkpoint
+// either exists whole or not at all. Layout:
+//
+//	8-byte magic "MSOBSCK1" | u32 LE version | u64 LE seq |
+//	i64 LE round | i64 LE rounds | i64 LE scans |
+//	u32 LE payload length | payload | u32 LE CRC32-C of everything above
+const (
+	ckptMagic   = "MSOBSCK1"
+	ckptVersion = 1
+	ckptPrefix  = "ckpt-"
+	ckptSuffix  = ".ckpt"
+	// maxCheckpointPayload bounds the opaque snapshot carried inside a
+	// checkpoint; anything larger is a corrupt length field.
+	maxCheckpointPayload = 8 << 20
+)
+
+// Checkpoint records the store's durable high-water mark after a fully
+// persisted round. Resume truncates the log back to Round and replays it;
+// Payload is an opaque informational snapshot (see SetCheckpointPayload).
+type Checkpoint struct {
+	// Seq orders checkpoints; higher supersedes lower.
+	Seq uint64
+	// Round is the last fully persisted round (UnixNano).
+	Round int64
+	// Rounds and Scans count the persisted rounds and records up to and
+	// including Round.
+	Rounds int64
+	Scans  int64
+	// Payload is an opaque engine snapshot; may be empty.
+	Payload []byte
+}
+
+func checkpointName(seq uint64) string {
+	return fmt.Sprintf("%s%016d%s", ckptPrefix, seq, ckptSuffix)
+}
+
+func parseCheckpointName(name string) (uint64, bool) {
+	if !strings.HasPrefix(name, ckptPrefix) || !strings.HasSuffix(name, ckptSuffix) {
+		return 0, false
+	}
+	seq, err := strconv.ParseUint(strings.TrimSuffix(strings.TrimPrefix(name, ckptPrefix), ckptSuffix), 10, 64)
+	if err != nil {
+		return 0, false
+	}
+	return seq, true
+}
+
+func encodeCheckpoint(ck Checkpoint) []byte {
+	b := make([]byte, 0, 48+len(ck.Payload))
+	b = append(b, ckptMagic...)
+	b = binary.LittleEndian.AppendUint32(b, ckptVersion)
+	b = binary.LittleEndian.AppendUint64(b, ck.Seq)
+	b = binary.LittleEndian.AppendUint64(b, uint64(ck.Round))
+	b = binary.LittleEndian.AppendUint64(b, uint64(ck.Rounds))
+	b = binary.LittleEndian.AppendUint64(b, uint64(ck.Scans))
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(ck.Payload)))
+	b = append(b, ck.Payload...)
+	return binary.LittleEndian.AppendUint32(b, crc32.Checksum(b, crcTable))
+}
+
+func decodeCheckpoint(b []byte) (Checkpoint, error) {
+	var ck Checkpoint
+	if len(b) < 52 {
+		return ck, fmt.Errorf("store: checkpoint too short (%d bytes)", len(b))
+	}
+	if string(b[:8]) != ckptMagic {
+		return ck, fmt.Errorf("store: bad checkpoint magic %q", b[:8])
+	}
+	if v := binary.LittleEndian.Uint32(b[8:]); v != ckptVersion {
+		return ck, fmt.Errorf("store: checkpoint version %d, want %d", v, ckptVersion)
+	}
+	ck.Seq = binary.LittleEndian.Uint64(b[12:])
+	ck.Round = int64(binary.LittleEndian.Uint64(b[20:]))
+	ck.Rounds = int64(binary.LittleEndian.Uint64(b[28:]))
+	ck.Scans = int64(binary.LittleEndian.Uint64(b[36:]))
+	n := binary.LittleEndian.Uint32(b[44:])
+	if n > maxCheckpointPayload || int(n) != len(b)-52 {
+		return ck, fmt.Errorf("store: checkpoint payload length %d does not match file size %d", n, len(b))
+	}
+	body := b[:len(b)-4]
+	if crc32.Checksum(body, crcTable) != binary.LittleEndian.Uint32(b[len(b)-4:]) {
+		return ck, fmt.Errorf("store: checkpoint failed its checksum")
+	}
+	if n > 0 {
+		ck.Payload = append([]byte(nil), b[48:48+int(n)]...)
+	}
+	return ck, nil
+}
+
+// writeCheckpoint atomically writes ck into dir.
+func writeCheckpoint(dir string, ck Checkpoint, noSync bool) error {
+	tmp, err := os.CreateTemp(dir, "ckpt-*.tmp")
+	if err != nil {
+		return err
+	}
+	cleanup := func(err error) error {
+		tmp.Close()           //lint:allow errcheck-hot original error already being returned
+		os.Remove(tmp.Name()) //lint:allow errcheck-hot best-effort temp cleanup on an error path
+		return err
+	}
+	if _, err := tmp.Write(encodeCheckpoint(ck)); err != nil {
+		return cleanup(err)
+	}
+	if !noSync {
+		if err := tmp.Sync(); err != nil {
+			return cleanup(err)
+		}
+	}
+	if err := tmp.Close(); err != nil {
+		return cleanup(err)
+	}
+	if err := os.Rename(tmp.Name(), filepath.Join(dir, checkpointName(ck.Seq))); err != nil {
+		return cleanup(err)
+	}
+	if noSync {
+		return nil
+	}
+	return syncDir(dir)
+}
+
+// syncDir fsyncs a directory so renames within it are durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// listCheckpoints returns the checkpoint sequence numbers present in dir,
+// ascending.
+func listCheckpoints(dir string) ([]uint64, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var seqs []uint64
+	for _, e := range entries {
+		if seq, ok := parseCheckpointName(e.Name()); ok {
+			seqs = append(seqs, seq)
+		}
+	}
+	sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
+	return seqs, nil
+}
+
+// loadLatestCheckpoint returns the newest checkpoint that decodes intact
+// (nil when none exists) plus the highest sequence number present on
+// disk, intact or not, so new checkpoints never reuse a sequence.
+func loadLatestCheckpoint(dir string) (*Checkpoint, uint64, error) {
+	seqs, err := listCheckpoints(dir)
+	if err != nil {
+		return nil, 0, err
+	}
+	var maxSeq uint64
+	if len(seqs) > 0 {
+		maxSeq = seqs[len(seqs)-1]
+	}
+	for i := len(seqs) - 1; i >= 0; i-- {
+		b, err := os.ReadFile(filepath.Join(dir, checkpointName(seqs[i])))
+		if err != nil {
+			return nil, 0, err
+		}
+		ck, err := decodeCheckpoint(b)
+		if err != nil {
+			// A corrupt checkpoint is superseded data, not fatal:
+			// fall back to the previous one.
+			continue
+		}
+		return &ck, maxSeq, nil
+	}
+	return nil, maxSeq, nil
+}
+
+// pruneCheckpoints deletes superseded checkpoints, keeping the newest
+// `keep` files at or below seq.
+func pruneCheckpoints(dir string, seq uint64, keep int) error {
+	seqs, err := listCheckpoints(dir)
+	if err != nil {
+		return err
+	}
+	kept := 0
+	for i := len(seqs) - 1; i >= 0; i-- {
+		if seqs[i] <= seq {
+			kept++
+			if kept <= keep {
+				continue
+			}
+		} else if kept == 0 {
+			// Never delete a checkpoint newer than the one just
+			// written; it should not exist, but losing data on a
+			// sequencing bug would be worse than keeping a file.
+			continue
+		}
+		if err := os.Remove(filepath.Join(dir, checkpointName(seqs[i]))); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// removeCheckpointsAfter deletes every checkpoint whose round high-water
+// mark lies past round, plus any that no longer decode — the truncation
+// path's way of keeping only checkpoints that still describe real data.
+func removeCheckpointsAfter(dir string, round int64) error {
+	seqs, err := listCheckpoints(dir)
+	if err != nil {
+		return err
+	}
+	for _, seq := range seqs {
+		path := filepath.Join(dir, checkpointName(seq))
+		b, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		ck, err := decodeCheckpoint(b)
+		if err == nil && ck.Round <= round {
+			continue
+		}
+		if err := os.Remove(path); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,178 @@
+package store
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Segment files are named seg-NNNNNN.log and begin with a fixed header:
+//
+//	8-byte magic "MSOBSLG1" | u32 LE codec version | u32 LE segment index
+//
+// Records follow back to back (see codec.go for the framing). Indexes are
+// monotonically increasing but may have gaps after compaction merges
+// neighbours; readers order segments by index, never by file order.
+const (
+	segMagic      = "MSOBSLG1"
+	segHeaderSize = 16
+	segPrefix     = "seg-"
+	segSuffix     = ".log"
+)
+
+// DefaultSegmentSize is the rotation threshold when Options.SegmentSize
+// is zero. Small enough that compaction and truncation touch little data,
+// large enough that a paper-scale campaign stays in tens of files.
+const DefaultSegmentSize = 4 << 20
+
+// segment is the in-memory description of one on-disk segment file.
+type segment struct {
+	index   int
+	path    string
+	size    int64 // committed bytes, header included
+	records int
+	firstAt int64 // round of the first/last record (UnixNano);
+	lastAt  int64 // meaningful only when records > 0
+}
+
+func segmentName(index int) string {
+	return fmt.Sprintf("%s%06d%s", segPrefix, index, segSuffix)
+}
+
+// parseSegmentName extracts the index from a segment file name.
+func parseSegmentName(name string) (int, bool) {
+	if !strings.HasPrefix(name, segPrefix) || !strings.HasSuffix(name, segSuffix) {
+		return 0, false
+	}
+	digits := strings.TrimSuffix(strings.TrimPrefix(name, segPrefix), segSuffix)
+	if digits == "" {
+		return 0, false
+	}
+	n := 0
+	for _, c := range digits {
+		if c < '0' || c > '9' {
+			return 0, false
+		}
+		n = n*10 + int(c-'0')
+	}
+	return n, true
+}
+
+// listSegments returns the directory's segment descriptions sorted by
+// index, sizes still unvalidated (load scans each file afterwards).
+func listSegments(dir string) ([]*segment, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var segs []*segment
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		idx, ok := parseSegmentName(e.Name())
+		if !ok {
+			continue
+		}
+		segs = append(segs, &segment{index: idx, path: filepath.Join(dir, e.Name())})
+	}
+	sort.Slice(segs, func(i, j int) bool { return segs[i].index < segs[j].index })
+	return segs, nil
+}
+
+func encodeSegmentHeader(index int) []byte {
+	h := make([]byte, segHeaderSize)
+	copy(h, segMagic)
+	binary.LittleEndian.PutUint32(h[8:], codecVersion)
+	binary.LittleEndian.PutUint32(h[12:], uint32(index))
+	return h
+}
+
+// createSegment writes a new empty segment file with its header and
+// returns the open handle positioned for appends.
+func createSegment(dir string, index int) (*segment, *os.File, error) {
+	path := filepath.Join(dir, segmentName(index))
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, nil, err
+	}
+	if _, err := f.Write(encodeSegmentHeader(index)); err != nil {
+		return nil, nil, errors.Join(err, f.Close())
+	}
+	return &segment{index: index, path: path, size: segHeaderSize}, f, nil
+}
+
+// checkSegmentHeader validates the magic, version, and index of an open
+// segment file read from r.
+func checkSegmentHeader(r io.Reader, wantIndex int) error {
+	h := make([]byte, segHeaderSize)
+	if _, err := io.ReadFull(r, h); err != nil {
+		return fmt.Errorf("store: segment header: %w", err)
+	}
+	if string(h[:8]) != segMagic {
+		return fmt.Errorf("store: bad segment magic %q", h[:8])
+	}
+	if v := binary.LittleEndian.Uint32(h[8:]); v != codecVersion {
+		return fmt.Errorf("store: segment codec version %d, want %d", v, codecVersion)
+	}
+	if idx := int(binary.LittleEndian.Uint32(h[12:])); idx != wantIndex {
+		return fmt.Errorf("store: segment header index %d does not match name index %d", idx, wantIndex)
+	}
+	return nil
+}
+
+// scanSegment reads every intact record in the segment file, calling fn
+// with each payload and its file offset, and returns the committed size:
+// the offset just past the last intact record. A torn or corrupt tail —
+// short header, impossible length, short payload, or CRC mismatch — ends
+// the scan at the last good record; corruption is a recoverable state,
+// not an error. Errors are real I/O failures only.
+func scanSegment(path string, index int, buf []byte, fn func(payload []byte, off int64) error) (committed int64, _ []byte, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, buf, err
+	}
+	defer f.Close() //lint:allow errcheck-hot read-only handle, nothing to flush
+
+	br := bufio.NewReaderSize(f, 64<<10)
+	if err := checkSegmentHeader(br, index); err != nil {
+		return 0, buf, err
+	}
+	committed = segHeaderSize
+
+	hdr := make([]byte, recordHeaderSize)
+	for {
+		if _, err := io.ReadFull(br, hdr); err != nil {
+			return committed, buf, nil // clean EOF or torn header: stop at last good record
+		}
+		length := binary.LittleEndian.Uint32(hdr[0:])
+		sum := binary.LittleEndian.Uint32(hdr[4:])
+		if length == 0 || length > maxRecordSize {
+			return committed, buf, nil // corrupt length field
+		}
+		if int(length) > cap(buf) {
+			buf = make([]byte, length)
+		}
+		payload := buf[:length]
+		if _, err := io.ReadFull(br, payload); err != nil {
+			return committed, buf, nil // torn payload
+		}
+		if crc32.Checksum(payload, crcTable) != sum {
+			return committed, buf, nil // corrupt payload
+		}
+		off := committed
+		committed += recordHeaderSize + int64(length)
+		if fn != nil {
+			if err := fn(payload, off); err != nil {
+				return committed, buf, err
+			}
+		}
+	}
+}

@@ -1,0 +1,55 @@
+#!/bin/sh
+# crash_recovery.sh — end-to-end durability check for the observation
+# store (DESIGN.md §11). It runs the same campaign three times:
+#
+#   1. uninterrupted, persisting into $WORK/full
+#   2. with the store's crash failpoint armed, so the process dies
+#      mid-append after N rounds (expected exit code 3)
+#   3. resumed over the crashed store with -resume
+#
+# and then asserts the resumed run rendered byte-identical figures to the
+# uninterrupted one. Wall-clock-dependent lines (the "[...]" timing lines
+# and the engine stats line with real scan latencies) are filtered before
+# diffing; everything derived from observations must match exactly.
+set -eu
+
+GO=${GO:-go}
+EXP=${EXP:-fig3}
+CRASH_AFTER=${CRASH_AFTER:-5}
+ARGS="-exp $EXP -responders 80 -certs 1"
+
+WORK=$(mktemp -d)
+trap 'rm -rf "$WORK"' EXIT
+
+echo "crash-recovery: building repro"
+$GO build -o "$WORK/repro" ./cmd/repro
+
+filter() {
+    grep -v '^\[' "$1" | grep -v 'round-latency-mean'
+}
+
+echo "crash-recovery: uninterrupted run"
+"$WORK/repro" $ARGS -store "$WORK/full" > "$WORK/full.out"
+
+echo "crash-recovery: crashing run (failpoint after $CRASH_AFTER rounds)"
+set +e
+"$WORK/repro" $ARGS -store "$WORK/crashed" -crash-after-rounds "$CRASH_AFTER" \
+    > "$WORK/crash.out" 2> "$WORK/crash.err"
+status=$?
+set -e
+if [ "$status" -ne 3 ]; then
+    echo "crash-recovery: FAIL — crash run exited $status, want 3 (simulated crash)" >&2
+    cat "$WORK/crash.err" >&2
+    exit 1
+fi
+
+echo "crash-recovery: resuming"
+"$WORK/repro" $ARGS -store "$WORK/crashed" -resume > "$WORK/resumed.out"
+
+filter "$WORK/full.out" > "$WORK/full.flt"
+filter "$WORK/resumed.out" > "$WORK/resumed.flt"
+if ! diff -u "$WORK/full.flt" "$WORK/resumed.flt"; then
+    echo "crash-recovery: FAIL — resumed figures differ from uninterrupted run" >&2
+    exit 1
+fi
+echo "crash-recovery: OK — resumed run reproduced the uninterrupted figures"
