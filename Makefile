@@ -13,10 +13,16 @@
 #                 >= 4 cores), and the responder signed-response cache hot
 #                 path beats per-scan signing by >= 3x ns/op and >= 5x
 #                 allocs/op (no core gate; the win is eliminated work).
+#   loadcheck   — tier-2 serving-tier smoke: boots the OCSP serving tier
+#                 on a loopback socket and fires a short open-loop
+#                 ocspload burst at it, failing on zero throughput, any
+#                 5xx, or any transport error.
 #   bench-snapshot — runs the guard benchmarks plus the OCSP/CRL codec,
 #                 CRL Find, responder hot-path, scan-client cache, and
-#                 observation-store micro-benchmarks and archives the
-#                 results as BENCH_PR5.json (via cmd/benchjson).
+#                 observation-store micro-benchmarks, then an ocspload
+#                 open-loop run against a real loopback serving tier
+#                 (p50/p99/p999 over the socket), and archives the
+#                 results as BENCH_PR6.json (via cmd/benchjson).
 #   bench-compare — diffs the previous archived snapshot against the
 #                 current one (via cmd/benchjson -compare); warns and
 #                 succeeds when either snapshot is missing, so fresh
@@ -28,7 +34,7 @@
 
 GO ?= go
 
-.PHONY: all tier1 tier2 bench-guard bench bench-snapshot bench-compare crash-recovery vet fmt fmt-check lint
+.PHONY: all tier1 tier2 loadcheck bench-guard bench bench-snapshot bench-compare crash-recovery vet fmt fmt-check lint
 
 all: tier1
 
@@ -36,8 +42,14 @@ tier1: vet fmt-check lint
 	$(GO) build ./...
 	$(GO) test ./...
 
-tier2: vet lint
+tier2: vet lint loadcheck
 	$(GO) test -race ./...
+
+# loadcheck boots a self-contained serving tier (own CA, loopback
+# listener) and drives a 2s open-loop burst; -check fails the run on
+# zero completed requests, any HTTP 5xx, or any transport error.
+loadcheck:
+	$(GO) run ./cmd/ocspload -selfserve -rate 500 -duration 2s -check
 
 vet:
 	$(GO) vet ./...
@@ -69,10 +81,11 @@ bench-snapshot:
 	  $(GO) test -run - -bench '^(BenchmarkOCSPCreateResponse|BenchmarkOCSPParseResponse|BenchmarkCRLCreateAndParse|BenchmarkResponderRespond)$$' . ; \
 	  $(GO) test -run - -bench '^(BenchmarkStoreAppend|BenchmarkStoreScan)$$' -benchtime 100x . ; \
 	  $(GO) test -run - -bench '^BenchmarkCRLFindMiss$$' ./internal/crl ; \
-	  $(GO) test -run - -bench BenchmarkClientCaches ./internal/scanner ; } | $(GO) run ./cmd/benchjson > BENCH_PR5.json
+	  $(GO) test -run - -bench BenchmarkClientCaches ./internal/scanner ; \
+	  $(GO) run ./cmd/ocspload -selfserve -rate 2000 -duration 5s -bench ServingTierLoad ; } | $(GO) run ./cmd/benchjson > BENCH_PR6.json
 
-BENCH_BASE ?= BENCH_PR3.json
-BENCH_HEAD ?= BENCH_PR5.json
+BENCH_BASE ?= BENCH_PR5.json
+BENCH_HEAD ?= BENCH_PR6.json
 
 bench-compare:
 	@if [ ! -f "$(BENCH_BASE)" ] || [ ! -f "$(BENCH_HEAD)" ]; then \

@@ -24,6 +24,7 @@ import (
 	"github.com/netmeasure/muststaple/internal/impact"
 	"github.com/netmeasure/muststaple/internal/netsim"
 	"github.com/netmeasure/muststaple/internal/ocsp"
+	"github.com/netmeasure/muststaple/internal/ocspserver"
 	"github.com/netmeasure/muststaple/internal/pki"
 	"github.com/netmeasure/muststaple/internal/pkixutil"
 	"github.com/netmeasure/muststaple/internal/responder"
@@ -476,7 +477,7 @@ func BenchmarkAblationResponderCache(b *testing.B) {
 				// for same-instant duplicates does not mask the
 				// signing cost being measured.
 				f.clk.Advance(time.Second)
-				if der, _ := r.Respond(reqDER); len(der) == 0 {
+				if der, _ := r.RespondDER(reqDER); len(der) == 0 {
 					b.Fatal("empty response")
 				}
 			}
@@ -551,7 +552,7 @@ func BenchmarkAblationHTTPMethod(b *testing.B) {
 			f := newRespFixture(b, pki.ECDSAP256)
 			r := responder.New("ocsp.bench.test", f.ca, f.db, f.clk, responder.Profile{CacheResponses: true, Validity: 24 * time.Hour})
 			n := netsim.New()
-			n.RegisterHost("ocsp.bench.test", "", r)
+			n.RegisterHost("ocsp.bench.test", "", ocspserver.NewHandler(r))
 			client := &scanner.Client{Transport: n, Method: method, DisableVerifyCache: true}
 			tgt := scanner.Target{
 				ResponderURL: "http://ocsp.bench.test",
@@ -616,7 +617,7 @@ func BenchmarkOCSPCreateResponse(b *testing.B) {
 func BenchmarkOCSPParseResponse(b *testing.B) {
 	f := newRespFixture(b, pki.ECDSAP256)
 	r := responder.New("ocsp.bench.test", f.ca, f.db, f.clk, responder.Profile{})
-	der, _ := r.Respond(f.requestDER(b, crypto.SHA1))
+	der, _ := r.RespondDER(f.requestDER(b, crypto.SHA1))
 	b.SetBytes(int64(len(der)))
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -712,7 +713,7 @@ func BenchmarkChainBundle(b *testing.B) {
 		if issuer.Subject.CommonName == "Bench Chain Root" {
 			r = rootResp
 		}
-		der, _ := r.Respond(reqDER)
+		der, _ := r.RespondDER(reqDER)
 		return der, nil
 	}
 	chain := []*x509.Certificate{leaf.Certificate, inter.Certificate, root.Certificate}
@@ -819,13 +820,13 @@ func BenchmarkResponderRespond(b *testing.B) {
 				f := newRespFixture(b, pki.ECDSAP256)
 				r := responder.New("ocsp.bench.test", f.ca, f.db, f.clk, p.profile, mode.opts...)
 				reqDER := f.requestDER(b, crypto.SHA1)
-				if der, ok := r.Respond(reqDER); !ok || len(der) == 0 {
+				if der, ok := r.RespondDER(reqDER); !ok || len(der) == 0 {
 					b.Fatal("warm-up response failed")
 				}
 				b.ReportAllocs()
 				b.ResetTimer()
 				for i := 0; i < b.N; i++ {
-					if der, ok := r.Respond(reqDER); !ok || len(der) == 0 {
+					if der, ok := r.RespondDER(reqDER); !ok || len(der) == 0 {
 						b.Fatal("empty response")
 					}
 				}
@@ -847,7 +848,7 @@ func BenchmarkResponderRespondGuard(b *testing.B) {
 		f := newRespFixture(b, pki.ECDSAP256)
 		r := responder.New("ocsp.bench.test", f.ca, f.db, f.clk, profile, opts...)
 		reqDER := f.requestDER(b, crypto.SHA1)
-		if der, ok := r.Respond(reqDER); !ok || len(der) == 0 {
+		if der, ok := r.RespondDER(reqDER); !ok || len(der) == 0 {
 			b.Fatal("warm-up response failed")
 		}
 		runtime.GC()
@@ -855,7 +856,7 @@ func BenchmarkResponderRespondGuard(b *testing.B) {
 		runtime.ReadMemStats(&before)
 		start := time.Now()
 		for i := 0; i < iters; i++ {
-			if der, ok := r.Respond(reqDER); !ok || len(der) == 0 {
+			if der, ok := r.RespondDER(reqDER); !ok || len(der) == 0 {
 				b.Fatal("empty response")
 			}
 		}

@@ -102,7 +102,7 @@ func runDemo() {
 	}
 	fmt.Print(ocsp.FormatRequest(req))
 	fmt.Println()
-	body, _ := r.Respond(reqDER)
+	body, _ := r.RespondDER(reqDER)
 	resp, err := ocsp.ParseResponse(body)
 	if err != nil {
 		fail("%v", err)

@@ -1,0 +1,217 @@
+// Command ocspload drives an open-loop constant-rate OCSP workload — a
+// deterministic GET/POST mix over real sockets — against a responder and
+// reports latency quantiles from HDR-style histograms. Latencies are
+// measured from each request's scheduled send time (wrk2's discipline),
+// so a stalled server shows up in the tail instead of silently pausing
+// the load.
+//
+// With -selfserve it boots its own serving tier (a seeded CA, database,
+// and responder behind internal/ocspserver) on a loopback ephemeral port
+// and measures that, which is how `make loadcheck` and the BENCH_PR6
+// snapshot exercise the full client-socket-server path with zero setup.
+//
+// Usage:
+//
+//	ocspload -selfserve -rate 2000 -duration 5s -get 0.5 [-bench]
+//	ocspload -url http://localhost:8889 -issuer ca.pem -serial 12345 -rate 500 -duration 10s
+//
+// -bench emits `go test -bench`-style lines that cmd/benchjson converts
+// into the repo's benchmark snapshot format; -check exits nonzero when
+// the run completed nothing or saw any 5xx/transport failure.
+package main
+
+import (
+	"context"
+	"crypto"
+	"crypto/x509"
+	"encoding/pem"
+	"flag"
+	"fmt"
+	"math/big"
+	"os"
+	"time"
+
+	"github.com/netmeasure/muststaple/internal/clock"
+	"github.com/netmeasure/muststaple/internal/loadgen"
+	"github.com/netmeasure/muststaple/internal/ocsp"
+	"github.com/netmeasure/muststaple/internal/ocspserver"
+	"github.com/netmeasure/muststaple/internal/pki"
+	"github.com/netmeasure/muststaple/internal/responder"
+)
+
+func main() {
+	var (
+		selfserve = flag.Bool("selfserve", false, "boot a loopback serving tier and load it")
+		urlFlag   = flag.String("url", "", "responder URL to load (unless -selfserve)")
+		issuerPEM = flag.String("issuer", "", "issuer certificate PEM (with -url)")
+		serialStr = flag.String("serial", "", "certificate serial to ask about, decimal (with -url)")
+		rate      = flag.Int("rate", 1000, "scheduled request rate per second (open loop)")
+		duration  = flag.Duration("duration", 5*time.Second, "scheduling window")
+		workers   = flag.Int("workers", 0, "concurrent senders (0: auto)")
+		getFrac   = flag.Float64("get", 0.5, "fraction of requests sent as RFC 5019 GETs")
+		serials   = flag.Int("serials", 16, "distinct serials in the workload (with -selfserve)")
+		seed      = flag.Uint64("seed", 1, "workload mix seed")
+		timeout   = flag.Duration("timeout", 10*time.Second, "per-request timeout")
+		cached    = flag.Bool("cached", true, "selfserve responder pre-generates per update window")
+		validity  = flag.Duration("validity", 24*time.Hour, "selfserve response validity")
+		bench     = flag.String("bench", "", "emit a benchjson-compatible line under this benchmark name")
+		check     = flag.Bool("check", false, "exit nonzero on zero throughput or any 5xx/transport error")
+	)
+	flag.Parse()
+
+	var targets []loadgen.Target
+	switch {
+	case *selfserve:
+		srv, ts, shutdown := buildSelfServe(*serials, *cached, *validity)
+		defer shutdown()
+		targets = ts
+		fmt.Fprintf(os.Stderr, "ocspload: selfserve tier at %s (%d serials)\n", srv.URL(), len(ts))
+	case *urlFlag != "":
+		t, err := buildTarget(*urlFlag, *issuerPEM, *serialStr)
+		if err != nil {
+			fail("%v", err)
+		}
+		targets = []loadgen.Target{t}
+	default:
+		fail("need -selfserve or -url")
+	}
+
+	res, err := loadgen.Run(context.Background(), loadgen.Config{
+		Rate:        *rate,
+		Duration:    *duration,
+		Workers:     *workers,
+		GETFraction: *getFrac,
+		Seed:        *seed,
+		Timeout:     *timeout,
+	}, targets)
+	if err != nil {
+		fail("run: %v", err)
+	}
+
+	report(res)
+	if *bench != "" {
+		emitBench(*bench, res)
+	}
+	if *check && (res.Completed == 0 || res.Status5xx > 0 || res.TransportErrors > 0) {
+		fail("check failed: completed=%d 5xx=%d transport-errors=%d",
+			res.Completed, res.Status5xx, res.TransportErrors)
+	}
+}
+
+// buildSelfServe boots the full serving tier on loopback: seeded CA,
+// issued serials, a responder core, and an ocspserver on an ephemeral
+// port. Returns the targets aimed at it and a shutdown func.
+func buildSelfServe(serialCount int, cached bool, validity time.Duration) (*ocspserver.Server, []loadgen.Target, func()) {
+	ca, err := pki.NewRootCA(pki.Config{
+		Name:      "ocspload CA",
+		OCSPURL:   "http://ocspload.invalid",
+		NotBefore: time.Now().Add(-time.Hour),
+	})
+	if err != nil {
+		fail("selfserve CA: %v", err)
+	}
+	db := responder.NewDB()
+	expiry := time.Now().AddDate(1, 0, 0)
+	profile := responder.NewProfile(
+		responder.WithValidity(validity),
+	)
+	if cached {
+		profile.Apply(responder.WithCachedResponses(0))
+	}
+	r := responder.New("ocspload.invalid", ca, db, clock.Real{}, profile)
+	srv := ocspserver.NewServer(ocspserver.NewHandler(r))
+	if err := srv.Start("127.0.0.1:0"); err != nil {
+		fail("selfserve listen: %v", err)
+	}
+
+	var targets []loadgen.Target
+	for i := 0; i < serialCount; i++ {
+		serial := big.NewInt(int64(1000 + i))
+		db.AddIssued(serial, expiry)
+		req, err := ocsp.NewRequestForSerial(serial, ca.Certificate, crypto.SHA1)
+		if err != nil {
+			fail("selfserve request: %v", err)
+		}
+		reqDER, err := req.Marshal()
+		if err != nil {
+			fail("selfserve marshal: %v", err)
+		}
+		targets = append(targets, loadgen.Target{URL: srv.URL(), ReqDER: reqDER})
+	}
+	shutdown := func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+	}
+	return srv, targets, shutdown
+}
+
+// buildTarget builds the single target for an external responder.
+func buildTarget(url, issuerPath, serialStr string) (loadgen.Target, error) {
+	if issuerPath == "" || serialStr == "" {
+		return loadgen.Target{}, fmt.Errorf("-url needs -issuer and -serial")
+	}
+	data, err := os.ReadFile(issuerPath)
+	if err != nil {
+		return loadgen.Target{}, err
+	}
+	block, _ := pem.Decode(data)
+	if block == nil {
+		return loadgen.Target{}, fmt.Errorf("no PEM block in %s", issuerPath)
+	}
+	issuer, err := x509.ParseCertificate(block.Bytes)
+	if err != nil {
+		return loadgen.Target{}, err
+	}
+	serial, ok := new(big.Int).SetString(serialStr, 10)
+	if !ok {
+		return loadgen.Target{}, fmt.Errorf("bad -serial %q", serialStr)
+	}
+	req, err := ocsp.NewRequestForSerial(serial, issuer, crypto.SHA1)
+	if err != nil {
+		return loadgen.Target{}, err
+	}
+	reqDER, err := req.Marshal()
+	if err != nil {
+		return loadgen.Target{}, err
+	}
+	return loadgen.Target{URL: url, ReqDER: reqDER}, nil
+}
+
+func report(res *loadgen.Result) {
+	fmt.Printf("scheduled %d  completed %d  throughput %.0f req/s  elapsed %v\n",
+		res.Scheduled, res.Completed, res.Throughput(), res.Elapsed.Round(time.Millisecond))
+	fmt.Printf("errors: transport %d  http %d (5xx %d)\n",
+		res.TransportErrors, res.HTTPErrors, res.Status5xx)
+	fmt.Printf("overall %s\n", res.Overall.String())
+	if res.GET.Count() > 0 {
+		fmt.Printf("GET     %s\n", res.GET.String())
+	}
+	if res.POST.Count() > 0 {
+		fmt.Printf("POST    %s\n", res.POST.String())
+	}
+}
+
+// emitBench prints one `go test -bench`-shaped line per histogram so
+// cmd/benchjson can fold the run into the repo's benchmark snapshots.
+func emitBench(name string, res *loadgen.Result) {
+	// A pkg header keeps cmd/benchjson from attributing these lines to
+	// whatever package preceded them in a concatenated stream.
+	fmt.Println("pkg: github.com/netmeasure/muststaple/cmd/ocspload")
+	line := func(suffix string, h *loadgen.Hist) {
+		if h.Count() == 0 {
+			return
+		}
+		fmt.Printf("Benchmark%s%s 	 %8d 	 %d p50-ns/op 	 %d p99-ns/op 	 %d p999-ns/op 	 %.0f req/s\n",
+			name, suffix, h.Count(),
+			h.Quantile(0.50), h.Quantile(0.99), h.Quantile(0.999), res.Throughput())
+	}
+	line("", &res.Overall)
+	line("GET", &res.GET)
+	line("POST", &res.POST)
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "ocspload: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -4,6 +4,14 @@
 // client at it and exercise both correct behavior and, via flags, every
 // misbehavior the measurement study catalogues.
 //
+// The serving tier is internal/ocspserver: RFC 5019 GETs, cache headers,
+// request hardening, h2c, and a /debug/vars JSON endpoint exposing the
+// signed-response cache statistics and request counters.
+//
+// Misbehavior flags come straight from responder.Misbehaviors() — each
+// flag is one responder.ProfileOption, so the set below tracks the defect
+// table automatically.
+//
 // On startup it prints the CA certificate and one issued leaf (PEM) so a
 // client has something to ask about.
 //
@@ -17,16 +25,18 @@
 package main
 
 import (
+	"context"
 	"encoding/pem"
 	"flag"
 	"fmt"
-	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"time"
 
 	"github.com/netmeasure/muststaple/internal/clock"
-	"github.com/netmeasure/muststaple/internal/ocsp"
+	"github.com/netmeasure/muststaple/internal/metrics"
+	"github.com/netmeasure/muststaple/internal/ocspserver"
 	"github.com/netmeasure/muststaple/internal/pki"
 	"github.com/netmeasure/muststaple/internal/pkixutil"
 	"github.com/netmeasure/muststaple/internal/profiling"
@@ -35,20 +45,11 @@ import (
 
 func main() {
 	listen := flag.String("listen", ":8889", "listen address")
-	validity := flag.Duration("validity", 7*24*time.Hour, "response validity period")
-	blank := flag.Bool("blank-next-update", false, "omit nextUpdate (responses never expire)")
-	zeroMargin := flag.Bool("zero-margin", false, "set thisUpdate to the request time (no clock-skew margin)")
-	malformed := flag.String("malformed", "", "serve malformed bodies: zero, empty, js, or truncated")
-	badSig := flag.Bool("bad-signature", false, "corrupt response signatures")
-	mismatch := flag.Bool("serial-mismatch", false, "answer about the wrong serial")
-	extraSerials := flag.Int("extra-serials", 0, "unsolicited serials per response")
-	errorStatus := flag.String("error-status", "", "always return an OCSP error: trylater, internal, unauthorized")
 	revokeLeaf := flag.Bool("revoke-leaf", false, "revoke the issued leaf (keyCompromise)")
-	cached := flag.Bool("cached", false, "pre-generate responses per update window instead of signing on demand")
-	updateInterval := flag.Duration("update-interval", 0, "cache update interval (with -cached)")
 	perScanSigning := flag.Bool("per-scan-signing", false, "sign every response on demand, bypassing the signed-response cache")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
+	misbehave := responder.BindMisbehaviorFlags(flag.CommandLine)
 	flag.Parse()
 
 	stopProfiling, err := profiling.Start(*cpuProfile, *memProfile)
@@ -57,39 +58,9 @@ func main() {
 	}
 	defer stopProfiling()
 
-	profile := responder.Profile{
-		Validity:        *validity,
-		BlankNextUpdate: *blank,
-		NoDefaultMargin: *zeroMargin,
-		BadSignature:    *badSig,
-		SerialMismatch:  *mismatch,
-		ExtraSerials:    *extraSerials,
-		CacheResponses:  *cached,
-		UpdateInterval:  *updateInterval,
-	}
-	switch *malformed {
-	case "":
-	case "zero":
-		profile.Malformed = responder.MalformedZero
-	case "empty":
-		profile.Malformed = responder.MalformedEmpty
-	case "js":
-		profile.Malformed = responder.MalformedJavaScript
-	case "truncated":
-		profile.Malformed = responder.MalformedTruncated
-	default:
-		fail("unknown -malformed kind %q", *malformed)
-	}
-	switch *errorStatus {
-	case "":
-	case "trylater":
-		profile.ErrorStatus = ocsp.StatusTryLater
-	case "internal":
-		profile.ErrorStatus = ocsp.StatusInternalError
-	case "unauthorized":
-		profile.ErrorStatus = ocsp.StatusUnauthorized
-	default:
-		fail("unknown -error-status %q", *errorStatus)
+	profile := misbehave.Profile()
+	if profile.Validity == 0 {
+		profile.Validity = 7 * 24 * time.Hour
 	}
 
 	ca, err := pki.NewRootCA(pki.Config{
@@ -124,30 +95,42 @@ func main() {
 
 	pem.Encode(os.Stdout, &pem.Block{Type: "CERTIFICATE", Bytes: ca.Certificate.Raw})
 	pem.Encode(os.Stdout, &pem.Block{Type: "CERTIFICATE", Bytes: leaf.Certificate.Raw})
+	base := "http://" + *listen
+	if strings.HasPrefix(*listen, ":") {
+		base = "http://localhost" + *listen
+	}
 	fmt.Printf("# CA above, leaf below. leaf serial: %v\n", leaf.Certificate.SerialNumber)
-	fmt.Printf("# OCSP endpoint: http://localhost%s/  CRL: http://localhost%s/ca.crl\n", *listen, *listen)
-	fmt.Printf("# try: openssl ocsp -issuer ca.pem -serial %v -url http://localhost%s -resp_text\n",
-		leaf.Certificate.SerialNumber, *listen)
+	fmt.Printf("# OCSP endpoint: %s/  CRL: %s/ca.crl\n", base, base)
+	fmt.Printf("# stats: %s/debug/vars\n", base)
+	fmt.Printf("# try: openssl ocsp -issuer ca.pem -serial %v -url %s -resp_text\n",
+		leaf.Certificate.SerialNumber, base)
 
-	mux := http.NewServeMux()
-	mux.Handle("/ca.crl", crlPub)
-	mux.Handle("/", r)
+	reg := metrics.NewRegistry()
+	handler := ocspserver.NewHandler(r, ocspserver.WithMetrics(reg))
+	tenants := func() []*responder.Responder { return []*responder.Responder{r} }
+	srv := ocspserver.NewServer(handler,
+		ocspserver.WithRoute("/ca.crl", crlPub),
+		ocspserver.WithRoute("/debug/vars", ocspserver.NewDebugVars(reg, tenants)),
+	)
 
-	// The server runs until interrupted; flush any requested profiles on
-	// SIGINT so -cpuprofile/-memprofile capture the served traffic.
+	// The server runs until interrupted; flush any requested profiles and
+	// drain in-flight requests on SIGINT so -cpuprofile/-memprofile
+	// capture the served traffic.
 	interrupt := make(chan os.Signal, 1)
 	signal.Notify(interrupt, os.Interrupt)
 	go func() {
 		<-interrupt
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
 		stopProfiling()
-		hits, misses := r.CacheStats()
-		fmt.Fprintf(os.Stderr, "ocspresponder: cache hits=%d misses=%d\n", hits, misses)
 		os.Exit(0)
 	}()
-	if err := http.ListenAndServe(*listen, mux); err != nil {
+	if err := srv.Start(*listen); err != nil {
 		stopProfiling()
 		fail("listen: %v", err)
 	}
+	select {}
 }
 
 func fail(format string, args ...any) {

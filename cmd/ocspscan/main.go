@@ -31,6 +31,7 @@ import (
 	"github.com/netmeasure/muststaple/internal/clock"
 	"github.com/netmeasure/muststaple/internal/metrics"
 	"github.com/netmeasure/muststaple/internal/netsim"
+	"github.com/netmeasure/muststaple/internal/ocspserver"
 	"github.com/netmeasure/muststaple/internal/pki"
 	"github.com/netmeasure/muststaple/internal/profiling"
 	"github.com/netmeasure/muststaple/internal/responder"
@@ -211,7 +212,7 @@ func demoTarget() (scanner.Target, *responder.Responder, func()) {
 		BlankNextUpdate: true, // a §5.4 quality defect, visible in the output
 		ExtraSerials:    2,
 	})
-	srv := httptest.NewServer(r)
+	srv := httptest.NewServer(ocspserver.NewHandler(r))
 	return scanner.Target{
 		ResponderURL: srv.URL,
 		Responder:    "demo",

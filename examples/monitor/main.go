@@ -24,6 +24,7 @@ import (
 
 	"github.com/netmeasure/muststaple/internal/clock"
 	"github.com/netmeasure/muststaple/internal/netsim"
+	"github.com/netmeasure/muststaple/internal/ocspserver"
 	"github.com/netmeasure/muststaple/internal/pki"
 	"github.com/netmeasure/muststaple/internal/report"
 	"github.com/netmeasure/muststaple/internal/responder"
@@ -63,7 +64,7 @@ func main() {
 		db := responder.NewDB()
 		serial := big.NewInt(int64(7000 + i))
 		db.AddIssued(serial, start.AddDate(1, 0, 0))
-		network.RegisterHost(member.host, "", responder.New(member.host, ca, db, clk, member.profile))
+		network.RegisterHost(member.host, "", ocspserver.NewHandler(responder.New(member.host, ca, db, clk, member.profile)))
 		targets = append(targets, scanner.Target{
 			ResponderURL: "http://" + member.host,
 			Responder:    member.host,

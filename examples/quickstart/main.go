@@ -22,6 +22,7 @@ import (
 	"github.com/netmeasure/muststaple/internal/browser"
 	"github.com/netmeasure/muststaple/internal/clock"
 	"github.com/netmeasure/muststaple/internal/ocsp"
+	"github.com/netmeasure/muststaple/internal/ocspserver"
 	"github.com/netmeasure/muststaple/internal/pki"
 	"github.com/netmeasure/muststaple/internal/pkixutil"
 	"github.com/netmeasure/muststaple/internal/responder"
@@ -53,7 +54,7 @@ func main() {
 	db := responder.NewDB()
 	db.AddIssued(leaf.Certificate.SerialNumber, leaf.Certificate.NotAfter)
 	resp := responder.New("quickstart", ca, db, clock.Real{}, responder.Profile{})
-	srv := httptest.NewServer(resp)
+	srv := httptest.NewServer(ocspserver.NewHandler(resp))
 	defer srv.Close()
 	fmt.Printf("OCSP responder listening at %s\n", srv.URL)
 

@@ -28,6 +28,7 @@ import (
 
 	"github.com/netmeasure/muststaple/internal/browser"
 	"github.com/netmeasure/muststaple/internal/clock"
+	"github.com/netmeasure/muststaple/internal/ocspserver"
 	"github.com/netmeasure/muststaple/internal/pki"
 	"github.com/netmeasure/muststaple/internal/responder"
 	"github.com/netmeasure/muststaple/internal/webserver"
@@ -66,7 +67,7 @@ func main() {
 		ThisUpdateOffset: time.Minute,
 	})
 	go func() {
-		if err := http.ListenAndServe(*ocspAddr, ocspResponder); err != nil {
+		if err := http.ListenAndServe(*ocspAddr, ocspserver.NewHandler(ocspResponder)); err != nil {
 			log.Fatalf("ocsp listener: %v", err)
 		}
 	}()

@@ -1,3 +1,3 @@
 module github.com/netmeasure/muststaple
 
-go 1.22
+go 1.24

@@ -80,7 +80,7 @@ func NewHarness(start time.Time) (*Harness, error) {
 	if err != nil {
 		return nil, err
 	}
-	staple, ok := h.responder.Respond(reqDER)
+	staple, ok := h.responder.RespondDER(reqDER)
 	if !ok {
 		return nil, errors.New("browser: harness responder misbehaved")
 	}
@@ -104,7 +104,7 @@ func (h *Harness) fallback(leaf, issuer *x509.Certificate) error {
 		return err
 	}
 	h.ocspHits.Add(1)
-	body, _ := h.responder.Respond(reqDER)
+	body, _ := h.responder.RespondDER(reqDER)
 	resp, err := ocsp.ParseResponse(body)
 	if err != nil {
 		return err

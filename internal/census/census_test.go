@@ -8,6 +8,7 @@ import (
 
 	"github.com/netmeasure/muststaple/internal/clock"
 	"github.com/netmeasure/muststaple/internal/netsim"
+	"github.com/netmeasure/muststaple/internal/ocspserver"
 	"github.com/netmeasure/muststaple/internal/pki"
 	"github.com/netmeasure/muststaple/internal/responder"
 	"github.com/netmeasure/muststaple/internal/scanner"
@@ -220,7 +221,7 @@ func TestCDNCache(t *testing.T) {
 	db := responder.NewDB()
 	db.AddIssued(leaf.Certificate.SerialNumber, leaf.Certificate.NotAfter)
 	n := netsim.New()
-	n.RegisterHost("ocsp.cdn.test", "", responder.New("ocsp.cdn.test", ca, db, clk, responder.Profile{Validity: 24 * time.Hour}))
+	n.RegisterHost("ocsp.cdn.test", "", ocspserver.NewHandler(responder.New("ocsp.cdn.test", ca, db, clk, responder.Profile{Validity: 24 * time.Hour})))
 
 	client := &scanner.Client{Transport: n}
 	cdn := NewCDNCache(client, clk, netsim.PaperVantages()[1])

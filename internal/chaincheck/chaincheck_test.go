@@ -81,7 +81,7 @@ func (f *fixture) fetch(cert, issuer *x509.Certificate) ([]byte, error) {
 	default:
 		return nil, errors.New("no responder for issuer")
 	}
-	der, ok := r.Respond(reqDER)
+	der, ok := r.RespondDER(reqDER)
 	if !ok {
 		return nil, errors.New("malformed body")
 	}

@@ -8,6 +8,7 @@ import (
 	"github.com/netmeasure/muststaple/internal/clock"
 	"github.com/netmeasure/muststaple/internal/netsim"
 	"github.com/netmeasure/muststaple/internal/ocsp"
+	"github.com/netmeasure/muststaple/internal/ocspserver"
 	"github.com/netmeasure/muststaple/internal/pki"
 	"github.com/netmeasure/muststaple/internal/pkixutil"
 	"github.com/netmeasure/muststaple/internal/responder"
@@ -50,7 +51,7 @@ func buildCA(t testing.TB, n *netsim.Network, clk *clock.Simulated, name string,
 		db.Revoke(leaf.Certificate.SerialNumber, t0.AddDate(0, -1, 0), pkixutil.ReasonKeyCompromise)
 		serials = append(serials, leaf.Certificate.SerialNumber)
 	}
-	n.RegisterHost(ocspHost, "", responder.New(ocspHost, ca, db, clk, profile))
+	n.RegisterHost(ocspHost, "", ocspserver.NewHandler(responder.New(ocspHost, ca, db, clk, profile)))
 	n.RegisterHost(crlHost, "", responder.NewCRLPublisher(ca, db, clk))
 	return &caSetup{
 		ca: ca, db: db, serials: serials,
@@ -113,14 +114,14 @@ func TestStatusDiscrepancies(t *testing.T) {
 		overrides[serial.String()] = ocsp.Good
 	}
 	// Rebuild the responder with overrides (RegisterHost replaces).
-	n.RegisterHost("ocsp.saysgood.test", "", responder.New("ocsp.saysgood.test", goodCA.ca, goodCA.db, clk, responder.Profile{StatusOverrides: overrides}))
+	n.RegisterHost("ocsp.saysgood.test", "", ocspserver.NewHandler(responder.New("ocsp.saysgood.test", goodCA.ca, goodCA.db, clk, responder.Profile{StatusOverrides: overrides})))
 
 	unknownCA := buildCA(t, n, clk, "saysunknown", 5, responder.Profile{})
 	unkOverrides := map[string]ocsp.CertStatus{}
 	for _, serial := range unknownCA.serials {
 		unkOverrides[serial.String()] = ocsp.Unknown
 	}
-	n.RegisterHost("ocsp.saysunknown.test", "", responder.New("ocsp.saysunknown.test", unknownCA.ca, unknownCA.db, clk, responder.Profile{StatusOverrides: unkOverrides}))
+	n.RegisterHost("ocsp.saysunknown.test", "", ocspserver.NewHandler(responder.New("ocsp.saysunknown.test", unknownCA.ca, unknownCA.db, clk, responder.Profile{StatusOverrides: unkOverrides})))
 
 	honest := buildCA(t, n, clk, "honest", 4, responder.Profile{})
 

@@ -42,8 +42,9 @@ type AnalyzerConfig struct {
 //   - maporder and locksafe apply everywhere, including cmd/.
 //   - ctxfirst guards the exported internal/ APIs.
 //   - errcheck-hot guards the responder/scanner/ocsp hot paths, where a
-//     discarded error silently corrupts a measurement, and the durable
-//     store, where a discarded error silently loses one.
+//     discarded error silently corrupts a measurement, the durable
+//     store, where a discarded error silently loses one, and the
+//     serving tier (ocspserver), where one drops a live response.
 func DefaultConfig() *Config {
 	return &Config{Analyzers: map[string]AnalyzerConfig{
 		"wallclock": {
@@ -60,7 +61,7 @@ func DefaultConfig() *Config {
 			Only: []string{
 				".../internal/responder", ".../internal/scanner",
 				".../internal/ocsp", ".../internal/crl",
-				".../internal/store",
+				".../internal/store", ".../internal/ocspserver",
 			},
 		},
 	}}

@@ -44,6 +44,7 @@ func TestDefaultConfigScopes(t *testing.T) {
 		{"locksafe", mod + "/internal/scanner", true},
 		{"ctxfirst", mod + "/internal/core", true},
 		{"errcheck-hot", mod + "/internal/responder", true},
+		{"errcheck-hot", mod + "/internal/ocspserver", true},
 		{"errcheck-hot", mod + "/internal/report", false},
 	}
 	for _, c := range cases {

@@ -1,0 +1,211 @@
+package loadgen
+
+import (
+	"context"
+	"crypto"
+	"math/rand"
+	"net"
+	"net/http"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/netmeasure/muststaple/internal/clock"
+	"github.com/netmeasure/muststaple/internal/ocsp"
+	"github.com/netmeasure/muststaple/internal/ocspserver"
+	"github.com/netmeasure/muststaple/internal/pki"
+	"github.com/netmeasure/muststaple/internal/responder"
+)
+
+func TestBucketIndexMonotonic(t *testing.T) {
+	// Bucket indexes must be monotonic in the value, and bucketValue must
+	// land inside each bucket's range.
+	prev := -1
+	for _, v := range []uint64{0, 1, 31, 32, 33, 63, 64, 100, 1023, 1024, 1 << 20, 1<<20 + 5, 1 << 40, 1<<63 + 12345} {
+		i := bucketIndex(v)
+		if i < prev {
+			t.Fatalf("bucketIndex(%d) = %d < previous %d", v, i, prev)
+		}
+		prev = i
+		if rep := bucketValue(i); bucketIndex(rep) != i {
+			t.Errorf("bucketValue(%d) = %d maps back to bucket %d", i, rep, bucketIndex(rep))
+		}
+	}
+}
+
+func TestHistQuantiles(t *testing.T) {
+	var h Hist
+	// 1..10000: quantiles are predictable, and ~3% relative error is the
+	// histogram's contract.
+	for v := uint64(1); v <= 10000; v++ {
+		h.Record(v)
+	}
+	if h.Count() != 10000 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if h.Min() != 1 || h.Max() != 10000 {
+		t.Fatalf("min/max = %d/%d", h.Min(), h.Max())
+	}
+	for _, tt := range []struct {
+		q    float64
+		want uint64
+	}{{0.50, 5000}, {0.90, 9000}, {0.99, 9900}, {0.999, 9990}} {
+		got := h.Quantile(tt.q)
+		relerr := float64(got)/float64(tt.want) - 1
+		if relerr < -0.04 || relerr > 0.04 {
+			t.Errorf("Quantile(%v) = %d, want %d ±4%%", tt.q, got, tt.want)
+		}
+	}
+	if h.Quantile(0) != 1 || h.Quantile(1) != 10000 {
+		t.Errorf("extreme quantiles: %d, %d", h.Quantile(0), h.Quantile(1))
+	}
+	if mean := h.Mean(); mean < 5000 || mean > 5001 {
+		t.Errorf("mean = %v, want 5000.5", mean)
+	}
+}
+
+func TestHistMerge(t *testing.T) {
+	var a, b, whole Hist
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 5000; i++ {
+		v := uint64(rng.Intn(1_000_000))
+		whole.Record(v)
+		if i%2 == 0 {
+			a.Record(v)
+		} else {
+			b.Record(v)
+		}
+	}
+	a.Merge(&b)
+	if a.Count() != whole.Count() || a.Min() != whole.Min() || a.Max() != whole.Max() {
+		t.Fatalf("merge mismatch: count %d/%d min %d/%d max %d/%d",
+			a.Count(), whole.Count(), a.Min(), whole.Min(), a.Max(), whole.Max())
+	}
+	for _, q := range []float64{0.5, 0.9, 0.99} {
+		if a.Quantile(q) != whole.Quantile(q) {
+			t.Errorf("Quantile(%v): merged %d, whole %d", q, a.Quantile(q), whole.Quantile(q))
+		}
+	}
+}
+
+// TestRunAgainstServingTier drives a short open-loop run against a real
+// loopback serving tier and checks the accounting.
+func TestRunAgainstServingTier(t *testing.T) {
+	ca, err := pki.NewRootCA(pki.Config{Name: "loadgen CA", OCSPURL: "http://loadgen.test"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	leaf, err := ca.IssueLeaf(pki.LeafOptions{DNSNames: []string{"loadgen.test"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := responder.NewDB()
+	db.AddIssued(leaf.Certificate.SerialNumber, leaf.Certificate.NotAfter)
+	r := responder.New("loadgen.test", ca, db, clock.Real{}, responder.Profile{
+		CacheResponses: true, Validity: 24 * time.Hour,
+	})
+	srv := ocspserver.NewServer(ocspserver.NewHandler(r))
+	if err := srv.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Shutdown(context.Background())
+
+	req, err := ocsp.NewRequest(leaf.Certificate, ca.Certificate, crypto.SHA1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reqDER, err := req.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	res, err := Run(context.Background(), Config{
+		Rate:        400,
+		Duration:    time.Second,
+		Workers:     8,
+		GETFraction: 0.5,
+		Seed:        7,
+	}, []Target{{URL: srv.URL(), ReqDER: reqDER}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Scheduled != 400 {
+		t.Errorf("scheduled = %d, want 400", res.Scheduled)
+	}
+	if res.Completed != res.Scheduled {
+		t.Errorf("completed %d of %d (transport %d, http %d)",
+			res.Completed, res.Scheduled, res.TransportErrors, res.HTTPErrors)
+	}
+	if res.Status5xx != 0 {
+		t.Errorf("5xx = %d", res.Status5xx)
+	}
+	if res.GET.Count() == 0 || res.POST.Count() == 0 {
+		t.Errorf("expected mixed methods, got GET=%d POST=%d", res.GET.Count(), res.POST.Count())
+	}
+	if res.GET.Count()+res.POST.Count() != res.Overall.Count() {
+		t.Error("per-method histograms don't sum to overall")
+	}
+	if res.Throughput() <= 0 {
+		t.Error("zero throughput")
+	}
+	if res.Overall.Quantile(0.999) < res.Overall.Quantile(0.5) {
+		t.Error("p999 below p50")
+	}
+
+	// The method mix is a pure function of the seed: a second run with
+	// the same seed draws the identical split.
+	res2, err := Run(context.Background(), Config{
+		Rate: 400, Duration: time.Second, Workers: 8, GETFraction: 0.5, Seed: 7,
+	}, []Target{{URL: srv.URL(), ReqDER: reqDER}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.GET.Count() != res.GET.Count() {
+		t.Errorf("seeded GET split changed: %d vs %d", res2.GET.Count(), res.GET.Count())
+	}
+}
+
+// TestOpenLoopLatencyIncludesQueueing: a server that stalls must show the
+// stall in measured latency even for requests "sent" during the stall —
+// the coordinated-omission guarantee.
+func TestOpenLoopLatencyIncludesQueueing(t *testing.T) {
+	var served atomic.Int64
+	blocker := make(chan struct{})
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", func(w http.ResponseWriter, req *http.Request) {
+		if served.Add(1) > 1 {
+			<-blocker // every request after the first stalls until release
+		}
+		w.Write([]byte{0x30, 0x03, 0x0a, 0x01, 0x01}) // any 200 body
+	})
+	srv := &http.Server{Handler: mux}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(ln)
+	defer srv.Close()
+
+	done := make(chan *Result, 1)
+	go func() {
+		// 1 worker: the stalled first in-flight request queues everything
+		// behind it.
+		res, _ := Run(context.Background(), Config{
+			Rate: 100, Duration: 500 * time.Millisecond, Workers: 1,
+			GETFraction: 1, Timeout: 10 * time.Second,
+		}, []Target{{URL: "http://" + ln.Addr().String(), ReqDER: []byte{1}}})
+		done <- res
+	}()
+	time.Sleep(800 * time.Millisecond)
+	close(blocker)
+	res := <-done
+
+	if res.Completed < 2 {
+		t.Fatalf("completed = %d", res.Completed)
+	}
+	// The tail must reflect the ~800ms stall, even though each request
+	// completed quickly once actually sent.
+	if p99 := time.Duration(res.Overall.Quantile(0.99)); p99 < 200*time.Millisecond {
+		t.Errorf("p99 = %v; open-loop latency must include scheduled-to-completion queueing", p99)
+	}
+}

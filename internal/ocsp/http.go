@@ -32,13 +32,21 @@ func EncodeGETPath(reqDER []byte) string {
 }
 
 // DecodeGETPath inverts EncodeGETPath given the path portion after the
-// responder prefix.
+// responder prefix. Clients in the wild deviate from RFC 6960 Appendix
+// A.1 in three tolerable ways — the base64url alphabet instead of the
+// standard one, stripped '=' padding, and percent-escaping of '/', '+',
+// and '=' — so the decoder accepts all of them: an RFC 5019 serving tier
+// that rejected these would turn working clients into 4xx noise. Pass
+// the still-escaped path (http.Request.URL.EscapedPath) when available,
+// so a percent-escaped '/' is not confused with a path separator.
 func DecodeGETPath(path string) ([]byte, error) {
 	unescaped, err := url.PathUnescape(strings.TrimPrefix(path, "/"))
 	if err != nil {
 		return nil, fmt.Errorf("ocsp: unescape GET path: %w", err)
 	}
-	der, err := base64.StdEncoding.DecodeString(unescaped)
+	normalized := strings.NewReplacer("-", "+", "_", "/").Replace(unescaped)
+	normalized = strings.TrimRight(normalized, "=")
+	der, err := base64.RawStdEncoding.DecodeString(normalized)
 	if err != nil {
 		return nil, fmt.Errorf("ocsp: decode GET path: %w", err)
 	}

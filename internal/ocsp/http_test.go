@@ -152,6 +152,48 @@ func TestFetchBoundsResponseSize(t *testing.T) {
 	}
 }
 
+func TestDecodeGETPathVariants(t *testing.T) {
+	// The serving tier must decode every base64 dialect clients emit:
+	// standard and url-safe alphabets, with and without '=' padding, and
+	// with '/', '+', '=' percent-escaped. DER chosen so the base64 hits
+	// '+', '/', and padding: 0xfb 0xef 0xbe → "++++", 0xff 0xef → "/+8=".
+	cases := []struct {
+		name string
+		path string
+		want []byte
+	}{
+		{"canonical", EncodeGETPath([]byte{0xfb, 0xef, 0xbe}), []byte{0xfb, 0xef, 0xbe}},
+		{"std-plain", "++++", []byte{0xfb, 0xef, 0xbe}},
+		{"urlsafe", "----", []byte{0xfb, 0xef, 0xbe}},
+		{"std-padded", "++8=", []byte{0xfb, 0xef}},
+		{"stripped-padding", "++8", []byte{0xfb, 0xef}},
+		// url-safe '_' normalizes to '/' mid-decode without being
+		// mistaken for a path separator.
+		{"urlsafe-stripped", "_-8", []byte{0xff, 0xef}},
+		// A percent-escaped '/' survives because escapes are resolved
+		// after path splitting, never before.
+		{"escaped-slash-plus", "%2F%2B8%3D", []byte{0xff, 0xef}},
+		{"leading-path-slash", "/++8=", []byte{0xfb, 0xef}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got, err := DecodeGETPath(tc.path)
+			if err != nil {
+				t.Fatalf("DecodeGETPath(%q): %v", tc.path, err)
+			}
+			if string(got) != string(tc.want) {
+				t.Errorf("DecodeGETPath(%q) = %x, want %x", tc.path, got, tc.want)
+			}
+		})
+	}
+
+	for _, bad := range []string{"@@@@", "%zz", "a"} {
+		if _, err := DecodeGETPath(bad); err == nil {
+			t.Errorf("DecodeGETPath(%q) succeeded, want error", bad)
+		}
+	}
+}
+
 func TestNewHTTPRequestValidation(t *testing.T) {
 	if _, err := NewHTTPRequest(context.Background(), http.MethodPut, "http://x.test", []byte{1}); err == nil {
 		t.Error("unsupported method must fail")

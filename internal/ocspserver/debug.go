@@ -1,0 +1,57 @@
+package ocspserver
+
+import (
+	"encoding/json"
+	"net/http"
+
+	"github.com/netmeasure/muststaple/internal/metrics"
+	"github.com/netmeasure/muststaple/internal/responder"
+)
+
+// DebugVars is a /debug/vars-style introspection endpoint: a JSON dump
+// of the serving tier's metrics registry, refreshed at scrape time with
+// each tenant's signed-response cache statistics and database
+// generation. It replaces the ad-hoc SIGINT stat prints the standalone
+// responder used to do — operators (and the loadcheck CI target) curl it
+// instead.
+type DebugVars struct {
+	reg     *metrics.Registry
+	tenants func() []*responder.Responder
+}
+
+// NewDebugVars builds the endpoint over reg, scraping cache stats from
+// the responders yielded by tenants at each request. tenants may be nil
+// (registry-only dump); Registry.Responders is the usual source.
+func NewDebugVars(reg *metrics.Registry, tenants func() []*responder.Responder) *DebugVars {
+	return &DebugVars{reg: reg, tenants: tenants}
+}
+
+// debugPayload is the wire shape. encoding/json marshals maps with
+// sorted keys, so output is deterministic for a fixed state.
+type debugPayload struct {
+	Counters   map[string]int64                     `json:"counters"`
+	Gauges     map[string]int64                     `json:"gauges"`
+	Histograms map[string]metrics.HistogramSnapshot `json:"histograms,omitempty"`
+}
+
+// ServeHTTP renders the current metrics state as JSON.
+func (d *DebugVars) ServeHTTP(w http.ResponseWriter, req *http.Request) {
+	if d.tenants != nil {
+		for _, r := range d.tenants() {
+			hits, misses := r.CacheStats()
+			d.reg.Gauge("responder.cache.hits." + r.Host).Set(int64(hits))
+			d.reg.Gauge("responder.cache.misses." + r.Host).Set(int64(misses))
+			d.reg.Gauge("responder.db.generation." + r.Host).Set(int64(r.DB.Generation()))
+		}
+	}
+	snap := d.reg.Snapshot()
+	payload := debugPayload{
+		Counters:   snap.Counters,
+		Gauges:     snap.Gauges,
+		Histograms: snap.Histograms,
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(&payload) //lint:allow errcheck-hot client disconnect mid-dump is not actionable
+}

@@ -1,0 +1,289 @@
+// Package ocspserver is the production OCSP serving tier: it fronts one
+// or many responder.Responders (the signing cores) with a transport
+// layer built for real sockets and real clients. The handler speaks
+// RFC 6960 POST and the RFC 5019 lightweight GET profile — base64 (std
+// or url-safe, padded or not, percent-escaped or not) request DER in the
+// URL path — derives the RFC 5019 §6 HTTP cache headers from each
+// response's validity window so CDNs and intermediate caches can front
+// the responder, routes requests to per-CA tenants by issuer hash, and
+// hardens the parsing edge: request size caps, method and media-type
+// policing, and malformed DER answered with a proper OCSP
+// malformedRequest response instead of a 500 (a hostile or broken
+// client must not look like a responder outage).
+//
+// The same handler serves both deployment modes the paper's taxonomy
+// distinguishes (§2.2): pre-generating responders (the signed-response
+// cache serves one response per update window, and the cache headers let
+// HTTP caches absorb the fan-out) and on-demand signers. Epoch rollover
+// is graceful by construction — window-keyed cache entries stop matching
+// the instant the window rolls, so requests straddling the boundary
+// regenerate without a stall or a stale byte.
+package ocspserver
+
+import (
+	"crypto/sha1"
+	"encoding/hex"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+
+	"github.com/netmeasure/muststaple/internal/clock"
+	"github.com/netmeasure/muststaple/internal/metrics"
+	"github.com/netmeasure/muststaple/internal/ocsp"
+	"github.com/netmeasure/muststaple/internal/pkixutil"
+	"github.com/netmeasure/muststaple/internal/responder"
+)
+
+const (
+	// DefaultMaxRequestBytes caps the request DER a client may submit
+	// (POST body or decoded GET path). Real OCSP requests are well under
+	// 200 bytes even with a nonce; 64 KiB tolerates pathological-but-
+	// legitimate multi-serial requests while bounding hostile input.
+	DefaultMaxRequestBytes = 64 << 10
+
+	// maxGETPathBytes bounds the raw GET path before any decoding: 4/3
+	// base64 expansion plus worst-case percent-escaping of the max DER.
+	maxGETPathBytes = 4 * DefaultMaxRequestBytes
+)
+
+// Handler is the transport-facing OCSP handler: it owns HTTP framing
+// (method and media-type policing, size caps, GET-path decoding, cache
+// headers) and delegates response production to a responder core —
+// either a single tenant or a Registry of per-CA tenants.
+type Handler struct {
+	single  *responder.Responder
+	tenants *Registry
+	routes  *routeCache
+
+	clk             clock.Clock
+	reg             *metrics.Registry
+	maxRequestBytes int
+}
+
+// HandlerOption configures a Handler at construction.
+type HandlerOption func(*Handler)
+
+// WithMetrics instruments the handler: request, rejection, and
+// serve-source counters land in reg (see DebugVars for the scrape side).
+func WithMetrics(reg *metrics.Registry) HandlerOption {
+	return func(h *Handler) { h.reg = reg }
+}
+
+// WithMaxRequestBytes overrides the request-size cap.
+func WithMaxRequestBytes(n int) HandlerOption {
+	return func(h *Handler) { h.maxRequestBytes = n }
+}
+
+// WithClock overrides the clock used to derive cache-header lifetimes;
+// the default is the serving tenant's own clock.
+func WithClock(clk clock.Clock) HandlerOption {
+	return func(h *Handler) { h.clk = clk }
+}
+
+// NewHandler fronts a single responder core.
+func NewHandler(r *responder.Responder, opts ...HandlerOption) *Handler {
+	h := &Handler{single: r, maxRequestBytes: DefaultMaxRequestBytes}
+	for _, o := range opts {
+		o(h)
+	}
+	return h
+}
+
+// NewMultiTenantHandler fronts a registry of per-CA tenants, routing
+// each request by its issuer hash.
+func NewMultiTenantHandler(reg *Registry, opts ...HandlerOption) *Handler {
+	h := &Handler{tenants: reg, routes: newRouteCache(), maxRequestBytes: DefaultMaxRequestBytes}
+	for _, o := range opts {
+		o(h)
+	}
+	return h
+}
+
+func (h *Handler) count(name string) {
+	if h.reg != nil {
+		h.reg.Counter(name).Inc()
+	}
+}
+
+// clockFor resolves the clock that dates cache headers for a response
+// served by tenant r.
+func (h *Handler) clockFor(r *responder.Responder) clock.Clock {
+	if h.clk != nil {
+		return h.clk
+	}
+	if r != nil && r.Clock != nil {
+		return r.Clock
+	}
+	return clock.Real{}
+}
+
+// ServeHTTP implements OCSP over HTTP for the serving tier.
+func (h *Handler) ServeHTTP(w http.ResponseWriter, req *http.Request) {
+	h.count("ocspserver.requests")
+	switch req.Method {
+	case http.MethodPost:
+		h.count("ocspserver.post")
+		h.servePOST(w, req)
+	case http.MethodGet:
+		h.count("ocspserver.get")
+		h.serveGET(w, req)
+	default:
+		h.count("ocspserver.rejected.method")
+		w.Header().Set("Allow", "GET, POST")
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+	}
+}
+
+func (h *Handler) servePOST(w http.ResponseWriter, req *http.Request) {
+	if !mediaTypeOK(req.Header.Get("Content-Type")) {
+		h.count("ocspserver.rejected.mediatype")
+		http.Error(w, "Content-Type must be "+ocsp.ContentTypeRequest, http.StatusUnsupportedMediaType)
+		return
+	}
+	// The request bytes do not outlive this call (the responder's
+	// response cache stores its own copy), so the read buffer is pooled —
+	// campaigns POST millions of scans through here.
+	buf := pkixutil.GetBuffer()
+	defer pkixutil.PutBuffer(buf)
+	if _, err := buf.ReadFrom(io.LimitReader(req.Body, int64(h.maxRequestBytes)+1)); err != nil {
+		http.Error(w, "read error", http.StatusBadRequest)
+		return
+	}
+	if buf.Len() > h.maxRequestBytes {
+		h.count("ocspserver.rejected.oversize")
+		http.Error(w, "request too large", http.StatusRequestEntityTooLarge)
+		return
+	}
+	h.respond(w, req, buf.Bytes())
+}
+
+func (h *Handler) serveGET(w http.ResponseWriter, req *http.Request) {
+	// EscapedPath keeps percent-escapes intact, so an escaped '/' inside
+	// the base64 is not mistaken for a path separator.
+	raw := req.URL.EscapedPath()
+	if len(raw) > maxGETPathBytes {
+		h.count("ocspserver.rejected.oversize")
+		http.Error(w, "request URI too long", http.StatusRequestURITooLong)
+		return
+	}
+	reqDER, err := ocsp.DecodeGETPath(raw)
+	if err != nil || len(reqDER) == 0 {
+		// Undecodable paths get a well-formed OCSP malformedRequest
+		// answer with 200, not an HTTP error: OCSP clients understand
+		// the former, and the hostile-input fuzz of real responders
+		// must not dress up as a serving-tier outage.
+		h.count("ocspserver.malformed")
+		h.writeStatic(w, staticError(ocsp.StatusMalformedRequest))
+		return
+	}
+	if len(reqDER) > h.maxRequestBytes {
+		h.count("ocspserver.rejected.oversize")
+		http.Error(w, "request too large", http.StatusRequestEntityTooLarge)
+		return
+	}
+	h.respond(w, req, reqDER)
+}
+
+// respond routes the raw request DER to its tenant and frames the
+// result.
+func (h *Handler) respond(w http.ResponseWriter, req *http.Request, reqDER []byte) {
+	r, ok := h.route(reqDER)
+	if !ok {
+		h.count("ocspserver.malformed")
+		h.writeStatic(w, staticError(ocsp.StatusMalformedRequest))
+		return
+	}
+	if r == nil {
+		h.count("ocspserver.unauthorized")
+		h.writeStatic(w, staticError(ocsp.StatusUnauthorized))
+		return
+	}
+	res, err := r.Respond(req.Context(), reqDER)
+	if err != nil {
+		// The client canceled or timed out mid-request; nothing useful
+		// can be written back.
+		h.count("ocspserver.canceled")
+		return
+	}
+	h.count("ocspserver.source." + res.Source.String())
+	hdr := w.Header()
+	hdr.Set("Content-Type", ocsp.ContentTypeResponse)
+	hdr.Set(responder.SourceHeader, res.Source.String())
+	// RFC 5019 §6: GET responses from well-behaved responders carry
+	// standard HTTP caching headers derived from the validity window, so
+	// intermediate caches (and CDNs fronting responders, §5.2) can serve
+	// them. POST responses and blank-nextUpdate responses are not
+	// cacheable.
+	if req.Method == http.MethodGet && res.HasMeta && !res.Meta.NextUpdate.IsZero() {
+		now := h.clockFor(r).Now()
+		if maxAge := res.Meta.NextUpdate.Sub(now); maxAge > 0 {
+			hdr.Set("Cache-Control",
+				"max-age="+strconv.Itoa(int(maxAge.Seconds()))+", public, no-transform, must-revalidate")
+			hdr.Set("Expires", res.Meta.NextUpdate.UTC().Format(http.TimeFormat))
+			hdr.Set("Last-Modified", res.Meta.ThisUpdate.UTC().Format(http.TimeFormat))
+			sum := sha1.Sum(res.DER)
+			hdr.Set("ETag", `"`+hex.EncodeToString(sum[:])+`"`)
+		}
+	}
+	w.Write(res.DER)
+}
+
+// route resolves the tenant for raw request bytes. ok is false when the
+// request DER does not parse (multi-tenant mode must parse to route); a
+// nil tenant with ok true means no registered CA matches.
+func (h *Handler) route(reqDER []byte) (*responder.Responder, bool) {
+	if h.single != nil {
+		return h.single, true
+	}
+	hash := fnv64(reqDER)
+	if r, hit := h.routes.get(hash, reqDER); hit {
+		return r, true
+	}
+	req, err := ocsp.ParseRequest(reqDER)
+	if err != nil {
+		return nil, false
+	}
+	r := h.tenants.RouteRequest(req)
+	if r != nil {
+		h.routes.put(hash, reqDER, r)
+	}
+	return r, true
+}
+
+// writeStatic frames an unsigned static OCSP body (error responses).
+func (h *Handler) writeStatic(w http.ResponseWriter, der []byte) {
+	h.count("ocspserver.source." + responder.SourceStatic.String())
+	w.Header().Set("Content-Type", ocsp.ContentTypeResponse)
+	w.Header().Set(responder.SourceHeader, responder.SourceStatic.String())
+	w.Write(der)
+}
+
+// mediaTypeOK polices the POST media type: RFC 6960 Appendix A requires
+// application/ocsp-request. Parameters (charset noise from misconfigured
+// clients) are tolerated; other types are not.
+func mediaTypeOK(ct string) bool {
+	if i := strings.IndexByte(ct, ';'); i >= 0 {
+		ct = ct[:i]
+	}
+	return strings.EqualFold(strings.TrimSpace(ct), ocsp.ContentTypeRequest)
+}
+
+// Static error responses are unsigned and depend only on the status
+// code, so one DER per status serves every tenant.
+var (
+	staticErrOnce [8]sync.Once
+	staticErrDER  [8][]byte
+)
+
+func staticError(st ocsp.ResponseStatus) []byte {
+	i := int(st)
+	if i < 0 || i >= len(staticErrDER) {
+		der, _ := ocsp.CreateErrorResponse(st) //lint:allow errcheck-hot only StatusSuccessful errors, never passed here
+		return der
+	}
+	//lint:allow errcheck-hot only StatusSuccessful errors, never passed here
+	staticErrOnce[i].Do(func() { staticErrDER[i], _ = ocsp.CreateErrorResponse(st) })
+	return staticErrDER[i]
+}

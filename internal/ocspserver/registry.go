@@ -1,0 +1,208 @@
+package ocspserver
+
+import (
+	"crypto"
+	"fmt"
+	"sort"
+	"sync"
+
+	"github.com/netmeasure/muststaple/internal/ocsp"
+	"github.com/netmeasure/muststaple/internal/pkixutil"
+	"github.com/netmeasure/muststaple/internal/responder"
+)
+
+// Registry routes requests to per-CA tenants. A CertID names its issuer
+// by hashed subject name and hashed public key; the registry indexes
+// every tenant under both hashes for both algorithms clients use (SHA-1
+// per RFC 5019, SHA-256 from modern stacks), so routing is a single map
+// lookup once the request is parsed.
+type Registry struct {
+	mu sync.RWMutex
+	// byKey and byName map raw issuer hashes (as string keys, prefixed
+	// with the hash algorithm) to the owning tenant. Key hashes are
+	// authoritative; name hashes are a fallback for requests whose key
+	// hash matches nothing (they cannot disagree for a registered CA).
+	byKey  map[string]*responder.Responder
+	byName map[string]*responder.Responder
+	hosts  map[string]*responder.Responder
+}
+
+// NewRegistry returns an empty tenant registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		byKey:  make(map[string]*responder.Responder),
+		byName: make(map[string]*responder.Responder),
+		hosts:  make(map[string]*responder.Responder),
+	}
+}
+
+var registryHashes = []crypto.Hash{crypto.SHA1, crypto.SHA256}
+
+// Register adds a tenant, indexing it under its CA's issuer hashes. A
+// second tenant for the same issuer replaces the first (same semantics
+// as netsim.RegisterHost); distinct tenants sharing a host name are
+// rejected.
+func (g *Registry) Register(r *responder.Responder) error {
+	keys := make([]string, 0, len(registryHashes))
+	names := make([]string, 0, len(registryHashes))
+	for _, h := range registryHashes {
+		key, err := pkixutil.IssuerKeyHash(r.CA.Certificate, h)
+		if err != nil {
+			return fmt.Errorf("ocspserver: hashing issuer key for %s: %w", r.Host, err)
+		}
+		name, err := pkixutil.IssuerNameHash(r.CA.Certificate, h)
+		if err != nil {
+			return fmt.Errorf("ocspserver: hashing issuer name for %s: %w", r.Host, err)
+		}
+		keys = append(keys, hashKey(h, key))
+		names = append(names, hashKey(h, name))
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if prev, ok := g.hosts[r.Host]; ok && prev != r {
+		return fmt.Errorf("ocspserver: tenant host %s already registered", r.Host)
+	}
+	for i := range keys {
+		g.byKey[keys[i]] = r
+		g.byName[names[i]] = r
+	}
+	g.hosts[r.Host] = r
+	return nil
+}
+
+// hashKey builds the map key for one issuer hash under one algorithm.
+func hashKey(h crypto.Hash, sum []byte) string {
+	return string(rune(h)) + string(sum)
+}
+
+// RouteRequest resolves the tenant serving a parsed request, nil when no
+// registered CA matches. Multi-serial requests are routed by their first
+// CertID: a request spanning CAs is not answerable by any single tenant,
+// and the routed tenant's own issuer check marks foreign serials
+// unknown, which is what RFC 6960 prescribes.
+func (g *Registry) RouteRequest(req *ocsp.Request) *responder.Responder {
+	if len(req.CertIDs) == 0 {
+		return nil
+	}
+	id := req.CertIDs[0]
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	if r, ok := g.byKey[hashKey(id.HashAlgorithm, id.IssuerKeyHash)]; ok {
+		return r
+	}
+	return g.byName[hashKey(id.HashAlgorithm, id.IssuerNameHash)]
+}
+
+// Responders returns the registered tenants sorted by host, for
+// deterministic iteration (stats scrapes, debug listings).
+func (g *Registry) Responders() []*responder.Responder {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	hosts := make([]string, 0, len(g.hosts))
+	for h := range g.hosts {
+		hosts = append(hosts, h)
+	}
+	sort.Strings(hosts)
+	out := make([]*responder.Responder, len(hosts))
+	for i, h := range hosts {
+		out[i] = g.hosts[h]
+	}
+	return out
+}
+
+// Len returns the number of registered tenants.
+func (g *Registry) Len() int {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return len(g.hosts)
+}
+
+// The route memo caches (request hash → tenant) so the multi-tenant hot
+// path skips re-parsing byte-identical requests — the same observation
+// the responder's signed-response cache exploits, applied one layer up.
+// Entries are confirmed against the stored request bytes, so an FNV
+// collision costs a re-parse, never a mis-route. Tenancy is fixed after
+// startup in every deployment this repo models, so entries never need
+// invalidation; shards are bounded by half-eviction regardless.
+
+const (
+	routeShards      = 8
+	routeShardBudget = 512
+)
+
+type routeShard struct {
+	mu sync.Mutex
+	m  map[uint64]routeEntry
+	_  [40]byte // pad to a cache line, mirroring the responder cache
+}
+
+type routeEntry struct {
+	reqDER []byte
+	r      *responder.Responder
+}
+
+type routeCache struct {
+	shards [routeShards]routeShard
+}
+
+func newRouteCache() *routeCache {
+	c := &routeCache{}
+	for i := range c.shards {
+		c.shards[i].m = make(map[uint64]routeEntry)
+	}
+	return c
+}
+
+func (c *routeCache) shardFor(h uint64) *routeShard {
+	return &c.shards[(h^(h>>32))&(routeShards-1)]
+}
+
+func (c *routeCache) get(h uint64, reqDER []byte) (*responder.Responder, bool) {
+	s := c.shardFor(h)
+	s.mu.Lock()
+	e, ok := s.m[h]
+	s.mu.Unlock()
+	if ok && bytesEqual(e.reqDER, reqDER) {
+		return e.r, true
+	}
+	return nil, false
+}
+
+func (c *routeCache) put(h uint64, reqDER []byte, r *responder.Responder) {
+	e := routeEntry{reqDER: append([]byte(nil), reqDER...), r: r}
+	s := c.shardFor(h)
+	s.mu.Lock()
+	if len(s.m) >= routeShardBudget {
+		drop := routeShardBudget / 2
+		for k := range s.m {
+			delete(s.m, k)
+			if drop--; drop <= 0 {
+				break
+			}
+		}
+	}
+	s.m[h] = e
+	s.mu.Unlock()
+}
+
+func bytesEqual(a, b []byte) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// fnv64 hashes raw request bytes (FNV-1a, the repo's shared constants).
+func fnv64(b []byte) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(b); i++ {
+		h ^= uint64(b[i])
+		h *= 1099511628211
+	}
+	return h
+}

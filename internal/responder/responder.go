@@ -1,5 +1,7 @@
-// Package responder implements an RFC 6960 OCSP responder on top of
-// internal/ocsp, servable over real HTTP or through the simulated network.
+// Package responder implements an RFC 6960 OCSP responder core on top of
+// internal/ocsp. The transport-facing HTTP layer lives in
+// internal/ocspserver, which frames Respond results over real sockets or
+// the simulated network; this package owns response generation only.
 // A per-responder Profile injects every response-quality defect the paper
 // catalogues in §5.3–§5.4 — malformed bodies, serial mismatches, bad
 // signatures, blank or enormous nextUpdate values, zero-margin and future
@@ -14,15 +16,13 @@ package responder
 
 import (
 	"bytes"
+	"context"
 	"crypto"
-	"crypto/sha1"
 	"crypto/x509"
-	"encoding/hex"
 	"io"
 	"math/big"
 	"net/http"
 	"sort"
-	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -467,71 +467,58 @@ func bytesEqual(a, b []byte) bool {
 	return true
 }
 
-// ServeHTTP handles OCSP-over-HTTP: POST with a DER body, or GET with the
-// base64 request in the path (RFC 6960 Appendix A).
-func (r *Responder) ServeHTTP(w http.ResponseWriter, req *http.Request) {
-	var reqDER []byte
-	switch req.Method {
-	case http.MethodPost:
-		// The request bytes do not outlive this call (the response
-		// cache stores its own copy), so the read buffer is pooled —
-		// the campaign engine POSTs millions of scans through here.
-		buf := pkixutil.GetBuffer()
-		defer pkixutil.PutBuffer(buf)
-		if _, err := buf.ReadFrom(io.LimitReader(req.Body, 1<<20)); err != nil {
-			http.Error(w, "read error", http.StatusBadRequest)
-			return
-		}
-		reqDER = buf.Bytes()
-	case http.MethodGet:
-		der, err := ocsp.DecodeGETPath(req.URL.Path)
-		if err != nil {
-			http.Error(w, "bad request encoding", http.StatusBadRequest)
-			return
-		}
-		reqDER = der
-	default:
-		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
-		return
-	}
-
-	// Malformed profile bodies are also served with 200 and the OCSP
-	// content type, exactly as the misbehaving responders in the wild
-	// did — the HTTP layer looks healthy, the body is garbage.
-	respDER, meta, hasMeta, _, src := r.respond(reqDER)
-	w.Header().Set("Content-Type", ocsp.ContentTypeResponse)
-	w.Header().Set(SourceHeader, src.String())
-	// RFC 5019 §6: GET responses from well-behaved responders carry
-	// standard HTTP caching headers derived from the validity window,
-	// so intermediate caches (and CDNs fronting responders, §5.2) can
-	// serve them. POST responses and blank-nextUpdate responses are not
-	// cacheable.
-	if req.Method == http.MethodGet && hasMeta && !meta.NextUpdate.IsZero() {
-		now := r.Clock.Now()
-		if maxAge := meta.NextUpdate.Sub(now); maxAge > 0 {
-			w.Header().Set("Cache-Control",
-				"max-age="+strconv.Itoa(int(maxAge.Seconds()))+", public, no-transform, must-revalidate")
-			w.Header().Set("Expires", meta.NextUpdate.UTC().Format(http.TimeFormat))
-			w.Header().Set("Last-Modified", meta.ThisUpdate.UTC().Format(http.TimeFormat))
-			sum := sha1.Sum(respDER)
-			w.Header().Set("ETag", `"`+hex.EncodeToString(sum[:])+`"`)
-		}
-	}
-	w.Write(respDER)
+// Result is the outcome of one OCSP exchange at the responder core: the
+// response body plus everything a transport layer needs to frame it —
+// the validity window (from which internal/ocspserver derives the
+// RFC 5019 §6 cache headers) and how the body was produced (for the
+// cached-vs-signed serve-cost accounting).
+type Result struct {
+	// DER is the response body. For Malformed results it is a
+	// profile-injected blob that is not DER at all; transports serve it
+	// with 200 and the OCSP content type exactly like a real response,
+	// because that is what the misbehaving responders in the wild did.
+	DER []byte
+	// Meta is the response's validity window, meaningful only when
+	// HasMeta is true (successful signed or cached responses; OCSP error
+	// responses and malformed bodies carry none).
+	Meta    Meta
+	HasMeta bool
+	// Source labels how the body was produced.
+	Source ServeSource
+	// Malformed marks profile-injected non-DER bodies (§5.3).
+	Malformed bool
 }
 
-// Respond processes a raw DER OCSP request and returns the response body.
-// The boolean is false when the body is a profile-injected malformed blob
-// rather than DER (callers serving HTTP treat both identically; tests use
-// it to assert the injection happened).
-func (r *Responder) Respond(reqDER []byte) ([]byte, bool) {
+// Respond processes a raw DER OCSP request and returns the response. It
+// is the responder's single entry point: request-parse failures and
+// signing errors surface as OCSP error responses (malformedRequest,
+// internalError) inside the Result, never as Go errors — the only error
+// ever returned is the context's, checked before any work happens, so a
+// canceled request does not consume a parse or a signature.
+func (r *Responder) Respond(ctx context.Context, reqDER []byte) (Result, error) {
+	if err := ctx.Err(); err != nil {
+		return Result{}, err
+	}
+	der, meta, hasMeta, ok, src := r.respond(reqDER)
+	return Result{DER: der, Meta: meta, HasMeta: hasMeta, Source: src, Malformed: !ok}, nil
+}
+
+// RespondDER is the pre-redesign context-free API: the response body plus
+// a boolean that is false when the body is a profile-injected malformed
+// blob rather than DER.
+//
+// Deprecated: use Respond. This wrapper exists so pre-redesign callers
+// migrate mechanically; it adds no behavior.
+func (r *Responder) RespondDER(reqDER []byte) ([]byte, bool) {
 	der, _, _, ok, _ := r.respond(reqDER)
 	return der, ok
 }
 
-// RespondMeta is Respond plus the response's validity metadata; meta is
-// nil for malformed bodies and OCSP error responses. The HTTP layer uses
-// it to emit RFC 5019 caching headers.
+// RespondMeta is RespondDER plus the response's validity metadata; meta
+// is nil for malformed bodies and OCSP error responses.
+//
+// Deprecated: use Respond, whose Result carries the same metadata
+// without the pointer.
 func (r *Responder) RespondMeta(reqDER []byte) ([]byte, *Meta, bool) {
 	der, meta, hasMeta, ok, _ := r.respond(reqDER)
 	if !hasMeta {

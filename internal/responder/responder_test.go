@@ -71,7 +71,7 @@ func TestGoodResponse(t *testing.T) {
 	f := newFixture(t)
 	r := f.responder(Profile{})
 	reqDER, id := f.request(t)
-	der, ok := r.Respond(reqDER)
+	der, ok := r.RespondDER(reqDER)
 	if !ok {
 		t.Fatal("well-behaved responder returned a malformed body")
 	}
@@ -102,7 +102,7 @@ func TestRevokedResponse(t *testing.T) {
 	f.db.Revoke(f.leaf.Certificate.SerialNumber, revokedAt, pkixutil.ReasonKeyCompromise)
 	r := f.responder(Profile{})
 	reqDER, id := f.request(t)
-	der, _ := r.Respond(reqDER)
+	der, _ := r.RespondDER(reqDER)
 	resp := mustParse(t, der)
 	single := resp.Find(id)
 	if single.Status != ocsp.Revoked {
@@ -124,7 +124,7 @@ func TestUnknownSerial(t *testing.T) {
 		t.Fatal(err)
 	}
 	reqDER, _ := req.Marshal()
-	der, _ := r.Respond(reqDER)
+	der, _ := r.RespondDER(reqDER)
 	resp := mustParse(t, der)
 	if resp.Responses[0].Status != ocsp.Unknown {
 		t.Errorf("status = %v, want unknown for unissued serial", resp.Responses[0].Status)
@@ -143,7 +143,7 @@ func TestWrongIssuerGetsUnknown(t *testing.T) {
 		t.Fatal(err)
 	}
 	reqDER, _ := req.Marshal()
-	der, _ := r.Respond(reqDER)
+	der, _ := r.RespondDER(reqDER)
 	resp := mustParse(t, der)
 	if resp.Responses[0].Status != ocsp.Unknown {
 		t.Errorf("status = %v, want unknown for foreign issuer", resp.Responses[0].Status)
@@ -161,7 +161,7 @@ func TestMalformedProfiles(t *testing.T) {
 	}
 	for kind, wantBody := range cases {
 		r := f.responder(Profile{Malformed: kind})
-		body, ok := r.Respond(reqDER)
+		body, ok := r.RespondDER(reqDER)
 		if ok {
 			t.Errorf("%v: expected malformed flag", kind)
 		}
@@ -182,15 +182,15 @@ func TestMalformedWindowed(t *testing.T) {
 	r := f.responder(Profile{Malformed: MalformedZero, MalformedWindows: []Window{outage}})
 	reqDER, _ := f.request(t)
 
-	if _, ok := r.Respond(reqDER); !ok {
+	if _, ok := r.RespondDER(reqDER); !ok {
 		t.Error("before window: response should be well-formed")
 	}
 	f.clk.Set(t0.Add(98 * time.Hour))
-	if body, ok := r.Respond(reqDER); ok || string(body) != "0" {
+	if body, ok := r.RespondDER(reqDER); ok || string(body) != "0" {
 		t.Errorf("inside window: want \"0\" body, got ok=%v body=%q", ok, body)
 	}
 	f.clk.Set(t0.Add(103 * time.Hour))
-	if _, ok := r.Respond(reqDER); !ok {
+	if _, ok := r.RespondDER(reqDER); !ok {
 		t.Error("after window: response should be well-formed again")
 	}
 }
@@ -199,7 +199,7 @@ func TestSerialMismatchProfile(t *testing.T) {
 	f := newFixture(t)
 	r := f.responder(Profile{SerialMismatch: true})
 	reqDER, id := f.request(t)
-	der, _ := r.Respond(reqDER)
+	der, _ := r.RespondDER(reqDER)
 	resp := mustParse(t, der)
 	if resp.Find(id) != nil {
 		t.Error("mismatching responder should not cover the requested serial")
@@ -213,7 +213,7 @@ func TestBadSignatureProfile(t *testing.T) {
 	f := newFixture(t)
 	r := f.responder(Profile{BadSignature: true})
 	reqDER, _ := f.request(t)
-	der, ok := r.Respond(reqDER)
+	der, ok := r.RespondDER(reqDER)
 	if !ok {
 		t.Fatal("bad-signature responses must still be structurally valid")
 	}
@@ -227,7 +227,7 @@ func TestBlankNextUpdateProfile(t *testing.T) {
 	f := newFixture(t)
 	r := f.responder(Profile{BlankNextUpdate: true})
 	reqDER, id := f.request(t)
-	der, _ := r.Respond(reqDER)
+	der, _ := r.RespondDER(reqDER)
 	resp := mustParse(t, der)
 	if resp.Find(id).HasNextUpdate() {
 		t.Error("nextUpdate should be blank")
@@ -240,14 +240,14 @@ func TestThisUpdateOffsets(t *testing.T) {
 
 	// Zero margin: thisUpdate == request time (17.2% of responders).
 	r := f.responder(Profile{NoDefaultMargin: true})
-	resp := mustParse(t, firstBody(r.Respond(reqDER)))
+	resp := mustParse(t, firstBody(r.RespondDER(reqDER)))
 	if !resp.Find(id).ThisUpdate.Equal(t0) {
 		t.Errorf("zero-margin thisUpdate = %v, want %v", resp.Find(id).ThisUpdate, t0)
 	}
 
 	// Future thisUpdate (3% of responders): response not yet valid.
 	r = f.responder(Profile{ThisUpdateOffset: -30 * time.Minute, NoDefaultMargin: true})
-	resp = mustParse(t, firstBody(r.Respond(reqDER)))
+	resp = mustParse(t, firstBody(r.RespondDER(reqDER)))
 	single := resp.Find(id)
 	if !single.ThisUpdate.After(t0) {
 		t.Errorf("future thisUpdate = %v, want after %v", single.ThisUpdate, t0)
@@ -263,7 +263,7 @@ func TestHugeValidity(t *testing.T) {
 	v := 1251 * 24 * time.Hour
 	r := f.responder(Profile{Validity: v})
 	reqDER, id := f.request(t)
-	resp := mustParse(t, firstBody(r.Respond(reqDER)))
+	resp := mustParse(t, firstBody(r.RespondDER(reqDER)))
 	single := resp.Find(id)
 	if got := single.NextUpdate.Sub(single.ThisUpdate); got != v {
 		t.Errorf("validity = %v, want %v", got, v)
@@ -274,7 +274,7 @@ func TestExtraSerials(t *testing.T) {
 	f := newFixture(t)
 	r := f.responder(Profile{ExtraSerials: 19})
 	reqDER, id := f.request(t)
-	resp := mustParse(t, firstBody(r.Respond(reqDER)))
+	resp := mustParse(t, firstBody(r.RespondDER(reqDER)))
 	if len(resp.Responses) != 20 {
 		t.Fatalf("responses = %d, want 20", len(resp.Responses))
 	}
@@ -288,7 +288,7 @@ func TestSuperfluousCerts(t *testing.T) {
 	extra := []*x509.Certificate{f.ca.Certificate, f.leaf.Certificate}
 	r := f.responder(Profile{SuperfluousCerts: extra})
 	reqDER, _ := f.request(t)
-	resp := mustParse(t, firstBody(r.Respond(reqDER)))
+	resp := mustParse(t, firstBody(r.RespondDER(reqDER)))
 	if len(resp.Certificates) != 2 {
 		t.Errorf("embedded certs = %d, want 2", len(resp.Certificates))
 	}
@@ -302,7 +302,7 @@ func TestErrorStatusProfile(t *testing.T) {
 	f := newFixture(t)
 	r := f.responder(Profile{ErrorStatus: ocsp.StatusTryLater})
 	reqDER, _ := f.request(t)
-	resp := mustParse(t, firstBody(r.Respond(reqDER)))
+	resp := mustParse(t, firstBody(r.RespondDER(reqDER)))
 	if resp.Status != ocsp.StatusTryLater {
 		t.Errorf("status = %v, want tryLater", resp.Status)
 	}
@@ -311,7 +311,7 @@ func TestErrorStatusProfile(t *testing.T) {
 func TestMalformedRequestGetsErrorResponse(t *testing.T) {
 	f := newFixture(t)
 	r := f.responder(Profile{})
-	der, ok := r.Respond([]byte("junk"))
+	der, ok := r.RespondDER([]byte("junk"))
 	if !ok {
 		t.Fatal("error response should be well-formed DER")
 	}
@@ -327,9 +327,9 @@ func TestCachedResponses(t *testing.T) {
 	reqDER, id := f.request(t)
 
 	f.clk.Set(t0.Add(10 * time.Minute))
-	a := mustParse(t, firstBody(r.Respond(reqDER)))
+	a := mustParse(t, firstBody(r.RespondDER(reqDER)))
 	f.clk.Set(t0.Add(70 * time.Minute))
-	b := mustParse(t, firstBody(r.Respond(reqDER)))
+	b := mustParse(t, firstBody(r.RespondDER(reqDER)))
 	// Same update window: identical bytes, identical producedAt.
 	if !bytes.Equal(a.Raw, b.Raw) {
 		t.Error("same-window cached responses should be byte-identical")
@@ -345,7 +345,7 @@ func TestCachedResponses(t *testing.T) {
 
 	// Next window: fresh response.
 	f.clk.Set(t0.Add(2*time.Hour + time.Minute))
-	c := mustParse(t, firstBody(r.Respond(reqDER)))
+	c := mustParse(t, firstBody(r.RespondDER(reqDER)))
 	if c.ProducedAt.Equal(a.ProducedAt) {
 		t.Error("new window should produce a new response")
 	}
@@ -358,9 +358,9 @@ func TestOnDemandResponses(t *testing.T) {
 	f := newFixture(t)
 	r := f.responder(Profile{})
 	reqDER, _ := f.request(t)
-	a := mustParse(t, firstBody(r.Respond(reqDER)))
+	a := mustParse(t, firstBody(r.RespondDER(reqDER)))
 	f.clk.Advance(time.Minute)
-	b := mustParse(t, firstBody(r.Respond(reqDER)))
+	b := mustParse(t, firstBody(r.RespondDER(reqDER)))
 	if !b.ProducedAt.After(a.ProducedAt) {
 		t.Error("on-demand producedAt should track the clock")
 	}
@@ -382,7 +382,7 @@ func TestMultiInstanceSkew(t *testing.T) {
 	seen := make(map[time.Time]bool)
 	for i := 0; i < 40; i++ {
 		f.clk.Advance(time.Minute)
-		resp := mustParse(t, firstBody(r.Respond(reqDER)))
+		resp := mustParse(t, firstBody(r.RespondDER(reqDER)))
 		seen[resp.ProducedAt] = true
 	}
 	if len(seen) < 2 {
@@ -398,7 +398,7 @@ func TestStatusOverrides(t *testing.T) {
 	f.db.Revoke(serial, t0.Add(-time.Hour), pkixutil.ReasonAbsent)
 	r := f.responder(Profile{StatusOverrides: map[string]ocsp.CertStatus{serial.String(): ocsp.Good}})
 	reqDER, id := f.request(t)
-	resp := mustParse(t, firstBody(r.Respond(reqDER)))
+	resp := mustParse(t, firstBody(r.RespondDER(reqDER)))
 	if resp.Find(id).Status != ocsp.Good {
 		t.Errorf("override should force Good, got %v", resp.Find(id).Status)
 	}
@@ -412,7 +412,7 @@ func TestRevocationTimeSkewAndReasonDrop(t *testing.T) {
 	skew := 9 * time.Hour // msocsp-style lag
 	r := f.responder(Profile{RevocationTimeSkew: skew, DropReasonCodes: true})
 	reqDER, id := f.request(t)
-	resp := mustParse(t, firstBody(r.Respond(reqDER)))
+	resp := mustParse(t, firstBody(r.RespondDER(reqDER)))
 	single := resp.Find(id)
 	if !single.RevokedAt.Equal(revokedAt.Add(skew)) {
 		t.Errorf("revokedAt = %v, want %v", single.RevokedAt, revokedAt.Add(skew))
@@ -432,58 +432,12 @@ func TestDelegatedResponder(t *testing.T) {
 	r.Signer = delegate.Key
 	r.SignerCert = delegate.Certificate
 	reqDER, _ := f.request(t)
-	resp := mustParse(t, firstBody(r.Respond(reqDER)))
+	resp := mustParse(t, firstBody(r.RespondDER(reqDER)))
 	if len(resp.Certificates) == 0 {
 		t.Fatal("delegated responder must embed its certificate")
 	}
 	if err := resp.CheckSignatureFrom(f.ca.Certificate); err != nil {
 		t.Errorf("delegated signature: %v", err)
-	}
-}
-
-func TestServeHTTPPostAndGet(t *testing.T) {
-	f := newFixture(t)
-	r := f.responder(Profile{})
-	reqDER, id := f.request(t)
-
-	// POST.
-	srv := httptest.NewServer(r)
-	defer srv.Close()
-	post, err := http.Post(srv.URL, ocsp.ContentTypeRequest, bytes.NewReader(reqDER))
-	if err != nil {
-		t.Fatal(err)
-	}
-	body := readAll(t, post)
-	if post.StatusCode != http.StatusOK {
-		t.Fatalf("POST status %d", post.StatusCode)
-	}
-	if ct := post.Header.Get("Content-Type"); ct != ocsp.ContentTypeResponse {
-		t.Errorf("content type %q", ct)
-	}
-	resp := mustParse(t, body)
-	if resp.Find(id) == nil {
-		t.Error("POST response misses requested serial")
-	}
-
-	// GET.
-	get, err := http.Get(srv.URL + "/" + ocsp.EncodeGETPath(reqDER))
-	if err != nil {
-		t.Fatal(err)
-	}
-	body = readAll(t, get)
-	resp = mustParse(t, body)
-	if resp.Find(id) == nil {
-		t.Error("GET response misses requested serial")
-	}
-
-	// Bad GET path (not valid base64).
-	bad, err := http.Get(srv.URL + "/@@@@")
-	if err != nil {
-		t.Fatal(err)
-	}
-	bad.Body.Close()
-	if bad.StatusCode == http.StatusOK {
-		t.Error("invalid GET path should not return 200")
 	}
 }
 

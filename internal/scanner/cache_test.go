@@ -26,7 +26,7 @@ func responseBody(t testing.TB, w *world) []byte {
 	if err != nil {
 		t.Fatal(err)
 	}
-	body, ok := r.Respond(der)
+	body, ok := r.RespondDER(der)
 	if !ok {
 		t.Fatal("responder declined request")
 	}

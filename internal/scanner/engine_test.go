@@ -13,6 +13,7 @@ import (
 
 	"github.com/netmeasure/muststaple/internal/clock"
 	"github.com/netmeasure/muststaple/internal/netsim"
+	"github.com/netmeasure/muststaple/internal/ocspserver"
 	"github.com/netmeasure/muststaple/internal/pki"
 	"github.com/netmeasure/muststaple/internal/responder"
 )
@@ -52,7 +53,7 @@ func newFleet(t testing.TB) *fleet {
 		db := responder.NewDB()
 		serial := big.NewInt(int64(9000 + i))
 		db.AddIssued(serial, t0.AddDate(1, 0, 0))
-		n.RegisterHost(host, "", responder.New(host, ca, db, clk, prof))
+		n.RegisterHost(host, "", ocspserver.NewHandler(responder.New(host, ca, db, clk, prof)))
 		f.targets = append(f.targets, Target{
 			ResponderURL: "http://" + host,
 			Responder:    host,

@@ -9,6 +9,7 @@ import (
 	"github.com/netmeasure/muststaple/internal/clock"
 	"github.com/netmeasure/muststaple/internal/netsim"
 	"github.com/netmeasure/muststaple/internal/ocsp"
+	"github.com/netmeasure/muststaple/internal/ocspserver"
 	"github.com/netmeasure/muststaple/internal/pki"
 	"github.com/netmeasure/muststaple/internal/pkixutil"
 	"github.com/netmeasure/muststaple/internal/responder"
@@ -42,7 +43,7 @@ func newWorld(t testing.TB, profile responder.Profile) *world {
 	db.AddIssued(leaf.Certificate.SerialNumber, leaf.Certificate.NotAfter)
 	r := responder.New("ocsp.scan.test", ca, db, clk, profile)
 	n := netsim.New()
-	n.RegisterHost("ocsp.scan.test", "", r)
+	n.RegisterHost("ocsp.scan.test", "", ocspserver.NewHandler(r))
 	return &world{
 		net:  n,
 		ca:   ca,
@@ -335,7 +336,7 @@ func TestAlwaysDeadAndPersistent(t *testing.T) {
 	leaf3, _ := ca3.IssueLeaf(pki.LeafOptions{DNSNames: []string{"seoulfail.test"}, NotBefore: t0.AddDate(0, -1, 0)})
 	db3 := responder.NewDB()
 	db3.AddIssued(leaf3.Certificate.SerialNumber, leaf3.Certificate.NotAfter)
-	w.net.RegisterHost("ocsp.seoulfail.test", "", responder.New("ocsp.seoulfail.test", ca3, db3, w.clk, responder.Profile{}))
+	w.net.RegisterHost("ocsp.seoulfail.test", "", ocspserver.NewHandler(responder.New("ocsp.seoulfail.test", ca3, db3, w.clk, responder.Profile{})))
 	w.net.AddRule(&netsim.Rule{Host: "ocsp.seoulfail.test", Vantages: []string{"Seoul"}, Kind: netsim.FailDNS})
 
 	targets := []Target{
@@ -367,7 +368,7 @@ func TestUnusableAggregation(t *testing.T) {
 		leaf, _ := ca.IssueLeaf(pki.LeafOptions{DNSNames: []string{host + ".site"}, NotBefore: t0.AddDate(0, -1, 0)})
 		db := responder.NewDB()
 		db.AddIssued(leaf.Certificate.SerialNumber, leaf.Certificate.NotAfter)
-		w.net.RegisterHost(host, "", responder.New(host, ca, db, w.clk, p))
+		w.net.RegisterHost(host, "", ocspserver.NewHandler(responder.New(host, ca, db, w.clk, p)))
 		return Target{ResponderURL: "http://" + host, Responder: host, Issuer: ca.Certificate, Serial: leaf.Certificate.SerialNumber}
 	}
 	malformed := addResponder("ocsp.sheca.test", responder.Profile{
@@ -423,7 +424,7 @@ func TestQualityAggregation(t *testing.T) {
 		leaf, _ := ca.IssueLeaf(pki.LeafOptions{DNSNames: []string{host + ".site"}, NotBefore: t0.AddDate(0, -1, 0)})
 		db := responder.NewDB()
 		db.AddIssued(leaf.Certificate.SerialNumber, leaf.Certificate.NotAfter)
-		w.net.RegisterHost(host, "", responder.New(host, ca, db, w.clk, p))
+		w.net.RegisterHost(host, "", ocspserver.NewHandler(responder.New(host, ca, db, w.clk, p)))
 		return Target{ResponderURL: "http://" + host, Responder: host, Issuer: ca.Certificate, Serial: leaf.Certificate.SerialNumber}
 	}
 	blank := add("ocsp.blank.test", responder.Profile{BlankNextUpdate: true})

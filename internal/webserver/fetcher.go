@@ -54,10 +54,13 @@ func ResponderFetcher(r *responder.Responder, leaf *pki.Leaf) (Fetcher, error) {
 		return nil, err
 	}
 	return func() ([]byte, error) {
-		der, _ := r.Respond(reqDER)
-		if len(der) == 0 {
+		res, err := r.Respond(context.Background(), reqDER)
+		if err != nil {
+			return nil, err
+		}
+		if len(res.DER) == 0 {
 			return nil, errors.New("webserver: responder returned empty body")
 		}
-		return der, nil
+		return res.DER, nil
 	}, nil
 }

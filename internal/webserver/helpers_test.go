@@ -5,6 +5,7 @@ import (
 	"net/http/httptest"
 	"testing"
 
+	"github.com/netmeasure/muststaple/internal/ocspserver"
 	"github.com/netmeasure/muststaple/internal/pki"
 	"github.com/netmeasure/muststaple/internal/responder"
 )
@@ -21,7 +22,7 @@ func responderForLeaf(t *testing.T, fx *engineFixture) *responder.Responder {
 // Fetcher pointing at it.
 func httpFetcherFor(t *testing.T, leaf *pki.Leaf, resp *responder.Responder) (Fetcher, func()) {
 	t.Helper()
-	srv := httptest.NewServer(resp)
+	srv := httptest.NewServer(ocspserver.NewHandler(resp))
 	// Point the fetcher at the live listener rather than the AIA URL.
 	fetch, err := HTTPFetcherURL(&http.Client{}, leaf, srv.URL)
 	if err != nil {

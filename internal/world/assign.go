@@ -139,23 +139,23 @@ func qualityBudgets(n int) []qualityBudget {
 		// embedding two copies of the issuer chain).
 		{scale(78), func(s *profileSpec) { s.superfluousCertCount = 2 }},
 		// Figure 7: 17 responders always return 20 serials...
-		{scale(17), func(s *profileSpec) { s.profile.ExtraSerials = 19 }},
+		{scale(17), func(s *profileSpec) { s.profile.Apply(responder.WithExtraSerials(19)) }},
 		// ...plus ~9 more with a few unsolicited serials.
-		{scale(9), func(s *profileSpec) { s.profile.ExtraSerials = 2 }},
+		{scale(9), func(s *profileSpec) { s.profile.Apply(responder.WithExtraSerials(2)) }},
 		// Figure 8: 45 responders with blank nextUpdate.
-		{scale(45), func(s *profileSpec) { s.profile.BlankNextUpdate = true }},
+		{scale(45), func(s *profileSpec) { s.profile.Apply(responder.WithBlankNextUpdate()) }},
 		// Figure 8: 11 responders with >1 month validity; the extreme
 		// 1,251-day responder is pinned separately below.
-		{scale(10), func(s *profileSpec) { s.profile.Validity = 45 * 24 * time.Hour }},
-		{scale(1), func(s *profileSpec) { s.profile.Validity = 1251 * 24 * time.Hour }},
+		{scale(10), func(s *profileSpec) { s.profile.Apply(responder.WithValidity(45 * 24 * time.Hour)) }},
+		{scale(1), func(s *profileSpec) { s.profile.Apply(responder.WithValidity(1251 * 24 * time.Hour)) }},
 		// Figure 9: 85 zero-margin responders (thisUpdate == request
 		// time; necessarily on-demand)...
-		{scale(85), func(s *profileSpec) { s.profile.NoDefaultMargin = true; s.profile.CacheResponses = false }},
+		{scale(85), func(s *profileSpec) {
+			s.profile.Apply(responder.WithZeroMargin(), responder.WithOnDemandGeneration())
+		}},
 		// ...and 15 with future thisUpdate values.
 		{scale(15), func(s *profileSpec) {
-			s.profile.ThisUpdateOffset = -5 * time.Minute
-			s.profile.NoDefaultMargin = true
-			s.profile.CacheResponses = false
+			s.profile.Apply(responder.WithThisUpdateOffset(-5*time.Minute), responder.WithOnDemandGeneration())
 		}},
 	}
 }
@@ -197,17 +197,21 @@ func baseSpec(i int, rng *rand.Rand, cfg Config) profileSpec {
 	// force ~100 responders back to on-demand; 0.635 nets out near the
 	// paper's measured share.
 	if rng.Float64() < 0.635 {
-		p.CacheResponses = true
 		// Typical validity around a week, update at half-life.
-		p.Validity = time.Duration(4+rng.Intn(7)) * 24 * time.Hour
+		p.Apply(
+			responder.WithCachedResponses(0),
+			responder.WithValidity(time.Duration(4+rng.Intn(7))*24*time.Hour),
+		)
 		// A few responders are load-balanced farms with skewed
 		// producedAt values (§5.4 footnote 17).
 		if rng.Float64() < 0.05 {
-			p.Instances = 2 + rng.Intn(3)
-			p.InstanceSkew = time.Duration(1+rng.Intn(4)) * time.Minute
+			p.Apply(responder.WithInstances(
+				2+rng.Intn(3),
+				time.Duration(1+rng.Intn(4))*time.Minute,
+			))
 		}
 	} else {
-		p.Validity = time.Duration(3+rng.Intn(9)) * 24 * time.Hour
+		p.Apply(responder.WithValidity(time.Duration(3+rng.Intn(9)) * 24 * time.Hour))
 	}
 
 	kind := KindHealthy
@@ -224,21 +228,19 @@ func baseSpec(i int, rng *rand.Rand, cfg Config) profileSpec {
 			responder.MalformedEmpty, responder.MalformedZero,
 			responder.MalformedJavaScript, responder.MalformedTruncated,
 		}
-		p.Malformed = kinds[(i-idxMalformedFirst)%len(kinds)]
+		p.Apply(responder.WithMalformed(kinds[(i-idxMalformedFirst)%len(kinds)]))
 	case i >= idxShecaFirst && i <= idxShecaLast:
 		kind = KindMalformed
-		p.Malformed = responder.MalformedZero
-		p.MalformedWindows = []responder.Window{
+		p.Apply(responder.WithMalformed(responder.MalformedZero,
 			window(2018, 4, 29, 10, 6),
 			window(2018, 7, 28, 17, 3),
-		}
+		))
 	case i >= idxPostsignumFirst && i <= idxPostsignumLast:
 		kind = KindMalformed
-		p.Malformed = responder.MalformedZero
-		p.MalformedWindows = []responder.Window{
-			{From: date(2018, 5, 1, 0), To: date(2018, 5, 12, 9)},
-			{From: date(2018, 5, 13, 2)}, // open-ended: "0" until the end
-		}
+		p.Apply(responder.WithMalformed(responder.MalformedZero,
+			responder.Window{From: date(2018, 5, 1, 0), To: date(2018, 5, 12, 9)},
+			responder.Window{From: date(2018, 5, 13, 2)}, // open-ended: "0" until the end
+		))
 	case i == idxCPC:
 		kind = KindQualityDefect
 		// Resolved to a 4-certificate chain (3 extras + the implicit
@@ -246,27 +248,26 @@ func baseSpec(i int, rng *rand.Rand, cfg Config) profileSpec {
 		return profileSpec{profile: p, kind: kind, superfluousCertCount: 3}
 	case i >= idxHinetFirst && i <= idxHinetLast:
 		kind = KindQualityDefect
-		p.CacheResponses = true
-		p.Validity = 7200 * time.Second
-		p.UpdateInterval = 7200 * time.Second
-		p.NoDefaultMargin = true
-		p.ThisUpdateOffset = time.Minute
+		p.Apply(nonOverlapping(7200 * time.Second)...)
 	case i == idxCNNIC:
 		kind = KindQualityDefect
-		p.CacheResponses = true
-		p.Validity = 10800 * time.Second
-		p.UpdateInterval = 10800 * time.Second
-		p.NoDefaultMargin = true
-		p.ThisUpdateOffset = time.Minute
+		p.Apply(nonOverlapping(10800 * time.Second)...)
 	case i >= idxNonOverlapFirst && i <= idxNonOverlapLast:
 		kind = KindQualityDefect
-		p.CacheResponses = true
-		p.Validity = time.Duration(2+i-idxNonOverlapFirst) * time.Hour
-		p.UpdateInterval = p.Validity
-		p.NoDefaultMargin = true
-		p.ThisUpdateOffset = time.Minute
+		p.Apply(nonOverlapping(time.Duration(2+i-idxNonOverlapFirst) * time.Hour)...)
 	}
 	return profileSpec{profile: p, kind: kind}
+}
+
+// nonOverlapping is the §5.4 validity == update-interval defect (HiNet,
+// CNNIC): each cached response expires exactly when its successor is
+// generated, leaving zero overlap for clock skew or fetch latency.
+func nonOverlapping(interval time.Duration) []responder.ProfileOption {
+	return []responder.ProfileOption{
+		responder.WithCachedResponses(interval),
+		responder.WithValidity(interval),
+		responder.WithThisUpdateOffset(time.Minute),
+	}
 }
 
 func date(y int, m time.Month, d, h int) time.Time {

@@ -8,6 +8,7 @@ import (
 
 	"github.com/netmeasure/muststaple/internal/consistency"
 	"github.com/netmeasure/muststaple/internal/ocsp"
+	"github.com/netmeasure/muststaple/internal/ocspserver"
 	"github.com/netmeasure/muststaple/internal/pki"
 	"github.com/netmeasure/muststaple/internal/pkixutil"
 	"github.com/netmeasure/muststaple/internal/responder"
@@ -150,7 +151,7 @@ func (w *World) buildConsistency() error {
 		if res.err != nil {
 			return res.err
 		}
-		w.Network.RegisterHost(res.ocspHost, "", res.ocsp)
+		w.Network.RegisterHost(res.ocspHost, "", ocspserver.NewHandler(res.ocsp))
 		w.Network.RegisterHost(res.crlHost, "", res.crl)
 		w.ConsistencySources = append(w.ConsistencySources, res.src)
 		w.consistencyResponders = append(w.consistencyResponders, res.ocsp)

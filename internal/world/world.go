@@ -20,6 +20,7 @@ import (
 	"github.com/netmeasure/muststaple/internal/clock"
 	"github.com/netmeasure/muststaple/internal/consistency"
 	"github.com/netmeasure/muststaple/internal/netsim"
+	"github.com/netmeasure/muststaple/internal/ocspserver"
 	"github.com/netmeasure/muststaple/internal/pki"
 	"github.com/netmeasure/muststaple/internal/responder"
 	"github.com/netmeasure/muststaple/internal/scanner"
@@ -269,7 +270,7 @@ func (w *World) buildResponders() error {
 	}
 	w.Responders = infos
 	for i, info := range infos {
-		w.Network.RegisterHost(info.Host, backendFor(i), info.Responder)
+		w.Network.RegisterHost(info.Host, backendFor(i), ocspserver.NewHandler(info.Responder))
 	}
 	return nil
 }
