@@ -17,12 +17,17 @@
 #                 on a loopback socket and fires a short open-loop
 #                 ocspload burst at it, failing on zero throughput, any
 #                 5xx, or any transport error.
-#   bench-snapshot — runs the guard benchmarks plus the OCSP/CRL codec,
-#                 CRL Find, responder hot-path, scan-client cache, and
-#                 observation-store micro-benchmarks, then an ocspload
+#   memcheck    — tier-2 streaming-construction guard: runs the same quick
+#                 cmd/repro pipeline at -world-scale 1 and 10 and fails if
+#                 the 10× world's heap high-water mark exceeds ~1.5× the 1×
+#                 run's (scripts/memcheck.sh; see DESIGN.md §13).
+#   bench-snapshot — runs the guard benchmarks plus the world-scale memory
+#                 sweep (heap-peak-bytes at 1× and 10×), the OCSP/CRL
+#                 codec, CRL Find, responder hot-path, scan-client cache,
+#                 and observation-store micro-benchmarks, then an ocspload
 #                 open-loop run against a real loopback serving tier
 #                 (p50/p99/p999 over the socket), and archives the
-#                 results as BENCH_PR6.json (via cmd/benchjson).
+#                 results as BENCH_PR7.json (via cmd/benchjson).
 #   bench-compare — diffs the previous archived snapshot against the
 #                 current one (via cmd/benchjson -compare); warns and
 #                 succeeds when either snapshot is missing, so fresh
@@ -34,7 +39,7 @@
 
 GO ?= go
 
-.PHONY: all tier1 tier2 loadcheck bench-guard bench bench-snapshot bench-compare crash-recovery vet fmt fmt-check lint
+.PHONY: all tier1 tier2 loadcheck memcheck bench-guard bench bench-snapshot bench-compare crash-recovery vet fmt fmt-check lint
 
 all: tier1
 
@@ -42,7 +47,7 @@ tier1: vet fmt-check lint
 	$(GO) build ./...
 	$(GO) test ./...
 
-tier2: vet lint loadcheck
+tier2: vet lint loadcheck memcheck
 	$(GO) test -race ./...
 
 # loadcheck boots a self-contained serving tier (own CA, loopback
@@ -50,6 +55,12 @@ tier2: vet lint loadcheck
 # zero completed requests, any HTTP 5xx, or any transport error.
 loadcheck:
 	$(GO) run ./cmd/ocspload -selfserve -rate 500 -duration 2s -check
+
+# memcheck asserts the fixed-memory property of streaming world
+# construction: a 10× world must not grow the heap high-water mark past
+# MAX_RATIO (default 1.5) times the 1× run's.
+memcheck:
+	./scripts/memcheck.sh
 
 vet:
 	$(GO) vet ./...
@@ -78,14 +89,15 @@ bench:
 
 bench-snapshot:
 	{ $(GO) test -run - -bench 'BenchmarkCampaignEngineGuard|BenchmarkWorldBuildGuard|BenchmarkResponderRespondGuard' -benchtime 1x . ; \
+	  $(GO) test -run - -bench '^BenchmarkWorldScaleSweep$$' -benchtime 1x . ; \
 	  $(GO) test -run - -bench '^(BenchmarkOCSPCreateResponse|BenchmarkOCSPParseResponse|BenchmarkCRLCreateAndParse|BenchmarkResponderRespond)$$' . ; \
 	  $(GO) test -run - -bench '^(BenchmarkStoreAppend|BenchmarkStoreScan)$$' -benchtime 100x . ; \
 	  $(GO) test -run - -bench '^BenchmarkCRLFindMiss$$' ./internal/crl ; \
 	  $(GO) test -run - -bench BenchmarkClientCaches ./internal/scanner ; \
-	  $(GO) run ./cmd/ocspload -selfserve -rate 2000 -duration 5s -bench ServingTierLoad ; } | $(GO) run ./cmd/benchjson > BENCH_PR6.json
+	  $(GO) run ./cmd/ocspload -selfserve -rate 2000 -duration 5s -bench ServingTierLoad ; } | $(GO) run ./cmd/benchjson > BENCH_PR7.json
 
-BENCH_BASE ?= BENCH_PR5.json
-BENCH_HEAD ?= BENCH_PR6.json
+BENCH_BASE ?= BENCH_PR6.json
+BENCH_HEAD ?= BENCH_PR7.json
 
 bench-compare:
 	@if [ ! -f "$(BENCH_BASE)" ] || [ ! -f "$(BENCH_HEAD)" ]; then \

@@ -22,11 +22,13 @@ import (
 	"github.com/netmeasure/muststaple/internal/consistency"
 	"github.com/netmeasure/muststaple/internal/ctlog"
 	"github.com/netmeasure/muststaple/internal/impact"
+	"github.com/netmeasure/muststaple/internal/memwatch"
 	"github.com/netmeasure/muststaple/internal/netsim"
 	"github.com/netmeasure/muststaple/internal/ocsp"
 	"github.com/netmeasure/muststaple/internal/ocspserver"
 	"github.com/netmeasure/muststaple/internal/pki"
 	"github.com/netmeasure/muststaple/internal/pkixutil"
+	"github.com/netmeasure/muststaple/internal/report"
 	"github.com/netmeasure/muststaple/internal/responder"
 	"github.com/netmeasure/muststaple/internal/scanner"
 	"github.com/netmeasure/muststaple/internal/store"
@@ -204,6 +206,52 @@ func BenchmarkWorldBuildGuard(b *testing.B) {
 			b.Fatalf("parallel world build slower than serial reference: %.2fx (serial %v, parallel %v)",
 				speedup, serial, parallel)
 		}
+	}
+}
+
+// BenchmarkWorldScaleSweep builds a 1× and a 10× world and streams the
+// full certificate corpus plus the Alexa model through the §4 aggregators,
+// reporting the heap high-water mark for each scale. The two heap-peak-bytes
+// metrics landing within ~1.5× of each other is the streaming-construction
+// guarantee (DESIGN.md §13); `make memcheck` enforces the same bound on the
+// full cmd/repro pipeline.
+func BenchmarkWorldScaleSweep(b *testing.B) {
+	for _, scale := range []struct {
+		name  string
+		scale int
+	}{
+		{"scale1x", 1},
+		{"scale10x", 10},
+	} {
+		b.Run(scale.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				runtime.GC()
+				watch := memwatch.Start(time.Millisecond)
+				cfg := benchWorldConfig(1)
+				cfg.WorldScale = scale.scale
+				w, err := world.Build(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				acc := census.NewStatsAccumulator(w.Corpus.ScaleFactor())
+				n, err := report.StreamCertsInto(w.Corpus, acc)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if acc.Stats().MustStaple != census.PaperMustStapleCerts {
+					b.Fatalf("MustStaple = %d", acc.Stats().MustStaple)
+				}
+				model := census.NewAlexaModel(census.AlexaConfig{
+					Seed: cfg.Seed + 1, Domains: cfg.ScaledAlexaDomains(),
+				})
+				if st := model.Stats(); st.MustStaple == 0 {
+					b.Fatal("Alexa model missing the Must-Staple population")
+				}
+				st := watch.Stop()
+				b.ReportMetric(float64(st.HeapAllocPeak), "heap-peak-bytes")
+				b.ReportMetric(float64(n), "corpus-records")
+			}
+		})
 	}
 }
 

@@ -145,7 +145,7 @@ func compareSnapshots(oldPath, newPath string) error {
 			if ov != 0 {
 				delta = fmt.Sprintf("%+.1f%%", (nv-ov)/ov*100)
 			}
-			fmt.Printf("%s %s: %g -> %g (%s)\n", name, m, ov, nv, delta)
+			fmt.Printf("%s %s: %s -> %s (%s)\n", name, m, formatMetric(m, ov), formatMetric(m, nv), delta)
 		}
 	}
 	var dropped []string
@@ -159,6 +159,24 @@ func compareSnapshots(oldPath, newPath string) error {
 		fmt.Printf("%s: only in %s\n", name, oldPath)
 	}
 	return nil
+}
+
+// formatMetric renders one metric value for the delta table. Byte-sized
+// metrics (unit ending in "-bytes", e.g. the world-scale sweep's
+// heap-peak-bytes) are humanized so heap deltas read as MiB, not raw counts.
+func formatMetric(unit string, v float64) string {
+	if !strings.HasSuffix(unit, "-bytes") {
+		return fmt.Sprintf("%g", v)
+	}
+	switch {
+	case v >= 1<<30:
+		return fmt.Sprintf("%.2fGiB", v/(1<<30))
+	case v >= 1<<20:
+		return fmt.Sprintf("%.2fMiB", v/(1<<20))
+	case v >= 1<<10:
+		return fmt.Sprintf("%.1fKiB", v/(1<<10))
+	}
+	return fmt.Sprintf("%gB", v)
 }
 
 // parseLine parses one benchmark result line:

@@ -2,7 +2,6 @@ package census
 
 import (
 	"fmt"
-	"math/rand"
 
 	"github.com/netmeasure/muststaple/internal/stats"
 )
@@ -83,17 +82,107 @@ func httpsRate(x float64) float64    { return 0.78 - 0.06*x }
 func ocspRate(x float64) float64     { return 0.935 - 0.04*x }
 func staplingRate(x float64) float64 { return 0.45 - 0.20*x }
 
-// GenerateAlexa builds the domain model. Responder assignment is Zipf-ish:
-// popular CAs (low responder indices) serve most domains, matching the
-// paper's observation that popular domains' certificates are concentrated
-// on a small number of responders (§5.2 "Impact of Outages").
-func GenerateAlexa(cfg AlexaConfig) []AlexaDomain {
-	rng := rand.New(rand.NewSource(cfg.Seed))
+// alexaShardSize is the domains per generator shard. Shard k covers ranks
+// [k*alexaShardSize, (k+1)*alexaShardSize) and is a pure function of
+// (Seed, k), so the model streams in fixed memory at any population size.
+const alexaShardSize = 8192
+
+// AlexaModel is the streaming Alexa domain model: the same population
+// GenerateAlexa materializes, consumable rank by rank in fixed memory.
+//
+// The exact Must-Staple population can't be decided per-domain (a
+// per-record coin flip gives a binomial count, not the paper's exact 100),
+// so construction makes a counting pass over the stream first: it counts
+// the OCSP-supporting domains, then draws exactly mustStaple() distinct
+// positions within that subsequence from a dedicated child stream. Visit
+// marks those positions as it streams — two passes, still O(shard) memory.
+type AlexaModel struct {
+	cfg       AlexaConfig
+	ocspTotal int
+	// msAt marks positions within the OCSP subsequence that carry the
+	// Must-Staple extension.
+	msAt map[int]bool
+}
+
+// NewAlexaModel sizes the model and fixes the Must-Staple placement.
+func NewAlexaModel(cfg AlexaConfig) *AlexaModel {
+	m := &AlexaModel{cfg: cfg}
+	n := cfg.domains()
+	for k := 0; k*alexaShardSize < n; k++ {
+		visitAlexaShard(cfg, k, func(d AlexaDomain) {
+			if d.OCSP {
+				m.ocspTotal++
+			}
+		})
+	}
+	want := cfg.mustStaple()
+	if want > m.ocspTotal {
+		want = m.ocspTotal
+	}
+	m.msAt = make(map[int]bool, want)
+	if want > 0 {
+		rng := childRNG(cfg.Seed, streamAlexaMustStaple, 0)
+		for len(m.msAt) < want {
+			m.msAt[rng.Intn(m.ocspTotal)] = true
+		}
+	}
+	return m
+}
+
+// NumDomains returns the modelled population size.
+func (m *AlexaModel) NumDomains() int { return m.cfg.domains() }
+
+// ScaleFactor returns how many real Alexa domains one modelled domain
+// represents.
+func (m *AlexaModel) ScaleFactor() int { return m.cfg.ScaleFactor() }
+
+// Visit streams the model in rank order through fn, stopping at the first
+// error.
+func (m *AlexaModel) Visit(fn func(AlexaDomain) error) error {
+	n := m.cfg.domains()
+	ocspIdx := 0
+	var visitErr error
+	for k := 0; k*alexaShardSize < n && visitErr == nil; k++ {
+		visitAlexaShard(m.cfg, k, func(d AlexaDomain) {
+			if visitErr != nil {
+				return
+			}
+			if d.OCSP {
+				d.MustStaple = m.msAt[ocspIdx]
+				ocspIdx++
+			}
+			visitErr = fn(d)
+		})
+	}
+	return visitErr
+}
+
+// visitAll is Visit for consumers that cannot fail.
+func (m *AlexaModel) visitAll(fn func(AlexaDomain)) {
+	if err := m.Visit(func(d AlexaDomain) error {
+		fn(d)
+		return nil
+	}); err != nil {
+		panic("census: " + err.Error()) // unreachable: fn never fails
+	}
+}
+
+// visitAlexaShard generates shard k of the domain model — without the
+// Must-Staple marks, which are a whole-population property layered on by
+// AlexaModel.Visit. Responder assignment is Zipf-ish: popular CAs (low
+// responder indices) serve most domains, matching the paper's observation
+// that popular domains' certificates are concentrated on a small number
+// of responders (§5.2 "Impact of Outages").
+func visitAlexaShard(cfg AlexaConfig, k int, fn func(AlexaDomain)) {
 	n := cfg.domains()
 	nResp := cfg.responders()
-	out := make([]AlexaDomain, 0, n)
-
-	for i := 0; i < n; i++ {
+	lo := k * alexaShardSize
+	hi := lo + alexaShardSize
+	if hi > n {
+		hi = n
+	}
+	rng := childRNG(cfg.Seed, streamAlexaShard, uint64(k))
+	for i := lo; i < hi; i++ {
 		x := float64(i) / float64(n)
 		d := AlexaDomain{
 			Rank:           i,
@@ -115,20 +204,52 @@ func GenerateAlexa(cfg AlexaConfig) []AlexaDomain {
 			}
 			d.CA = caShare[d.ResponderIndex%len(caShare)].Name
 		}
-		out = append(out, d)
+		fn(d)
 	}
+}
 
-	// Sprinkle the exact Must-Staple population uniformly over OCSP
-	// domains.
-	remaining := cfg.mustStaple()
-	for attempts := 0; remaining > 0 && attempts < 50*cfg.mustStaple(); attempts++ {
-		i := rng.Intn(n)
-		if out[i].OCSP && !out[i].MustStaple {
-			out[i].MustStaple = true
-			remaining--
-		}
-	}
+// GenerateAlexa materializes the domain model by draining the streaming
+// generator; the stream is identical to AlexaModel.Visit with the same
+// configuration.
+func GenerateAlexa(cfg AlexaConfig) []AlexaDomain {
+	m := NewAlexaModel(cfg)
+	out := make([]AlexaDomain, 0, m.NumDomains())
+	m.visitAll(func(d AlexaDomain) { out = append(out, d) })
 	return out
+}
+
+// Stats measures the model, streaming.
+func (m *AlexaModel) Stats() AlexaStats {
+	acc := newAlexaStatsAccumulator()
+	m.visitAll(acc.add)
+	return acc.stats()
+}
+
+// Figure2 bins the streamed model into rank bins: the fraction of domains
+// with a trusted certificate (HTTPS), and the fraction of those whose
+// certificate has an OCSP responder.
+func (m *AlexaModel) Figure2(binWidth int) (https, ocspOfHTTPS []stats.BinRate) {
+	hb := stats.NewRankBins(binWidth)
+	ob := stats.NewRankBins(binWidth)
+	m.visitAll(func(d AlexaDomain) {
+		hb.Add(d.Rank, d.HTTPS)
+		if d.HTTPS {
+			ob.Add(d.Rank, d.OCSP)
+		}
+	})
+	return hb.Rates(), ob.Rates()
+}
+
+// Figure11 returns the fraction of OCSP-supporting domains that staple,
+// per rank bin, streaming.
+func (m *AlexaModel) Figure11(binWidth int) []stats.BinRate {
+	b := stats.NewRankBins(binWidth)
+	m.visitAll(func(d AlexaDomain) {
+		if d.OCSP {
+			b.Add(d.Rank, d.Stapling)
+		}
+	})
+	return b.Rates()
 }
 
 // Figure2 bins the Alexa model into rank bins and returns two series: the
@@ -171,33 +292,52 @@ type AlexaStats struct {
 	ScaledMustStaple int // not scaled — exact, mirrors the paper's 100
 }
 
-// Stats measures the model.
+// Stats measures a materialized model.
 func Stats(domains []AlexaDomain) AlexaStats {
-	var st AlexaStats
-	seen := map[int]bool{}
+	acc := newAlexaStatsAccumulator()
 	for _, d := range domains {
-		st.Domains++
-		if d.HTTPS {
-			st.HTTPS++
-		}
-		if d.OCSP {
-			st.OCSP++
-			seen[d.ResponderIndex] = true
-		}
-		if d.Stapling {
-			st.Stapling++
-		}
-		if d.MustStaple {
-			st.MustStaple++
-		}
+		acc.add(d)
 	}
+	return acc.stats()
+}
+
+// alexaStatsAccumulator folds a domain stream into AlexaStats; shared by
+// the slice-based Stats and the streaming AlexaModel.Stats.
+type alexaStatsAccumulator struct {
+	st   AlexaStats
+	seen map[int]bool
+}
+
+func newAlexaStatsAccumulator() *alexaStatsAccumulator {
+	return &alexaStatsAccumulator{seen: map[int]bool{}}
+}
+
+func (a *alexaStatsAccumulator) add(d AlexaDomain) {
+	a.st.Domains++
+	if d.HTTPS {
+		a.st.HTTPS++
+	}
+	if d.OCSP {
+		a.st.OCSP++
+		a.seen[d.ResponderIndex] = true
+	}
+	if d.Stapling {
+		a.st.Stapling++
+	}
+	if d.MustStaple {
+		a.st.MustStaple++
+	}
+}
+
+func (a *alexaStatsAccumulator) stats() AlexaStats {
+	st := a.st
 	if st.HTTPS > 0 {
 		st.OCSPRate = float64(st.OCSP) / float64(st.HTTPS)
 	}
 	if st.OCSP > 0 {
 		st.StaplingRate = float64(st.Stapling) / float64(st.OCSP)
 	}
-	st.RespondersSeen = len(seen)
+	st.RespondersSeen = len(a.seen)
 	st.ScaledMustStaple = st.MustStaple
 	return st
 }

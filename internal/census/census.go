@@ -15,7 +15,6 @@ import (
 	"crypto/x509"
 	"fmt"
 	"math/rand"
-	"sort"
 
 	"github.com/netmeasure/muststaple/internal/pki"
 )
@@ -103,7 +102,11 @@ func (c *SnapshotConfig) scale() int {
 	return c.ScaleFactor
 }
 
-// Snapshot is a generated corpus.
+// Snapshot is a materialized corpus — the streaming Corpus drained into
+// slices, kept for call sites that genuinely need random access. Anything
+// that only reads the population should consume Corpus.Visit (or
+// Snapshot.Visit) instead, so it works unchanged against a spilled
+// paper-scale corpus.
 type Snapshot struct {
 	// ScaleFactor relates record counts to real-world counts for the
 	// scaled tier.
@@ -115,48 +118,45 @@ type Snapshot struct {
 	MustStaple []CertInfo
 }
 
-// GenerateSnapshot builds the corpus.
+// GenerateSnapshot materializes the corpus by draining the streaming
+// generator: the record stream is byte-identical to Corpus.Visit with the
+// same seed and scale, this just holds onto it.
 func GenerateSnapshot(cfg SnapshotConfig) *Snapshot {
-	rng := rand.New(rand.NewSource(cfg.Seed))
-	scale := cfg.scale()
-	n := PaperTotalCerts / scale
-	validP := float64(PaperValidCerts) / float64(PaperTotalCerts)
-	ocspP := float64(PaperOCSPCerts) / float64(PaperValidCerts)
-
-	s := &Snapshot{ScaleFactor: scale}
-	s.Certs = make([]CertInfo, 0, n)
-	for i := 0; i < n; i++ {
-		info := CertInfo{CA: pickCA(rng)}
-		info.Valid = rng.Float64() < validP
-		if info.Valid {
-			info.SupportsOCSP = rng.Float64() < ocspP
-		} else {
-			// Invalid certs (self-signed and friends) mostly lack
-			// OCSP.
-			info.SupportsOCSP = rng.Float64() < 0.2
-		}
-		s.Certs = append(s.Certs, info)
-	}
-
-	// The Must-Staple tier is exact: every such certificate is valid,
-	// supports OCSP (stapling without a responder is meaningless), and
-	// has the paper's CA attribution. Pre-allocated at the known 29,709
-	// total, and filled in sorted CA order so the slice layout is
-	// deterministic (map iteration order is not).
+	c := newCorpus(CorpusConfig{Seed: cfg.Seed, ScaleFactor: cfg.ScaleFactor})
+	s := &Snapshot{ScaleFactor: c.ScaleFactor()}
+	s.Certs = make([]CertInfo, 0, c.NumRecords())
 	s.MustStaple = make([]CertInfo, 0, PaperMustStapleCerts)
-	cas := make([]string, 0, len(PaperMustStapleByCA))
-	for ca := range PaperMustStapleByCA {
-		cas = append(cas, ca)
-	}
-	sort.Strings(cas)
-	for _, ca := range cas {
-		for i := 0; i < PaperMustStapleByCA[ca]; i++ {
-			s.MustStaple = append(s.MustStaple, CertInfo{
-				CA: ca, Valid: true, SupportsOCSP: true, MustStaple: true,
-			})
+	err := c.Visit(func(info CertInfo) error {
+		if info.MustStaple {
+			s.MustStaple = append(s.MustStaple, info)
+		} else {
+			s.Certs = append(s.Certs, info)
 		}
+		return nil
+	})
+	if err != nil {
+		// Unreachable: an unspilled corpus visited with a non-failing fn
+		// has no error source.
+		panic("census: " + err.Error())
 	}
 	return s
+}
+
+// Visit streams the snapshot in canonical corpus order — general
+// population, then the exact Must-Staple tier — matching Corpus.Visit for
+// the same configuration.
+func (s *Snapshot) Visit(fn func(CertInfo) error) error {
+	for _, c := range s.Certs {
+		if err := fn(c); err != nil {
+			return err
+		}
+	}
+	for _, c := range s.MustStaple {
+		if err := fn(c); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 func pickCA(rng *rand.Rand) string {
@@ -184,30 +184,17 @@ type SnapshotStats struct {
 	MustStapleFractionOfValid float64
 }
 
-// Stats measures the snapshot the way §4 does.
+// Stats measures the snapshot the way §4 does, through the same
+// accumulator the streaming path uses.
 func (s *Snapshot) Stats() SnapshotStats {
-	st := SnapshotStats{MustStapleByCA: make(map[string]int)}
-	for _, c := range s.Certs {
-		st.Total += s.ScaleFactor
-		if c.Valid {
-			st.Valid += s.ScaleFactor
-			if c.SupportsOCSP {
-				st.OCSP += s.ScaleFactor
-			}
-		}
+	acc := NewStatsAccumulator(s.ScaleFactor)
+	if err := s.Visit(func(c CertInfo) error {
+		acc.AddCert(c)
+		return nil
+	}); err != nil {
+		panic("census: " + err.Error()) // unreachable: fn never fails
 	}
-	for _, c := range s.MustStaple {
-		if !c.Valid || !c.MustStaple {
-			continue
-		}
-		st.MustStaple++
-		st.MustStapleByCA[c.CA]++
-	}
-	if st.Valid > 0 {
-		st.OCSPFractionOfValid = float64(st.OCSP) / float64(st.Valid)
-		st.MustStapleFractionOfValid = float64(st.MustStaple) / float64(st.Valid)
-	}
-	return st
+	return acc.Stats()
 }
 
 // RealSample issues sampleSize real DER certificates through the pki

@@ -1,0 +1,38 @@
+package census
+
+import "math/rand"
+
+// Child-seed derivation, mirroring internal/world's scheme (DESIGN.md §8):
+// each generator phase owns a stream tag, and each shard within a phase
+// derives its own seed from (Config.Seed, stream, shard index) — which is
+// what makes every shard a pure function of (seed, index), generable in
+// isolation, in parallel, or on demand, always byte-identically.
+const (
+	// streamCorpusShard seeds the general-population corpus shards.
+	streamCorpusShard uint64 = 1 + iota
+	// streamAlexaShard seeds the Alexa domain-model shards.
+	streamAlexaShard
+	// streamAlexaMustStaple seeds the exact Must-Staple domain selection.
+	streamAlexaMustStaple
+)
+
+// childSeed mixes (seed, stream, index) through the splitmix64 finalizer —
+// a full-avalanche permutation, so adjacent shard indices yield
+// uncorrelated seeds.
+func childSeed(seed int64, stream, index uint64) int64 {
+	x := uint64(seed)
+	for _, w := range [2]uint64{stream, index} {
+		x += 0x9E3779B97F4A7C15 * (w + 1)
+		x ^= x >> 30
+		x *= 0xBF58476D1CE4E5B9
+		x ^= x >> 27
+		x *= 0x94D049BB133111EB
+		x ^= x >> 31
+	}
+	return int64(x)
+}
+
+// childRNG returns the dedicated RNG for one (stream, index) cell.
+func childRNG(seed int64, stream, index uint64) *rand.Rand {
+	return rand.New(rand.NewSource(childSeed(seed, stream, index)))
+}

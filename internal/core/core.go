@@ -218,29 +218,37 @@ func (r *Runner) dispatch(ctx context.Context, name string) error {
 	}
 }
 
+// runSection4 re-measures the §4 headline numbers by streaming the
+// world's certificate corpus — generated shard by shard or read back from
+// a spill directory, never materialized — through the stats accumulator,
+// so a paper-scale (WorldScale 10,000) census runs in the same resident
+// set as the default one.
 func (r *Runner) runSection4() error {
 	w, err := r.World()
 	if err != nil {
 		return err
 	}
-	snap := census.GenerateSnapshot(census.SnapshotConfig{Seed: r.Config.Seed})
-	domains := census.GenerateAlexa(census.AlexaConfig{Seed: r.Config.Seed + 1, Domains: w.Config.AlexaDomains})
-	report.Section4(r.Out, snap.Stats(), census.Stats(domains), w.AlexaScale)
+	acc := census.NewStatsAccumulator(w.Corpus.ScaleFactor())
+	if _, err := report.StreamCertsInto(w.Corpus, acc); err != nil {
+		return err
+	}
+	model, _ := r.alexaModel()
+	report.Section4(r.Out, acc.Stats(), model.Stats(), w.AlexaScale)
 	return nil
 }
 
-func (r *Runner) alexaDomains() ([]census.AlexaDomain, int) {
-	cfg := census.AlexaConfig{Seed: r.Config.Seed + 1, Domains: r.Config.AlexaDomains}
-	if cfg.Domains == 0 {
-		cfg.Domains = 100_000
-	}
-	return census.GenerateAlexa(cfg), cfg.ScaleFactor()
+// alexaModel builds the streaming Alexa domain model for the runner's
+// configuration (WorldScale applied).
+func (r *Runner) alexaModel() (*census.AlexaModel, int) {
+	cfg := r.Config.Normalized()
+	acfg := census.AlexaConfig{Seed: cfg.Seed + 1, Domains: cfg.ScaledAlexaDomains()}
+	return census.NewAlexaModel(acfg), acfg.ScaleFactor()
 }
 
 func (r *Runner) runFigure2() error {
-	domains, scale := r.alexaDomains()
-	binWidth := len(domains) / 100
-	https, ocspOfHTTPS := census.Figure2(domains, binWidth)
+	model, scale := r.alexaModel()
+	binWidth := model.NumDomains() / 100
+	https, ocspOfHTTPS := model.Figure2(binWidth)
 	report.RankSeries(r.Out, "Figure 2: HTTPS and OCSP adoption vs Alexa rank", scale, map[string][]stats.BinRate{
 		"HTTPS":         https,
 		"OCSP-of-HTTPS": ocspOfHTTPS,
@@ -249,10 +257,10 @@ func (r *Runner) runFigure2() error {
 }
 
 func (r *Runner) runFigure11() error {
-	domains, scale := r.alexaDomains()
-	binWidth := len(domains) / 100
+	model, scale := r.alexaModel()
+	binWidth := model.NumDomains() / 100
 	report.RankSeries(r.Out, "Figure 11: OCSP Stapling adoption vs Alexa rank", scale, map[string][]stats.BinRate{
-		"Stapling-of-OCSP": census.Figure11(domains, binWidth),
+		"Stapling-of-OCSP": model.Figure11(binWidth),
 	})
 	return nil
 }

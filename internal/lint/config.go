@@ -33,9 +33,10 @@ type AnalyzerConfig struct {
 
 // DefaultConfig returns the scopes the repository is linted with:
 //
-//   - wallclock guards every internal/ package except the two that are
-//     wall-clock by contract: internal/clock (the abstraction itself) and
-//     internal/profiling (pprof plumbing).
+//   - wallclock guards every internal/ package except the three that are
+//     wall-clock by contract: internal/clock (the abstraction itself),
+//     internal/profiling (pprof plumbing), and internal/memwatch (a heap
+//     sampler whose whole job is real-time ticks).
 //   - globalrand guards every internal/ package; the seeded-world
 //     construction paths (world, census, vulnwindow) are where violations
 //     would corrupt reproducibility, but a global stream is never right.
@@ -43,13 +44,15 @@ type AnalyzerConfig struct {
 //   - ctxfirst guards the exported internal/ APIs.
 //   - errcheck-hot guards the responder/scanner/ocsp hot paths, where a
 //     discarded error silently corrupts a measurement, the durable
-//     store, where a discarded error silently loses one, and the
-//     serving tier (ocspserver), where one drops a live response.
+//     store, where a discarded error silently loses one, the serving
+//     tier (ocspserver), where one drops a live response, and the
+//     streamed world-construction paths (world, census), where one
+//     silently truncates the certificate corpus.
 func DefaultConfig() *Config {
 	return &Config{Analyzers: map[string]AnalyzerConfig{
 		"wallclock": {
 			Only: []string{".../internal/..."},
-			Skip: []string{".../internal/clock", ".../internal/profiling", ".../internal/lint/..."},
+			Skip: []string{".../internal/clock", ".../internal/profiling", ".../internal/memwatch", ".../internal/lint/..."},
 		},
 		"globalrand": {
 			Only: []string{".../internal/..."},
@@ -62,6 +65,7 @@ func DefaultConfig() *Config {
 				".../internal/responder", ".../internal/scanner",
 				".../internal/ocsp", ".../internal/crl",
 				".../internal/store", ".../internal/ocspserver",
+				".../internal/world", ".../internal/census",
 			},
 		},
 	}}

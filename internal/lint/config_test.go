@@ -37,6 +37,7 @@ func TestDefaultConfigScopes(t *testing.T) {
 		{"wallclock", mod + "/internal/world", true},
 		{"wallclock", mod + "/internal/clock", false},
 		{"wallclock", mod + "/internal/profiling", false},
+		{"wallclock", mod + "/internal/memwatch", false},
 		{"wallclock", mod + "/cmd/repro", false},
 		{"globalrand", mod + "/internal/census", true},
 		{"globalrand", mod + "/cmd/ocspdump", false},
@@ -45,6 +46,8 @@ func TestDefaultConfigScopes(t *testing.T) {
 		{"ctxfirst", mod + "/internal/core", true},
 		{"errcheck-hot", mod + "/internal/responder", true},
 		{"errcheck-hot", mod + "/internal/ocspserver", true},
+		{"errcheck-hot", mod + "/internal/world", true},
+		{"errcheck-hot", mod + "/internal/census", true},
 		{"errcheck-hot", mod + "/internal/report", false},
 	}
 	for _, c := range cases {

@@ -1,0 +1,42 @@
+package memwatch
+
+import (
+	"runtime"
+	"testing"
+	"time"
+)
+
+// TestTrackerSeesLiveHeap: a tracker sampling while 32 MB is held live
+// must report a peak at least that large, and a cumulative allocation
+// volume covering it.
+func TestTrackerSeesLiveHeap(t *testing.T) {
+	const chunk = 1 << 20
+	const chunks = 32
+
+	tr := Start(time.Millisecond)
+	held := make([][]byte, 0, chunks)
+	for i := 0; i < chunks; i++ {
+		b := make([]byte, chunk)
+		for j := 0; j < len(b); j += 4096 {
+			b[j] = byte(i) // touch the pages so they are really backed
+		}
+		held = append(held, b)
+	}
+	// Give the sampler a few ticks while the allocation is live.
+	time.Sleep(20 * time.Millisecond)
+	st := tr.Stop()
+	runtime.KeepAlive(held)
+
+	if st.Samples < 2 {
+		t.Fatalf("only %d samples taken", st.Samples)
+	}
+	if st.HeapAllocPeak < chunk*chunks {
+		t.Fatalf("HeapAllocPeak = %d, want >= %d", st.HeapAllocPeak, chunk*chunks)
+	}
+	if st.TotalAlloc < chunk*chunks {
+		t.Fatalf("TotalAlloc = %d, want >= %d", st.TotalAlloc, chunk*chunks)
+	}
+	if st.HeapSysPeak < st.HeapAllocPeak {
+		t.Fatalf("HeapSysPeak %d below HeapAllocPeak %d", st.HeapSysPeak, st.HeapAllocPeak)
+	}
+}

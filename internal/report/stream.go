@@ -1,6 +1,9 @@
 package report
 
-import "github.com/netmeasure/muststaple/internal/scanner"
+import (
+	"github.com/netmeasure/muststaple/internal/census"
+	"github.com/netmeasure/muststaple/internal/scanner"
+)
 
 // ObservationSource streams persisted observations one at a time in
 // storage order. store.Reader satisfies it; the indirection keeps this
@@ -24,6 +27,36 @@ func StreamInto(src ObservationSource, aggs ...scanner.Aggregator) (int, error) 
 		n++
 		for _, a := range aggs {
 			a.Add(o)
+		}
+		return nil
+	})
+	return n, err
+}
+
+// CertSource streams certificate-corpus records one at a time in
+// canonical corpus order. census.Corpus and census.Snapshot both satisfy
+// it, so the §4 analyses run identically over a generated stream, a
+// spilled paper-scale corpus, or a materialized snapshot.
+type CertSource interface {
+	Visit(fn func(census.CertInfo) error) error
+}
+
+// CertAggregator folds corpus records into a figure or table input.
+// census.StatsAccumulator satisfies it.
+type CertAggregator interface {
+	AddCert(census.CertInfo)
+}
+
+// StreamCertsInto drives every record from src through the given
+// aggregators and returns how many were streamed. Records flow one at a
+// time, so a spilled 100M-record corpus is analyzed in fixed memory —
+// the corpus analogue of StreamInto.
+func StreamCertsInto(src CertSource, aggs ...CertAggregator) (int, error) {
+	n := 0
+	err := src.Visit(func(c census.CertInfo) error {
+		n++
+		for _, a := range aggs {
+			a.AddCert(c)
 		}
 		return nil
 	})

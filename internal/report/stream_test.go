@@ -1,10 +1,12 @@
 package report
 
 import (
+	"reflect"
 	"runtime"
 	"testing"
 	"time"
 
+	"github.com/netmeasure/muststaple/internal/census"
 	"github.com/netmeasure/muststaple/internal/scanner"
 	"github.com/netmeasure/muststaple/internal/store"
 )
@@ -84,6 +86,51 @@ func TestStreamIntoSkipsCanceled(t *testing.T) {
 	}
 	if n != 2 || count.n != 2 {
 		t.Fatalf("streamed %d (agg saw %d), want canceled lookups skipped", n, count.n)
+	}
+}
+
+type countingCertAgg struct {
+	n          int
+	mustStaple int
+}
+
+func (c *countingCertAgg) AddCert(info census.CertInfo) {
+	c.n++
+	if info.MustStaple {
+		c.mustStaple++
+	}
+}
+
+// TestStreamCertsInto drives a streaming corpus and a materialized
+// snapshot through the same aggregators and demands identical folds —
+// the §4 analyses cannot tell the sources apart.
+func TestStreamCertsInto(t *testing.T) {
+	cfg := census.CorpusConfig{Seed: 3, ScaleFactor: 20_000}
+	corpus, err := census.NewCorpus(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromCorpus := census.NewStatsAccumulator(corpus.ScaleFactor())
+	count := &countingCertAgg{}
+	n, err := StreamCertsInto(corpus, fromCorpus, count)
+	if err != nil {
+		t.Fatalf("StreamCertsInto: %v", err)
+	}
+	want := corpus.NumRecords() + census.PaperMustStapleCerts
+	if n != want || count.n != want {
+		t.Fatalf("streamed %d (agg saw %d), want %d", n, count.n, want)
+	}
+	if count.mustStaple != census.PaperMustStapleCerts {
+		t.Fatalf("aggregator saw %d Must-Staple records, want %d", count.mustStaple, census.PaperMustStapleCerts)
+	}
+
+	snap := census.GenerateSnapshot(census.SnapshotConfig{Seed: 3, ScaleFactor: 20_000})
+	fromSnap := census.NewStatsAccumulator(snap.ScaleFactor)
+	if _, err := StreamCertsInto(snap, fromSnap); err != nil {
+		t.Fatalf("StreamCertsInto(snapshot): %v", err)
+	}
+	if !reflect.DeepEqual(fromCorpus.Stats(), fromSnap.Stats()) {
+		t.Fatalf("corpus-fold %+v diverges from snapshot-fold %+v", fromCorpus.Stats(), fromSnap.Stats())
 	}
 }
 

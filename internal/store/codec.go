@@ -193,6 +193,20 @@ func (d *decoder) string() string {
 	return s
 }
 
+// rawByte reads one uninterpreted byte (the corpus record's flag field).
+func (d *decoder) rawByte() byte {
+	if d.err != nil {
+		return 0
+	}
+	if d.off >= len(d.b) {
+		d.fail("truncated byte at offset %d", d.off)
+		return 0
+	}
+	v := d.b[d.off]
+	d.off++
+	return v
+}
+
 func (d *decoder) bool() bool {
 	if d.err != nil {
 		return false

@@ -1,0 +1,307 @@
+package store
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Corpus segments hold a spilled synthetic certificate corpus — the
+// census generator's output, streamed to disk shard by shard so a
+// paper-scale (hundreds of millions of certificates) world never has to
+// live in memory. They sit alongside the observation log and reuse its
+// framing discipline:
+//
+//	cor-NNNNNN.seg: 8-byte magic "MSCORSG1" | u32 LE codec version |
+//	                u32 LE segment index, then records framed as
+//	                u32 LE payload length | u32 LE CRC32-C | payload.
+//
+// One segment per generator shard, with the exact Must-Staple tier as
+// the final segment, so segment order is stream order. Unlike the
+// observation log, the corpus is derived data regenerated from a seed:
+// a torn or corrupt record is a hard error (re-spill to repair), never a
+// recoverable tail, and nothing is fsynced on the write path.
+const (
+	corpusMagic    = "MSCORSG1"
+	corpusVersion  = 1
+	corpusPrefix   = "cor-"
+	corpusSuffix   = ".seg"
+	corpusMetaName = "corpus.json"
+)
+
+// CorpusRecord is one spilled certificate. It mirrors census.CertInfo
+// field for field; the store keeps its own copy so the on-disk format
+// does not import the generator.
+type CorpusRecord struct {
+	CA           string
+	Valid        bool
+	SupportsOCSP bool
+	MustStaple   bool
+}
+
+// CorpusMeta is the spill directory's commit record, written atomically
+// after every segment so readers can tell a finished spill from a torn
+// one — and tell whose corpus it is, so a directory spilled for one
+// (seed, scale) is never silently reused for another.
+type CorpusMeta struct {
+	Version     int   `json:"version"`
+	Seed        int64 `json:"seed"`
+	ScaleFactor int   `json:"scale_factor"`
+	// Shards counts the general-population segments; the Must-Staple
+	// tier is the extra segment at index Shards.
+	Shards  int   `json:"shards"`
+	Records int64 `json:"records"`
+}
+
+// WriteCorpusMeta commits the meta file via temp-file + rename, the same
+// atomicity discipline as checkpoints: readers see the old meta or the
+// new one, never a torn write.
+func WriteCorpusMeta(dir string, m CorpusMeta) error {
+	data, err := json.Marshal(m)
+	if err != nil {
+		return fmt.Errorf("store: corpus meta: %w", err)
+	}
+	tmp := filepath.Join(dir, corpusMetaName+".tmp")
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, filepath.Join(dir, corpusMetaName))
+}
+
+// ReadCorpusMeta reads the spill directory's meta file. ok is false when
+// the directory has no committed meta (an empty or in-progress spill).
+func ReadCorpusMeta(dir string) (m CorpusMeta, ok bool, err error) {
+	data, err := os.ReadFile(filepath.Join(dir, corpusMetaName))
+	if errors.Is(err, os.ErrNotExist) {
+		return CorpusMeta{}, false, nil
+	}
+	if err != nil {
+		return CorpusMeta{}, false, err
+	}
+	if err := json.Unmarshal(data, &m); err != nil {
+		return CorpusMeta{}, false, fmt.Errorf("store: corpus meta: %w", err)
+	}
+	if m.Version != corpusVersion {
+		return CorpusMeta{}, false, fmt.Errorf("store: corpus meta version %d, want %d", m.Version, corpusVersion)
+	}
+	return m, true, nil
+}
+
+func corpusSegmentName(index int) string {
+	return fmt.Sprintf("%s%06d%s", corpusPrefix, index, corpusSuffix)
+}
+
+func parseCorpusSegmentName(name string) (int, bool) {
+	if !strings.HasPrefix(name, corpusPrefix) || !strings.HasSuffix(name, corpusSuffix) {
+		return 0, false
+	}
+	digits := strings.TrimSuffix(strings.TrimPrefix(name, corpusPrefix), corpusSuffix)
+	if digits == "" {
+		return 0, false
+	}
+	n := 0
+	for _, c := range digits {
+		if c < '0' || c > '9' {
+			return 0, false
+		}
+		n = n*10 + int(c-'0')
+	}
+	return n, true
+}
+
+// CorpusWriter appends records to one corpus segment.
+type CorpusWriter struct {
+	f       *os.File
+	bw      *bufio.Writer
+	scratch []byte
+	records int64
+}
+
+// CreateCorpusSegment creates (or truncates — spills are idempotent
+// regenerations, so overwriting a stale segment is the repair path)
+// segment index under dir and returns a writer positioned for appends.
+func CreateCorpusSegment(dir string, index int) (*CorpusWriter, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	path := filepath.Join(dir, corpusSegmentName(index))
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	w := &CorpusWriter{f: f, bw: bufio.NewWriterSize(f, 64<<10)}
+	h := make([]byte, segHeaderSize)
+	copy(h, corpusMagic)
+	binary.LittleEndian.PutUint32(h[8:], corpusVersion)
+	binary.LittleEndian.PutUint32(h[12:], uint32(index))
+	if _, err := w.bw.Write(h); err != nil {
+		return nil, errors.Join(err, f.Close())
+	}
+	return w, nil
+}
+
+// Append writes one framed record.
+func (w *CorpusWriter) Append(rec CorpusRecord) error {
+	payload := appendCorpusRecord(w.scratch[:0], rec)
+	w.scratch = payload
+	if len(payload) > maxRecordSize {
+		return fmt.Errorf("store: corpus record of %d bytes exceeds limit", len(payload))
+	}
+	var hdr [recordHeaderSize]byte
+	binary.LittleEndian.PutUint32(hdr[0:], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:], crc32.Checksum(payload, crcTable))
+	if _, err := w.bw.Write(hdr[:]); err != nil {
+		return err
+	}
+	if _, err := w.bw.Write(payload); err != nil {
+		return err
+	}
+	w.records++
+	return nil
+}
+
+// Records returns how many records have been appended.
+func (w *CorpusWriter) Records() int64 { return w.records }
+
+// Close flushes and closes the segment. No fsync: the corpus is derived
+// data, and the meta file is the commit point.
+func (w *CorpusWriter) Close() error {
+	ferr := w.bw.Flush()
+	return errors.Join(ferr, w.f.Close())
+}
+
+// ScanCorpusSegment streams every record of one segment through fn.
+// Corruption anywhere — bad header, bad CRC, torn tail — is a hard
+// error: corpus segments are written in full and committed by the meta
+// file, so a damaged one means the spill must be regenerated.
+func ScanCorpusSegment(path string, index int, fn func(CorpusRecord) error) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close() //lint:allow errcheck-hot read-only handle, nothing to flush
+
+	br := bufio.NewReaderSize(f, 64<<10)
+	h := make([]byte, segHeaderSize)
+	if _, err := io.ReadFull(br, h); err != nil {
+		return fmt.Errorf("store: corpus segment header: %w", err)
+	}
+	if string(h[:8]) != corpusMagic {
+		return fmt.Errorf("store: bad corpus segment magic %q", h[:8])
+	}
+	if v := binary.LittleEndian.Uint32(h[8:]); v != corpusVersion {
+		return fmt.Errorf("store: corpus segment version %d, want %d", v, corpusVersion)
+	}
+	if idx := int(binary.LittleEndian.Uint32(h[12:])); idx != index {
+		return fmt.Errorf("store: corpus segment header index %d does not match name index %d", idx, index)
+	}
+
+	hdr := make([]byte, recordHeaderSize)
+	var buf []byte
+	for {
+		if _, err := io.ReadFull(br, hdr); err != nil {
+			if err == io.EOF {
+				return nil
+			}
+			return fmt.Errorf("store: %s: torn record header: %w", path, err)
+		}
+		length := binary.LittleEndian.Uint32(hdr[0:])
+		sum := binary.LittleEndian.Uint32(hdr[4:])
+		if length == 0 || length > maxRecordSize {
+			return fmt.Errorf("store: %s: corrupt record length %d", path, length)
+		}
+		if int(length) > cap(buf) {
+			buf = make([]byte, length)
+		}
+		payload := buf[:length]
+		if _, err := io.ReadFull(br, payload); err != nil {
+			return fmt.Errorf("store: %s: torn record payload: %w", path, err)
+		}
+		if crc32.Checksum(payload, crcTable) != sum {
+			return fmt.Errorf("store: %s: record CRC mismatch", path)
+		}
+		rec, err := decodeCorpusRecord(payload)
+		if err != nil {
+			return fmt.Errorf("store: %s: %w", path, err)
+		}
+		if err := fn(rec); err != nil {
+			return err
+		}
+	}
+}
+
+// ScanCorpus streams every record of a committed spill directory through
+// fn, segments in index order — which is the generator's stream order.
+func ScanCorpus(dir string, fn func(CorpusRecord) error) error {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return err
+	}
+	type seg struct {
+		index int
+		path  string
+	}
+	var segs []seg
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		idx, ok := parseCorpusSegmentName(e.Name())
+		if !ok {
+			continue
+		}
+		segs = append(segs, seg{index: idx, path: filepath.Join(dir, e.Name())})
+	}
+	sort.Slice(segs, func(i, j int) bool { return segs[i].index < segs[j].index })
+	for _, s := range segs {
+		if err := ScanCorpusSegment(s.path, s.index, fn); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Corpus record payload: uvarint CA length | CA bytes | flag byte
+// (bit 0 Valid, bit 1 SupportsOCSP, bit 2 MustStaple).
+func appendCorpusRecord(b []byte, rec CorpusRecord) []byte {
+	b = appendString(b, rec.CA)
+	var flags byte
+	if rec.Valid {
+		flags |= 1
+	}
+	if rec.SupportsOCSP {
+		flags |= 2
+	}
+	if rec.MustStaple {
+		flags |= 4
+	}
+	return append(b, flags)
+}
+
+func decodeCorpusRecord(b []byte) (CorpusRecord, error) {
+	d := decoder{b: b}
+	var rec CorpusRecord
+	rec.CA = d.string()
+	flags := d.rawByte()
+	if d.err != nil {
+		return CorpusRecord{}, d.err
+	}
+	if d.off != len(d.b) {
+		return CorpusRecord{}, fmt.Errorf("store: %d trailing bytes after corpus record", len(d.b)-d.off)
+	}
+	if flags > 7 {
+		return CorpusRecord{}, fmt.Errorf("store: bad corpus record flags %#x", flags)
+	}
+	rec.Valid = flags&1 != 0
+	rec.SupportsOCSP = flags&2 != 0
+	rec.MustStaple = flags&4 != 0
+	return rec, nil
+}

@@ -49,18 +49,23 @@ func (w *World) buildAlexa() {
 
 	cfg := census.AlexaConfig{
 		Seed:       w.Config.Seed + 1,
-		Domains:    w.Config.AlexaDomains,
+		Domains:    w.Config.ScaledAlexaDomains(),
 		Responders: len(order),
 	}
-	domains := census.GenerateAlexa(cfg)
+	model := census.NewAlexaModel(cfg)
 	w.AlexaScale = cfg.ScaleFactor()
 
-	// Count domains per fleet responder.
+	// Count domains per fleet responder, streaming — the join never
+	// materializes the domain population, so a WorldScale'd model costs
+	// shard-sized memory.
 	counts := make(map[int]int)
-	for _, d := range domains {
+	if err := model.Visit(func(d census.AlexaDomain) error {
 		if d.ResponderIndex >= 0 {
 			counts[order[d.ResponderIndex]]++
 		}
+		return nil
+	}); err != nil {
+		panic("world: " + err.Error()) // unreachable: fn never fails
 	}
 
 	for idx, c := range counts {

@@ -226,7 +226,7 @@ func (w *World) buildConsistencyCA(rng *rand.Rand, job consistencyJob) consisten
 				return rec.Expiry, true
 			},
 		},
-		ocsp:     responder.New(ocspHost, ca, db, w.Clock, profile, w.responderOpts()...),
+		ocsp:     responder.New(ocspHost, ca, db, w.Clock, profile, w.Config.responderOpts()...),
 		crl:      responder.NewCRLPublisher(ca, db, w.Clock),
 		ocspHost: ocspHost,
 		crlHost:  crlHost,

@@ -1,0 +1,150 @@
+package world
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+// compareShard checks one isolated shard against the corresponding index
+// range of a fully built fleet: construction-time fields only (Build
+// populates each responder's DB with probe certificates afterwards, which
+// an isolated shard deliberately does not).
+func compareShard(t *testing.T, k int, shard []*ResponderInfo, full []*ResponderInfo) {
+	t.Helper()
+	lo := k * ShardSize
+	for j, got := range shard {
+		want := full[lo+j]
+		if got.Index != want.Index || got.Host != want.Host || got.Kind != want.Kind {
+			t.Fatalf("shard %d[%d]: (%d,%s,%s) vs full (%d,%s,%s)",
+				k, j, got.Index, got.Host, got.Kind, want.Index, want.Host, want.Kind)
+		}
+		if !bytes.Equal(got.CA.Certificate.Raw, want.CA.Certificate.Raw) {
+			t.Fatalf("shard %d[%d] (%s): CA certificate DER differs from full build", k, j, got.Host)
+		}
+		if got.Profile.Validity != want.Profile.Validity ||
+			got.Profile.ThisUpdateOffset != want.Profile.ThisUpdateOffset ||
+			got.Profile.BlankNextUpdate != want.Profile.BlankNextUpdate ||
+			got.Profile.CacheResponses != want.Profile.CacheResponses ||
+			len(got.Profile.SuperfluousCerts) != len(want.Profile.SuperfluousCerts) {
+			t.Fatalf("shard %d[%d] (%s): profile differs from full build", k, j, got.Host)
+		}
+	}
+}
+
+// TestBuildShardPurity is the shard contract: shard k built in isolation
+// is byte-identical to shard k cut out of a full build — for several
+// worker counts and a non-default seed, since the whole point is that key
+// material depends only on (seed, index), never on build order.
+func TestBuildShardPurity(t *testing.T) {
+	cfg := detConfig(99)
+	for _, workers := range []int{1, 2, 5} {
+		fullCfg := cfg
+		fullCfg.BuildWorkers = workers
+		w, err := Build(fullCfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		shards := NumShards(cfg)
+		if shards < 3 {
+			t.Fatalf("want ≥3 shards for a meaningful cut, got %d", shards)
+		}
+		if got := (shards-1)*ShardSize + len(mustShard(t, cfg, shards-1)); got != len(w.Responders) {
+			t.Fatalf("shards cover %d responders, fleet has %d", got, len(w.Responders))
+		}
+		for k := 0; k < shards; k++ {
+			compareShard(t, k, mustShard(t, cfg, k), w.Responders)
+		}
+	}
+
+	if _, err := BuildShard(cfg, NumShards(cfg)); err == nil {
+		t.Fatal("out-of-range shard index accepted")
+	}
+	if _, err := BuildShard(cfg, -1); err == nil {
+		t.Fatal("negative shard index accepted")
+	}
+}
+
+func mustShard(t *testing.T, cfg Config, k int) []*ResponderInfo {
+	t.Helper()
+	shard, err := BuildShard(cfg, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return shard
+}
+
+// TestBuildWithSpillDir: a world built with SpillDir streams the same
+// corpus from disk that an in-memory build generates, and rebuilding over
+// the same directory reuses the spill.
+func TestBuildWithSpillDir(t *testing.T) {
+	dir := t.TempDir()
+	cfg := detConfig(5)
+	cfg.SpillDir = dir
+	spilled, err := Build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !spilled.Corpus.Spilled() {
+		t.Fatal("world with SpillDir did not spill its corpus")
+	}
+	plain, err := Build(detConfig(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromDisk, err := spilled.Corpus.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	generated, err := plain.Corpus.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(fromDisk, generated) {
+		t.Fatalf("spilled corpus stats diverge: %+v vs %+v", fromDisk, generated)
+	}
+
+	// Rebuild over the same directory: the matching spill must be reused,
+	// a mismatched seed refused.
+	if _, err := Build(cfg); err != nil {
+		t.Fatalf("rebuilding over a matching spill dir: %v", err)
+	}
+	bad := detConfig(6)
+	bad.SpillDir = dir
+	if _, err := Build(bad); err == nil {
+		t.Fatal("spill dir holding a different corpus was accepted")
+	}
+}
+
+// TestWorldScaleCorpusAxes pins the WorldScale plumbing: scale 10 means
+// 10× the census records (scale factor 1000) and 10× the Alexa domains,
+// while the responder fleet stays fixed.
+func TestWorldScaleCorpusAxes(t *testing.T) {
+	cfg := detConfig(3)
+	cfg.WorldScale = 10
+	w, err := Build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := w.Corpus.ScaleFactor(); got != 1000 {
+		t.Fatalf("corpus scale factor = %d, want 1000", got)
+	}
+	base, err := Build(detConfig(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Corpus.NumRecords() != 10*base.Corpus.NumRecords() {
+		t.Fatalf("10× world has %d records, 1× has %d", w.Corpus.NumRecords(), base.Corpus.NumRecords())
+	}
+	if len(w.Responders) != len(base.Responders) {
+		t.Fatalf("fleet grew with WorldScale: %d vs %d", len(w.Responders), len(base.Responders))
+	}
+	if got, want := cfg.ScaledAlexaDomains(), 40_000; got != want {
+		t.Fatalf("ScaledAlexaDomains = %d, want %d", got, want)
+	}
+	// The cap: AlexaDomains × WorldScale never exceeds the real Top-1M.
+	huge := Config{AlexaDomains: 300_000, WorldScale: 100}
+	if got := huge.ScaledAlexaDomains(); got != 1_000_000 {
+		t.Fatalf("capped ScaledAlexaDomains = %d, want 1000000", got)
+	}
+}

@@ -17,6 +17,7 @@ import (
 	"math/rand"
 	"time"
 
+	"github.com/netmeasure/muststaple/internal/census"
 	"github.com/netmeasure/muststaple/internal/clock"
 	"github.com/netmeasure/muststaple/internal/consistency"
 	"github.com/netmeasure/muststaple/internal/netsim"
@@ -66,6 +67,19 @@ type Config struct {
 	// the slow reference configuration the equivalence test and the
 	// benchmarks compare against.
 	OnDemandSigning bool
+	// WorldScale multiplies the corpus axes of the world — the synthetic
+	// certificate-census resolution and the Alexa population — without
+	// growing the responder fleet: at scale S the census generates S× the
+	// records (each representing 1/S as many real certificates, exact at
+	// S=10,000) and the Alexa model covers S× the domains (capped at the
+	// real 1M). The corpus streams (see census.Corpus), so peak memory
+	// does not grow with WorldScale. 0 means 1.
+	WorldScale int
+	// SpillDir, when non-empty, spills the certificate corpus to
+	// internal/store corpus segments under this directory; analyses then
+	// stream from disk and repeated builds of the same (seed, scale)
+	// reuse the spill instead of regenerating.
+	SpillDir string
 }
 
 func (c Config) withDefaults() Config {
@@ -96,7 +110,50 @@ func (c Config) withDefaults() Config {
 	if c.Table1Scale == 0 {
 		c.Table1Scale = 10
 	}
+	if c.WorldScale == 0 {
+		c.WorldScale = 1
+	}
 	return c
+}
+
+// Normalized returns the config with every default applied — the exact
+// configuration Build uses, for call sites that derive sub-configurations
+// (census seeds, scaled Alexa populations) without building a world.
+// withDefaults is idempotent, so normalizing twice is harmless.
+func (c Config) Normalized() Config { return c.withDefaults() }
+
+// CorpusScaleFactor returns the census scale factor implied by
+// WorldScale: the default world generates one record per 10,000 real
+// certificates, and each scale step divides that — WorldScale 10,000
+// reaches the paper's full 489,580,002-record corpus.
+func (c Config) CorpusScaleFactor() int {
+	s := c.WorldScale
+	if s <= 0 {
+		s = 1
+	}
+	f := 10_000 / s
+	if f < 1 {
+		f = 1
+	}
+	return f
+}
+
+// ScaledAlexaDomains returns the Alexa population implied by
+// AlexaDomains × WorldScale, capped at the real Top-1M (beyond which
+// AlexaConfig.ScaleFactor would degenerate).
+func (c Config) ScaledAlexaDomains() int {
+	d := c.AlexaDomains
+	if d == 0 {
+		d = 100_000
+	}
+	s := c.WorldScale
+	if s > 1 {
+		d *= s
+	}
+	if d > 1_000_000 {
+		d = 1_000_000
+	}
+	return d
 }
 
 // Full returns the paper-scale configuration: hourly scans, 50
@@ -167,6 +224,10 @@ type World struct {
 	// AlexaScale is how many real Alexa domains one modelled domain
 	// represents.
 	AlexaScale int
+	// Corpus is the streaming certificate census behind §4 and the
+	// Alexa join — generated shard by shard on demand (or read back from
+	// Config.SpillDir), never materialized. Scaled by Config.WorldScale.
+	Corpus *census.Corpus
 
 	// consistencyResponders are the OCSP halves of the consistency-study
 	// pairs, retained so CacheStats covers the whole fleet.
@@ -175,8 +236,8 @@ type World struct {
 
 // responderOpts translates world-level configuration into per-responder
 // construction options.
-func (w *World) responderOpts() []responder.Option {
-	if w.Config.OnDemandSigning {
+func (c Config) responderOpts() []responder.Option {
+	if c.OnDemandSigning {
 		return []responder.Option{responder.WithOnDemandSigning()}
 	}
 	return nil
@@ -213,6 +274,9 @@ func Build(cfg Config) (*World, error) {
 		Clock:   clock.NewSimulated(cfg.Start),
 	}
 
+	if err := w.buildCorpus(); err != nil {
+		return nil, err
+	}
 	if err := w.buildResponders(); err != nil {
 		return nil, err
 	}
@@ -227,46 +291,48 @@ func Build(cfg Config) (*World, error) {
 	return w, nil
 }
 
+// buildCorpus wires up the streaming certificate census. Nothing is
+// generated here unless Config.SpillDir asks for an on-disk spill;
+// consumers pull shards on demand through Corpus.Visit.
+func (w *World) buildCorpus() error {
+	c, err := census.NewCorpus(census.CorpusConfig{
+		Seed:        w.Config.Seed,
+		ScaleFactor: w.Config.CorpusScaleFactor(),
+		Workers:     w.Config.BuildWorkers,
+		SpillDir:    w.Config.SpillDir,
+	})
+	if err != nil {
+		return fmt.Errorf("world: corpus: %w", err)
+	}
+	w.Corpus = c
+	return nil
+}
+
 // buildResponders creates the CA + responder fleet with the calibrated
 // behavior mix and registers everything on the network. Behavior specs are
 // assigned serially (they are one cheap shuffled stream); the expensive
 // part — per-responder CA key generation and certificate signing — fans
-// out across the worker pool, each index on its own child RNG, and the
-// fleet is assembled and registered in index order afterwards.
+// out across the worker pool shard by shard (see shard.go for the shard
+// contract), each index on its own child RNG, and the fleet is assembled
+// and registered in index order afterwards.
 func (w *World) buildResponders() error {
 	n := w.Config.Responders
 	specs := buildSpecs(n, childRNG(w.Config.Seed, streamSpecs, 0), w.Config)
-	infos := make([]*ResponderInfo, n)
-	errs := make([]error, n)
-	w.runParallel(n, func(i int) {
-		host := hostName(i)
-		ca, err := pki.NewRootCA(pki.Config{
-			Name:       fmt.Sprintf("CA %03d (%s)", i, host),
-			Rand:       childRNG(w.Config.Seed, streamResponderCA, uint64(i)),
-			OCSPURL:    "http://" + host,
-			CRLURL:     fmt.Sprintf("http://crl%03d.world.test/ca.crl", i),
-			SerialBase: int64(i) * 1_000_000,
-			NotBefore:  w.Config.Start.AddDate(-2, 0, 0),
-		})
-		if err != nil {
-			errs[i] = fmt.Errorf("world: responder %d CA: %w", i, err)
-			return
-		}
-		profile := specs[i].profile
-		for c := 0; c < specs[i].superfluousCertCount; c++ {
-			profile.SuperfluousCerts = append(profile.SuperfluousCerts, ca.Certificate)
-		}
-		db := responder.NewDB()
-		r := responder.New(host, ca, db, w.Clock, profile, w.responderOpts()...)
-		infos[i] = &ResponderInfo{
-			Index: i, Host: host, Kind: specs[i].kind,
-			CA: ca, DB: db, Responder: r, Profile: profile,
-		}
+	shards := NumShards(w.Config)
+	built := make([][]*ResponderInfo, shards)
+	errs := make([]error, shards)
+	w.runParallel(shards, func(k int) {
+		lo, hi := shardBounds(k, n)
+		built[k], errs[k] = buildResponderRange(w.Config, specs, w.Clock, lo, hi)
 	})
 	for _, err := range errs {
 		if err != nil {
 			return err
 		}
+	}
+	infos := make([]*ResponderInfo, 0, n)
+	for _, shard := range built {
+		infos = append(infos, shard...)
 	}
 	w.Responders = infos
 	for i, info := range infos {

@@ -1,0 +1,45 @@
+#!/bin/sh
+# memcheck.sh — fixed-memory guard for streaming world construction
+# (DESIGN.md §13). It runs the same quick cmd/repro pipeline twice, at
+# -world-scale 1 and -world-scale 10, with the heap sampler on
+# (-memstats), and compares the reported heap high-water marks: the 10×
+# world carries 10× the census records and Alexa domains, so if the
+# corpus were ever materialized the peak would grow roughly 10×. The
+# check fails when the ratio exceeds MAX_RATIO (default 1.5).
+set -eu
+
+GO=${GO:-go}
+MAX_RATIO=${MAX_RATIO:-1.5}
+FLAGS="-exp sec4,fig2,fig11 -seed 1 -responders 120 -certs 1 -stride 48h -memstats"
+
+WORK=$(mktemp -d)
+trap 'rm -rf "$WORK"' EXIT
+
+echo "memcheck: building repro"
+$GO build -o "$WORK/repro" ./cmd/repro
+
+peak() {
+    # Extract heap_alloc_peak_bytes=N from the [memstats] line.
+    sed -n 's/.*heap_alloc_peak_bytes=\([0-9]*\).*/\1/p' "$1"
+}
+
+echo "memcheck: 1x world"
+"$WORK/repro" $FLAGS -world-scale 1 > "$WORK/scale1.out"
+P1=$(peak "$WORK/scale1.out")
+
+echo "memcheck: 10x world"
+"$WORK/repro" $FLAGS -world-scale 10 > "$WORK/scale10.out"
+P10=$(peak "$WORK/scale10.out")
+
+if [ -z "$P1" ] || [ -z "$P10" ] || [ "$P1" -eq 0 ]; then
+    echo "memcheck: FAIL — missing [memstats] output (1x='$P1' 10x='$P10')" >&2
+    exit 1
+fi
+
+RATIO=$(awk "BEGIN { printf \"%.2f\", $P10 / $P1 }")
+echo "memcheck: heap peak 1x=${P1}B 10x=${P10}B ratio=${RATIO} (max ${MAX_RATIO})"
+if awk "BEGIN { exit !($P10 > $P1 * $MAX_RATIO) }"; then
+    echo "memcheck: FAIL — 10x world grew the heap high-water mark ${RATIO}x (limit ${MAX_RATIO}x); is the corpus being materialized?" >&2
+    exit 1
+fi
+echo "memcheck: OK — streaming construction held the heap flat across a 10x world"
