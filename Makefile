@@ -17,6 +17,11 @@
 #                 on a loopback socket and fires a short open-loop
 #                 ocspload burst at it, failing on zero throughput, any
 #                 5xx, or any transport error.
+#   capacitycheck — tier-2 closed-loop capacity gate: ocspload -capacity
+#                 probes the loopback tier (double then bisect the
+#                 offered rate until the p99 SLO breaks) and fails when
+#                 the discovered ceiling is below -min-capacity — 2× the
+#                 PR 6 fixed-rate 2000 req/s baseline.
 #   memcheck    — tier-2 streaming-construction guard: runs the same quick
 #                 cmd/repro pipeline at -world-scale 1 and 10 and fails if
 #                 the 10× world's heap high-water mark exceeds ~1.5× the 1×
@@ -26,8 +31,10 @@
 #                 codec, CRL Find, responder hot-path, scan-client cache,
 #                 and observation-store micro-benchmarks, then an ocspload
 #                 open-loop run against a real loopback serving tier
-#                 (p50/p99/p999 over the socket), and archives the
-#                 results as BENCH_PR7.json (via cmd/benchjson).
+#                 (p50/p99/p999 over the socket) plus a closed-loop
+#                 capacity search (max sustainable req/s under the p99
+#                 SLO), and archives the results as BENCH_PR8.json (via
+#                 cmd/benchjson).
 #   bench-compare — diffs the previous archived snapshot against the
 #                 current one (via cmd/benchjson -compare); warns and
 #                 succeeds when either snapshot is missing, so fresh
@@ -39,7 +46,7 @@
 
 GO ?= go
 
-.PHONY: all tier1 tier2 loadcheck memcheck bench-guard bench bench-snapshot bench-compare crash-recovery vet fmt fmt-check lint
+.PHONY: all tier1 tier2 loadcheck capacitycheck memcheck bench-guard bench bench-snapshot bench-compare crash-recovery vet fmt fmt-check lint
 
 all: tier1
 
@@ -47,7 +54,7 @@ tier1: vet fmt-check lint
 	$(GO) build ./...
 	$(GO) test ./...
 
-tier2: vet lint loadcheck memcheck
+tier2: vet lint loadcheck capacitycheck memcheck
 	$(GO) test -race ./...
 
 # loadcheck boots a self-contained serving tier (own CA, loopback
@@ -55,6 +62,13 @@ tier2: vet lint loadcheck memcheck
 # zero completed requests, any HTTP 5xx, or any transport error.
 loadcheck:
 	$(GO) run ./cmd/ocspload -selfserve -rate 500 -duration 2s -check
+
+# capacitycheck closes the loop: search for the highest rate the
+# loopback tier sustains at p99 <= 25ms and fail below 4000 req/s (2x
+# the PR 6 fixed-rate baseline). Short probes keep the gate under ~30s.
+capacitycheck:
+	$(GO) run ./cmd/ocspload -selfserve -capacity -slo 25ms -probe-duration 2s \
+		-start-rate 1000 -max-rate 65536 -check -min-capacity 4000
 
 # memcheck asserts the fixed-memory property of streaming world
 # construction: a 10× world must not grow the heap high-water mark past
@@ -92,12 +106,15 @@ bench-snapshot:
 	  $(GO) test -run - -bench '^BenchmarkWorldScaleSweep$$' -benchtime 1x . ; \
 	  $(GO) test -run - -bench '^(BenchmarkOCSPCreateResponse|BenchmarkOCSPParseResponse|BenchmarkCRLCreateAndParse|BenchmarkResponderRespond)$$' . ; \
 	  $(GO) test -run - -bench '^(BenchmarkStoreAppend|BenchmarkStoreScan)$$' -benchtime 100x . ; \
+	  $(GO) test -run - -bench '^BenchmarkServeGETHot$$' . ; \
 	  $(GO) test -run - -bench '^BenchmarkCRLFindMiss$$' ./internal/crl ; \
 	  $(GO) test -run - -bench BenchmarkClientCaches ./internal/scanner ; \
-	  $(GO) run ./cmd/ocspload -selfserve -rate 2000 -duration 5s -bench ServingTierLoad ; } | $(GO) run ./cmd/benchjson > BENCH_PR7.json
+	  $(GO) run ./cmd/ocspload -selfserve -rate 2000 -duration 5s -bench ServingTierLoad ; \
+	  $(GO) run ./cmd/ocspload -selfserve -capacity -slo 25ms -probe-duration 2s \
+		-start-rate 1000 -max-rate 65536 -bench ServingTierCapacity ; } | $(GO) run ./cmd/benchjson > BENCH_PR8.json
 
-BENCH_BASE ?= BENCH_PR6.json
-BENCH_HEAD ?= BENCH_PR7.json
+BENCH_BASE ?= BENCH_PR7.json
+BENCH_HEAD ?= BENCH_PR8.json
 
 bench-compare:
 	@if [ ! -f "$(BENCH_BASE)" ] || [ ! -f "$(BENCH_HEAD)" ]; then \

@@ -9,6 +9,7 @@ import (
 	"crypto"
 	"math/big"
 	"net/http"
+	"net/url"
 	"runtime"
 	"testing"
 	"time"
@@ -934,6 +935,65 @@ func BenchmarkResponderRespondGuard(b *testing.B) {
 	}
 }
 
+// nullResponseWriter is a no-op ResponseWriter with a reusable header
+// map, so BenchmarkServeGETHot measures the handler alone — not the
+// recorder's buffering or a socket's syscalls.
+type nullResponseWriter struct {
+	hdr http.Header
+}
+
+func (w *nullResponseWriter) Header() http.Header         { return w.hdr }
+func (w *nullResponseWriter) Write(p []byte) (int, error) { return len(p), nil }
+func (w *nullResponseWriter) WriteHeader(int)             {}
+
+// BenchmarkServeGETHot measures the serving tier's end-to-end GET hot
+// path — raw escaped path in, framed response + RFC 5019 §6 headers out —
+// on fast-path memo hits, and enforces the PR 8 tentpole invariant: the
+// hit path allocates nothing. Measurement is manual (MemStats malloc
+// delta) like the other allocation guards; the threshold tolerates only
+// measurement noise (runtime background allocations), not per-request
+// garbage.
+func BenchmarkServeGETHot(b *testing.B) {
+	f := newRespFixture(b, pki.ECDSAP256)
+	profile := responder.Profile{CacheResponses: true, Validity: 24 * time.Hour, UpdateInterval: 12 * time.Hour}
+	r := responder.New("ocsp.bench.test", f.ca, f.db, f.clk, profile)
+	h := ocspserver.NewHandler(r)
+	reqDER := f.requestDER(b, crypto.SHA1)
+	u, err := url.Parse("http://ocsp.bench.test/" + ocsp.EncodeGETPath(reqDER))
+	if err != nil {
+		b.Fatal(err)
+	}
+	httpReq := &http.Request{Method: http.MethodGet, URL: u}
+	var w http.ResponseWriter = &nullResponseWriter{hdr: make(http.Header, 8)}
+
+	// Warm up: the first request fills the memo, the second must hit.
+	h.ServeHTTP(w, httpReq)
+	h.ServeHTTP(w, httpReq)
+	if hits, _, _ := h.FastPathStats(); hits == 0 {
+		b.Fatal("fast path did not warm up")
+	}
+
+	b.ReportAllocs()
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.ServeHTTP(w, httpReq)
+	}
+	b.StopTimer()
+	runtime.ReadMemStats(&after)
+	perOp := float64(after.Mallocs-before.Mallocs) / float64(b.N)
+	b.ReportMetric(perOp, "allocs/op-measured")
+	if perOp > 0.005 {
+		b.Fatalf("serving-tier GET hot path allocates %.4f objects/op, want 0", perOp)
+	}
+	hits, misses, _ := h.FastPathStats()
+	if wantHits := uint64(b.N) + 1; hits != wantHits || misses != 1 {
+		b.Fatalf("fast path degraded mid-benchmark: %d hits (want %d), %d misses (want 1)", hits, wantHits, misses)
+	}
+}
+
 // benchStoreRound builds one round of synthetic observations spread over a
 // handful of responders and vantages, matching the index fan-out a real
 // campaign produces.
@@ -1033,7 +1093,10 @@ func BenchmarkStoreScan(b *testing.B) {
 	runtime.ReadMemStats(&after)
 	perRecord := float64(after.Mallocs-before.Mallocs) / float64(b.N*rounds*perRound)
 	b.ReportMetric(perRecord, "allocs/record")
-	if perRecord > 16 {
-		b.Fatalf("store scan allocates %.1f objects per record, want <= 16", perRecord)
+	// Scan-level interning (PR 8) dedups the repeated string fields, so
+	// steady state is ~0 allocations per record; 1 leaves slack for the
+	// per-scan setup amortized over small stores.
+	if perRecord > 1 {
+		b.Fatalf("store scan allocates %.2f objects per record, want <= 1", perRecord)
 	}
 }

@@ -10,14 +10,23 @@
 // and measures that, which is how `make loadcheck` and the BENCH_PR6
 // snapshot exercise the full client-socket-server path with zero setup.
 //
+// With -capacity it closes the loop instead of running at one fixed rate:
+// probe runs double the offered rate until the chosen latency quantile
+// breaches -slo, then bisect to the highest sustainable rate. The search
+// lives in internal/loadgen.FindCapacity; its progress is mirrored into
+// the selfserve tier's /debug/vars.
+//
 // Usage:
 //
 //	ocspload -selfserve -rate 2000 -duration 5s -get 0.5 [-bench]
+//	ocspload -selfserve -capacity -slo 25ms -probe-duration 2s [-check -min-capacity 4000]
 //	ocspload -url http://localhost:8889 -issuer ca.pem -serial 12345 -rate 500 -duration 10s
 //
 // -bench emits `go test -bench`-style lines that cmd/benchjson converts
 // into the repo's benchmark snapshot format; -check exits nonzero when
-// the run completed nothing or saw any 5xx/transport failure.
+// the run completed nothing or saw any 5xx/transport failure (fixed-rate
+// mode), or when the discovered capacity is under -min-capacity
+// (-capacity mode).
 package main
 
 import (
@@ -33,6 +42,7 @@ import (
 
 	"github.com/netmeasure/muststaple/internal/clock"
 	"github.com/netmeasure/muststaple/internal/loadgen"
+	"github.com/netmeasure/muststaple/internal/metrics"
 	"github.com/netmeasure/muststaple/internal/ocsp"
 	"github.com/netmeasure/muststaple/internal/ocspserver"
 	"github.com/netmeasure/muststaple/internal/pki"
@@ -56,16 +66,27 @@ func main() {
 		validity  = flag.Duration("validity", 24*time.Hour, "selfserve response validity")
 		bench     = flag.String("bench", "", "emit a benchjson-compatible line under this benchmark name")
 		check     = flag.Bool("check", false, "exit nonzero on zero throughput or any 5xx/transport error")
+
+		capacity    = flag.Bool("capacity", false, "closed-loop capacity search instead of a fixed-rate run")
+		slo         = flag.Duration("slo", 25*time.Millisecond, "latency SLO at -quantile for -capacity probes")
+		quantile    = flag.Float64("quantile", 0.99, "latency quantile compared against -slo")
+		probeDur    = flag.Duration("probe-duration", 3*time.Second, "per-probe scheduling window (with -capacity)")
+		startRate   = flag.Int("start-rate", 500, "first probed rate in req/s (with -capacity)")
+		maxRate     = flag.Int("max-rate", 1<<16, "search ceiling in req/s (with -capacity)")
+		minCapacity = flag.Int("min-capacity", 0, "with -capacity -check: fail when the discovered capacity is below this")
 	)
 	flag.Parse()
 
-	var targets []loadgen.Target
+	var (
+		targets []loadgen.Target
+		tier    *selfServeTier
+	)
 	switch {
 	case *selfserve:
-		srv, ts, shutdown := buildSelfServe(*serials, *cached, *validity)
-		defer shutdown()
-		targets = ts
-		fmt.Fprintf(os.Stderr, "ocspload: selfserve tier at %s (%d serials)\n", srv.URL(), len(ts))
+		tier = buildSelfServe(*serials, *cached, *validity)
+		defer tier.shutdown()
+		targets = tier.targets
+		fmt.Fprintf(os.Stderr, "ocspload: selfserve tier at %s (%d serials)\n", tier.srv.URL(), len(targets))
 	case *urlFlag != "":
 		t, err := buildTarget(*urlFlag, *issuerPEM, *serialStr)
 		if err != nil {
@@ -76,19 +97,65 @@ func main() {
 		fail("need -selfserve or -url")
 	}
 
-	res, err := loadgen.Run(context.Background(), loadgen.Config{
+	base := loadgen.Config{
 		Rate:        *rate,
 		Duration:    *duration,
 		Workers:     *workers,
 		GETFraction: *getFrac,
 		Seed:        *seed,
 		Timeout:     *timeout,
-	}, targets)
+	}
+
+	if *capacity {
+		cfg := loadgen.CapacityConfig{
+			Base:          base,
+			SLO:           *slo,
+			Quantile:      *quantile,
+			StartRate:     *startRate,
+			MaxRate:       *maxRate,
+			ProbeDuration: *probeDur,
+			Progress: func(pr loadgen.ProbeResult) {
+				verdict := "PASS"
+				if !pr.Pass {
+					verdict = "FAIL"
+				}
+				fmt.Fprintf(os.Stderr, "ocspload: probe %6d req/s  p%g %-12v %s\n",
+					pr.Rate, 100**quantile, pr.Quantile.Round(time.Microsecond), verdict)
+			},
+		}
+		if tier != nil {
+			cfg.Registry = tier.reg
+		}
+		cap, err := loadgen.FindCapacity(context.Background(), cfg, targets)
+		if err != nil {
+			fail("capacity: %v", err)
+		}
+		reportCapacity(cap)
+		if tier != nil {
+			hits, misses, evictions := tier.handler.FastPathStats()
+			fmt.Fprintf(os.Stderr, "ocspload: fast path: %d hits, %d misses, %d evictions\n",
+				hits, misses, evictions)
+		}
+		if *bench != "" {
+			emitCapacityBench(*bench, cap)
+		}
+		if *check && cap.MaxRate < *minCapacity {
+			fail("check failed: capacity %d req/s below -min-capacity %d", cap.MaxRate, *minCapacity)
+		}
+		return
+	}
+
+	res, err := loadgen.Run(context.Background(), base, targets)
 	if err != nil {
 		fail("run: %v", err)
 	}
 
 	report(res)
+	if tier != nil {
+		hits, misses, evictions := tier.handler.FastPathStats()
+		fmt.Fprintf(os.Stderr, "ocspload: fast path: %d hits, %d misses, %d evictions\n",
+			hits, misses, evictions)
+	}
 	if *bench != "" {
 		emitBench(*bench, res)
 	}
@@ -98,10 +165,20 @@ func main() {
 	}
 }
 
+// selfServeTier bundles the loopback serving tier's moving parts so the
+// load modes can reach its metrics registry and fast-path counters.
+type selfServeTier struct {
+	srv      *ocspserver.Server
+	handler  *ocspserver.Handler
+	reg      *metrics.Registry
+	targets  []loadgen.Target
+	shutdown func()
+}
+
 // buildSelfServe boots the full serving tier on loopback: seeded CA,
 // issued serials, a responder core, and an ocspserver on an ephemeral
-// port. Returns the targets aimed at it and a shutdown func.
-func buildSelfServe(serialCount int, cached bool, validity time.Duration) (*ocspserver.Server, []loadgen.Target, func()) {
+// port, with its metrics exposed at /debug/vars.
+func buildSelfServe(serialCount int, cached bool, validity time.Duration) *selfServeTier {
 	ca, err := pki.NewRootCA(pki.Config{
 		Name:      "ocspload CA",
 		OCSPURL:   "http://ocspload.invalid",
@@ -119,7 +196,12 @@ func buildSelfServe(serialCount int, cached bool, validity time.Duration) (*ocsp
 		profile.Apply(responder.WithCachedResponses(0))
 	}
 	r := responder.New("ocspload.invalid", ca, db, clock.Real{}, profile)
-	srv := ocspserver.NewServer(ocspserver.NewHandler(r))
+	reg := metrics.NewRegistry()
+	handler := ocspserver.NewHandler(r, ocspserver.WithMetrics(reg))
+	debug := ocspserver.NewDebugVars(reg, func() []*responder.Responder {
+		return []*responder.Responder{r}
+	})
+	srv := ocspserver.NewServer(handler, ocspserver.WithRoute("/debug/vars", debug))
 	if err := srv.Start("127.0.0.1:0"); err != nil {
 		fail("selfserve listen: %v", err)
 	}
@@ -141,9 +223,9 @@ func buildSelfServe(serialCount int, cached bool, validity time.Duration) (*ocsp
 	shutdown := func() {
 		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		defer cancel()
-		srv.Shutdown(ctx)
+		srv.Shutdown(ctx) //lint:allow errcheck-hot best-effort drain at process exit
 	}
-	return srv, targets, shutdown
+	return &selfServeTier{srv: srv, handler: handler, reg: reg, targets: targets, shutdown: shutdown}
 }
 
 // buildTarget builds the single target for an external responder.
@@ -190,6 +272,38 @@ func report(res *loadgen.Result) {
 	if res.POST.Count() > 0 {
 		fmt.Printf("POST    %s\n", res.POST.String())
 	}
+}
+
+func reportCapacity(c *loadgen.Capacity) {
+	if c.Saturated {
+		fmt.Printf("capacity %d req/s (p%g ≤ %v; breaches at %d req/s; %d probes)\n",
+			c.MaxRate, 100*c.Quantile, c.SLO, c.FailRate, len(c.Probes))
+	} else {
+		fmt.Printf("capacity ≥ %d req/s (p%g ≤ %v; search ceiling reached; %d probes)\n",
+			c.MaxRate, 100*c.Quantile, c.SLO, len(c.Probes))
+	}
+	for _, pr := range c.Probes {
+		if pr.Rate == c.MaxRate && pr.Pass && pr.Result != nil {
+			fmt.Printf("at capacity: %s\n", pr.Result.Overall.String())
+			break
+		}
+	}
+}
+
+// emitCapacityBench prints the capacity search outcome in the same
+// benchjson-compatible shape as the fixed-rate lines: the iteration count
+// is the probe count, the values are the discovered ceiling and the tail
+// latency measured at it.
+func emitCapacityBench(name string, c *loadgen.Capacity) {
+	fmt.Println("pkg: github.com/netmeasure/muststaple/cmd/ocspload")
+	var p99 time.Duration
+	for _, pr := range c.Probes {
+		if pr.Rate == c.MaxRate && pr.Pass {
+			p99 = pr.Quantile
+		}
+	}
+	fmt.Printf("Benchmark%s 	 %8d 	 %d capacity-req/s 	 %d p99-ns/op\n",
+		name, len(c.Probes), c.MaxRate, p99.Nanoseconds())
 }
 
 // emitBench prints one `go test -bench`-shaped line per histogram so

@@ -45,9 +45,11 @@ type AnalyzerConfig struct {
 //   - errcheck-hot guards the responder/scanner/ocsp hot paths, where a
 //     discarded error silently corrupts a measurement, the durable
 //     store, where a discarded error silently loses one, the serving
-//     tier (ocspserver), where one drops a live response, and the
-//     streamed world-construction paths (world, census), where one
-//     silently truncates the certificate corpus.
+//     tier (ocspserver), where one drops a live response, the streamed
+//     world-construction paths (world, census), where one silently
+//     truncates the certificate corpus, and the load generator
+//     (loadgen), where one silently undercounts failures and inflates
+//     the measured capacity.
 func DefaultConfig() *Config {
 	return &Config{Analyzers: map[string]AnalyzerConfig{
 		"wallclock": {
@@ -66,6 +68,7 @@ func DefaultConfig() *Config {
 				".../internal/ocsp", ".../internal/crl",
 				".../internal/store", ".../internal/ocspserver",
 				".../internal/world", ".../internal/census",
+				".../internal/loadgen",
 			},
 		},
 	}}

@@ -48,6 +48,7 @@ func TestDefaultConfigScopes(t *testing.T) {
 		{"errcheck-hot", mod + "/internal/ocspserver", true},
 		{"errcheck-hot", mod + "/internal/world", true},
 		{"errcheck-hot", mod + "/internal/census", true},
+		{"errcheck-hot", mod + "/internal/loadgen", true},
 		{"errcheck-hot", mod + "/internal/report", false},
 	}
 	for _, c := range cases {

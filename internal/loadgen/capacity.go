@@ -1,0 +1,283 @@
+package loadgen
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"github.com/netmeasure/muststaple/internal/metrics"
+)
+
+// Capacity search closes the loop around the open-loop generator: instead
+// of measuring latency at one operator-chosen rate, it finds the highest
+// rate the server sustains within a latency SLO. Each probe is a short
+// fixed-rate open-loop run; the search doubles the rate geometrically from
+// StartRate until a probe breaches the SLO, then bisects between the last
+// passing and first failing rates. Because every probe is open-loop, a
+// saturated server shows up honestly as unbounded queueing delay in the
+// probe's tail quantile rather than as a silently reduced offered load —
+// which is exactly what makes the pass/fail edge sharp enough to bisect.
+
+// CapacityConfig shapes a capacity search.
+type CapacityConfig struct {
+	// Base supplies everything but Rate and Duration for each probe
+	// (workers, GET fraction, seed, timeout, clock, client).
+	Base Config
+	// SLO is the latency objective a probe must meet at Quantile.
+	SLO time.Duration
+	// Quantile is the latency quantile compared against SLO (0: 0.99).
+	Quantile float64
+	// StartRate is the first probed rate in req/s (0: 500).
+	StartRate int
+	// MaxRate caps the search (0: 1<<20). A server that sustains MaxRate
+	// reports MaxRate as its capacity with Saturated=false.
+	MaxRate int
+	// ProbeDuration is each probe's scheduling window (0: 3s).
+	ProbeDuration time.Duration
+	// Resolution stops the bisection when the bracket is within
+	// Resolution×(failing rate), relative (0: 0.05). The floor is 1 req/s.
+	Resolution float64
+	// MaxErrorFraction is the tolerated (transport+HTTP error)/scheduled
+	// share per probe; any 5xx fails a probe outright (0: 0.01).
+	MaxErrorFraction float64
+	// Registry, when set, receives per-probe progress gauges and a probe
+	// counter so a live /debug/vars poll shows the search converging.
+	Registry *metrics.Registry
+	// Progress, when set, is called synchronously after every probe.
+	Progress func(ProbeResult)
+
+	// probe overrides the probe runner in tests.
+	probe func(ctx context.Context, rate int) (*Result, error)
+}
+
+// ProbeResult records one probe of the search.
+type ProbeResult struct {
+	// Rate is the offered rate in req/s.
+	Rate int
+	// Pass reports whether the probe met the SLO and error budget.
+	Pass bool
+	// Quantile is the measured latency at the configured quantile.
+	Quantile time.Duration
+	// Result is the underlying open-loop run.
+	Result *Result
+}
+
+// Capacity is the outcome of a search.
+type Capacity struct {
+	// MaxRate is the highest probed rate that met the SLO, in req/s.
+	MaxRate int
+	// FailRate is the lowest probed rate that breached the SLO, 0 when
+	// the search hit the configured ceiling without ever failing.
+	FailRate int
+	// Saturated reports whether a breach bounded the search from above;
+	// false means MaxRate is the configured ceiling, not the server's.
+	Saturated bool
+	// SLO and Quantile echo the search's objective.
+	SLO      time.Duration
+	Quantile float64
+	// Probes lists every probe in execution order.
+	Probes []ProbeResult
+}
+
+// FindCapacity searches for the highest sustainable request rate under
+// cfg.SLO and returns the bracketing probes. It fails only when the very
+// first probe errors or no probe at any rate passes — a server that cannot
+// meet the SLO even at StartRate reports MaxRate 0 with Saturated=true.
+func FindCapacity(ctx context.Context, cfg CapacityConfig, targets []Target) (*Capacity, error) {
+	if cfg.SLO <= 0 {
+		return nil, errors.New("loadgen: capacity search needs a positive SLO")
+	}
+	quantile := cfg.Quantile
+	if quantile == 0 {
+		quantile = 0.99
+	}
+	if quantile <= 0 || quantile >= 1 {
+		return nil, fmt.Errorf("loadgen: quantile %v outside (0,1)", quantile)
+	}
+	startRate := cfg.StartRate
+	if startRate <= 0 {
+		startRate = 500
+	}
+	maxRate := cfg.MaxRate
+	if maxRate <= 0 {
+		maxRate = 1 << 20
+	}
+	if startRate > maxRate {
+		startRate = maxRate
+	}
+	probeDur := cfg.ProbeDuration
+	if probeDur <= 0 {
+		probeDur = 3 * time.Second
+	}
+	resolution := cfg.Resolution
+	if resolution <= 0 {
+		resolution = 0.05
+	}
+	maxErrFrac := cfg.MaxErrorFraction
+	if maxErrFrac == 0 {
+		maxErrFrac = 0.01
+	}
+
+	probe := cfg.probe
+	if probe == nil {
+		pcfg := cfg.Base
+		pcfg.Duration = probeDur
+		if pcfg.Client == nil {
+			// One client across all probes: connection warmup happens
+			// once, not per probe, so a probe's tail measures the server
+			// rather than fresh TCP handshakes. Sized for the largest
+			// worker pool Run auto-scales to.
+			timeout := pcfg.Timeout
+			if timeout == 0 {
+				timeout = 10 * time.Second
+			}
+			pcfg.Client = &http.Client{
+				Timeout: timeout,
+				Transport: &http.Transport{
+					MaxIdleConns:        256,
+					MaxIdleConnsPerHost: 256,
+				},
+			}
+		}
+		probe = func(ctx context.Context, rate int) (*Result, error) {
+			run := pcfg
+			run.Rate = rate
+			return Run(ctx, run, targets)
+		}
+	}
+
+	var (
+		gRate   *metrics.Gauge
+		gP99    *metrics.Gauge
+		gMax    *metrics.Gauge
+		cProbes *metrics.Counter
+	)
+	if cfg.Registry != nil {
+		gRate = cfg.Registry.Gauge("loadgen.capacity.probe.rate")
+		gP99 = cfg.Registry.Gauge("loadgen.capacity.probe.p99ns")
+		gMax = cfg.Registry.Gauge("loadgen.capacity.max-rate")
+		cProbes = cfg.Registry.Counter("loadgen.capacity.probes")
+	}
+
+	out := &Capacity{SLO: cfg.SLO, Quantile: quantile}
+
+	runProbe := func(rate int) (ProbeResult, error) {
+		if gRate != nil {
+			gRate.Set(int64(rate))
+		}
+		res, err := probe(ctx, rate)
+		if err != nil {
+			return ProbeResult{Rate: rate}, err
+		}
+		pr := ProbeResult{Rate: rate, Result: res}
+		pr.Quantile = time.Duration(res.Overall.Quantile(quantile))
+		scheduled := res.Scheduled
+		if scheduled == 0 {
+			scheduled = 1
+		}
+		errFrac := float64(res.TransportErrors+res.HTTPErrors) / float64(scheduled)
+		pr.Pass = res.Completed > 0 &&
+			res.Status5xx == 0 &&
+			errFrac <= maxErrFrac &&
+			pr.Quantile <= cfg.SLO
+		if cProbes != nil {
+			cProbes.Inc()
+			gP99.Set(int64(pr.Quantile))
+			if pr.Pass {
+				gMax.SetMax(int64(rate))
+			}
+		}
+		out.Probes = append(out.Probes, pr)
+		if cfg.Progress != nil {
+			cfg.Progress(pr)
+		}
+		return pr, nil
+	}
+
+	// A breach must confirm: short open-loop probes in shared
+	// environments have heavy-tailed noise (a GC pause or a noisy
+	// neighbor lands squarely in a 2–3s window's p99), and one bad
+	// window must not halve the reported capacity. A failing probe is
+	// re-run once and counts as a breach only if it fails again; both
+	// probes are recorded.
+	confirm := func(rate int) (ProbeResult, error) {
+		pr, err := runProbe(rate)
+		if err != nil || pr.Pass {
+			return pr, err
+		}
+		return runProbe(rate)
+	}
+
+	// Phase 1: geometric doubling until a probe fails or the ceiling is
+	// sustained. lo tracks the highest pass, hi the lowest fail.
+	lo, hi := 0, 0
+	rate := startRate
+	for {
+		pr, err := confirm(rate)
+		if err != nil {
+			// A context cancellation mid-search still reports what was
+			// learned so far if anything passed.
+			if lo > 0 && errors.Is(err, context.Canceled) {
+				out.MaxRate = lo
+				out.FailRate = hi
+				return out, nil
+			}
+			return nil, fmt.Errorf("loadgen: capacity probe at %d req/s: %w", rate, err)
+		}
+		if pr.Pass {
+			lo = rate
+			if rate >= maxRate {
+				out.MaxRate = lo
+				return out, nil // ceiling sustained, never saturated
+			}
+			rate *= 2
+			if rate > maxRate {
+				rate = maxRate
+			}
+			continue
+		}
+		hi = rate
+		out.Saturated = true
+		break
+	}
+
+	// Phase 2: bisect (lo, hi). lo==0 means even StartRate breached; the
+	// bisection then searches (0, StartRate) for any sustainable rate.
+	for hi-lo > resolutionStep(hi, resolution) {
+		mid := lo + (hi-lo)/2
+		if mid == lo {
+			break
+		}
+		pr, err := confirm(mid)
+		if err != nil {
+			if lo > 0 && errors.Is(err, context.Canceled) {
+				break
+			}
+			return nil, fmt.Errorf("loadgen: capacity probe at %d req/s: %w", mid, err)
+		}
+		if pr.Pass {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+
+	out.MaxRate = lo
+	out.FailRate = hi
+	if gMax != nil {
+		gMax.SetMax(int64(lo))
+	}
+	return out, nil
+}
+
+// resolutionStep is the bracket width at which bisection stops: a relative
+// share of the failing rate, floored at one request per second.
+func resolutionStep(hi int, resolution float64) int {
+	step := int(float64(hi) * resolution)
+	if step < 1 {
+		step = 1
+	}
+	return step
+}

@@ -1,0 +1,191 @@
+package loadgen
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"github.com/netmeasure/muststaple/internal/metrics"
+)
+
+// syntheticServer fabricates probe results for a server whose p99 is
+// latencyAt(rate): the search never touches the network, so the test pins
+// the doubling/bisection logic exactly.
+func syntheticServer(latencyAt func(rate int) time.Duration) func(context.Context, int) (*Result, error) {
+	return func(_ context.Context, rate int) (*Result, error) {
+		res := &Result{Scheduled: uint64(rate), Completed: uint64(rate)}
+		// Fill the histogram with a constant latency so every quantile
+		// reads the same value.
+		for i := 0; i < 64; i++ {
+			res.Overall.RecordDuration(latencyAt(rate))
+		}
+		res.Elapsed = time.Second
+		return res, nil
+	}
+}
+
+func TestFindCapacityBisects(t *testing.T) {
+	// A knee at 6000 req/s: below it 2ms, at or above it 80ms.
+	const knee = 6000
+	var probed []int
+	cfg := CapacityConfig{
+		SLO:       25 * time.Millisecond,
+		StartRate: 500,
+		MaxRate:   1 << 16,
+		probe: syntheticServer(func(rate int) time.Duration {
+			if rate >= knee {
+				return 80 * time.Millisecond
+			}
+			return 2 * time.Millisecond
+		}),
+		Progress: func(pr ProbeResult) { probed = append(probed, pr.Rate) },
+	}
+	c, err := FindCapacity(context.Background(), cfg, []Target{{URL: "x"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.Saturated {
+		t.Error("a breached SLO must report Saturated")
+	}
+	if c.MaxRate >= knee {
+		t.Errorf("MaxRate %d at or above the knee %d", c.MaxRate, knee)
+	}
+	if c.FailRate < knee {
+		t.Errorf("FailRate %d below the knee %d", c.FailRate, knee)
+	}
+	// Default resolution is 5% of the failing rate.
+	if gap := c.FailRate - c.MaxRate; gap > c.FailRate/10 {
+		t.Errorf("bracket %d..%d not converged (gap %d)", c.MaxRate, c.FailRate, gap)
+	}
+	// Doubling must start at StartRate and the first few probes double.
+	if len(probed) < 4 || probed[0] != 500 || probed[1] != 1000 || probed[2] != 2000 || probed[3] != 4000 {
+		t.Errorf("doubling phase went %v", probed)
+	}
+	if len(c.Probes) != len(probed) {
+		t.Errorf("Probes records %d, Progress saw %d", len(c.Probes), len(probed))
+	}
+}
+
+func TestFindCapacityCeilingSustained(t *testing.T) {
+	cfg := CapacityConfig{
+		SLO:       25 * time.Millisecond,
+		StartRate: 1000,
+		MaxRate:   8000,
+		probe:     syntheticServer(func(int) time.Duration { return time.Millisecond }),
+	}
+	c, err := FindCapacity(context.Background(), cfg, []Target{{URL: "x"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Saturated {
+		t.Error("never-breached search must not report Saturated")
+	}
+	if c.MaxRate != 8000 {
+		t.Errorf("MaxRate = %d, want the 8000 ceiling", c.MaxRate)
+	}
+	if c.FailRate != 0 {
+		t.Errorf("FailRate = %d, want 0 when nothing failed", c.FailRate)
+	}
+}
+
+func TestFindCapacityStartRateBreached(t *testing.T) {
+	// Even the first probe breaches: the bisection must search below
+	// StartRate and find the 100 req/s knee.
+	cfg := CapacityConfig{
+		SLO:        10 * time.Millisecond,
+		StartRate:  1000,
+		Resolution: 0.01,
+		probe: syntheticServer(func(rate int) time.Duration {
+			if rate > 100 {
+				return time.Second
+			}
+			return time.Millisecond
+		}),
+	}
+	c, err := FindCapacity(context.Background(), cfg, []Target{{URL: "x"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.Saturated {
+		t.Error("want Saturated")
+	}
+	if c.MaxRate < 90 || c.MaxRate > 100 {
+		t.Errorf("MaxRate = %d, want ~100", c.MaxRate)
+	}
+}
+
+func TestFindCapacityErrorBudget(t *testing.T) {
+	// Latency is always fine, but 5xx appear above 2000 req/s: the error
+	// budget, not the SLO, must bound the search.
+	cfg := CapacityConfig{
+		SLO:       time.Second,
+		StartRate: 500,
+		probe: func(_ context.Context, rate int) (*Result, error) {
+			res := &Result{Scheduled: uint64(rate), Completed: uint64(rate)}
+			res.Overall.RecordDuration(time.Millisecond)
+			if rate > 2000 {
+				res.Status5xx = 1
+				res.HTTPErrors = 1
+			}
+			return res, nil
+		},
+	}
+	c, err := FindCapacity(context.Background(), cfg, []Target{{URL: "x"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.MaxRate > 2000 {
+		t.Errorf("MaxRate = %d, want ≤2000 (5xx above that)", c.MaxRate)
+	}
+	if !c.Saturated {
+		t.Error("want Saturated via the error budget")
+	}
+}
+
+func TestFindCapacityRegistryProgress(t *testing.T) {
+	reg := metrics.NewRegistry()
+	cfg := CapacityConfig{
+		SLO:       25 * time.Millisecond,
+		StartRate: 1000,
+		MaxRate:   4000,
+		Registry:  reg,
+		probe:     syntheticServer(func(int) time.Duration { return time.Millisecond }),
+	}
+	c, err := FindCapacity(context.Background(), cfg, []Target{{URL: "x"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.Counter("loadgen.capacity.probes").Value(); got != int64(len(c.Probes)) {
+		t.Errorf("probes counter = %d, want %d", got, len(c.Probes))
+	}
+	if got := reg.Gauge("loadgen.capacity.max-rate").Value(); got != int64(c.MaxRate) {
+		t.Errorf("max-rate gauge = %d, want %d", got, c.MaxRate)
+	}
+	if got := reg.Gauge("loadgen.capacity.probe.rate").Value(); got != 4000 {
+		t.Errorf("probe.rate gauge = %d, want the last probed rate 4000", got)
+	}
+}
+
+func TestFindCapacityValidation(t *testing.T) {
+	if _, err := FindCapacity(context.Background(), CapacityConfig{}, nil); err == nil {
+		t.Error("zero SLO must fail")
+	}
+	if _, err := FindCapacity(context.Background(), CapacityConfig{SLO: time.Second, Quantile: 1.5}, nil); err == nil {
+		t.Error("quantile outside (0,1) must fail")
+	}
+}
+
+func TestFindCapacityProbeError(t *testing.T) {
+	boom := errors.New("boom")
+	cfg := CapacityConfig{
+		SLO:       time.Second,
+		StartRate: 100,
+		probe: func(context.Context, int) (*Result, error) {
+			return nil, boom
+		},
+	}
+	if _, err := FindCapacity(context.Background(), cfg, []Target{{URL: "x"}}); !errors.Is(err, boom) {
+		t.Errorf("want wrapped probe error, got %v", err)
+	}
+}

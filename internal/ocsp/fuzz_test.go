@@ -157,3 +157,32 @@ func TestResponseRoundTripProperty(t *testing.T) {
 		}
 	}
 }
+
+// FuzzDecodeGETPath pins the lenient reference decoder (DecodeGETPath)
+// and the zero-allocation serving-tier decoder (AppendDecodeGETPath) to
+// each other: for every input, both must agree on accept-vs-reject, and
+// on acceptance both must produce identical bytes. The seed corpus is
+// the acceptance-test corpus plus escape/padding/alphabet edge cases.
+func FuzzDecodeGETPath(f *testing.F) {
+	for _, tc := range decodeGETPathCorpus {
+		f.Add(tc.path)
+	}
+	f.Add("")
+	f.Add("/")
+	f.Add("%")
+	f.Add("%2")
+	f.Add("%2F%2f")
+	f.Add("AAAA====")
+	f.Add("_-_-_-_-")
+	f.Add("+/=%0A")
+	f.Fuzz(func(t *testing.T, path string) {
+		want, wantErr := DecodeGETPath(path)
+		got, gotErr := AppendDecodeGETPath(nil, path)
+		if (wantErr == nil) != (gotErr == nil) {
+			t.Fatalf("error mismatch for %q: DecodeGETPath=%v AppendDecodeGETPath=%v", path, wantErr, gotErr)
+		}
+		if wantErr == nil && string(want) != string(got) {
+			t.Fatalf("byte mismatch for %q: %x vs %x", path, want, got)
+		}
+	})
+}

@@ -152,32 +152,46 @@ func TestFetchBoundsResponseSize(t *testing.T) {
 	}
 }
 
+// decodeGETPathCorpus is the lenient-decoder acceptance corpus: every
+// base64 dialect clients emit (standard and url-safe alphabets, with and
+// without '=' padding, with '/', '+', '=' percent-escaped), DER chosen so
+// the base64 hits '+', '/', and padding: 0xfb 0xef 0xbe → "++++",
+// 0xff 0xef → "/+8=". It doubles as the FuzzDecodeGETPath seed corpus
+// pinning DecodeGETPath and AppendDecodeGETPath to each other.
+var decodeGETPathCorpus = []struct {
+	name string
+	path string
+	want []byte // nil: the path must be rejected
+}{
+	{"canonical", EncodeGETPath([]byte{0xfb, 0xef, 0xbe}), []byte{0xfb, 0xef, 0xbe}},
+	{"std-plain", "++++", []byte{0xfb, 0xef, 0xbe}},
+	{"urlsafe", "----", []byte{0xfb, 0xef, 0xbe}},
+	{"std-padded", "++8=", []byte{0xfb, 0xef}},
+	{"stripped-padding", "++8", []byte{0xfb, 0xef}},
+	// url-safe '_' normalizes to '/' mid-decode without being
+	// mistaken for a path separator.
+	{"urlsafe-stripped", "_-8", []byte{0xff, 0xef}},
+	// A percent-escaped '/' survives because escapes are resolved
+	// after path splitting, never before.
+	{"escaped-slash-plus", "%2F%2B8%3D", []byte{0xff, 0xef}},
+	{"leading-path-slash", "/++8=", []byte{0xfb, 0xef}},
+	{"bad-alphabet", "@@@@", nil},
+	{"bad-escape", "%zz", nil},
+	{"bad-length", "a", nil},
+	{"truncated-escape", "++8%3", nil},
+	{"interior-padding", "+=+8", nil},
+}
+
 func TestDecodeGETPathVariants(t *testing.T) {
-	// The serving tier must decode every base64 dialect clients emit:
-	// standard and url-safe alphabets, with and without '=' padding, and
-	// with '/', '+', '=' percent-escaped. DER chosen so the base64 hits
-	// '+', '/', and padding: 0xfb 0xef 0xbe → "++++", 0xff 0xef → "/+8=".
-	cases := []struct {
-		name string
-		path string
-		want []byte
-	}{
-		{"canonical", EncodeGETPath([]byte{0xfb, 0xef, 0xbe}), []byte{0xfb, 0xef, 0xbe}},
-		{"std-plain", "++++", []byte{0xfb, 0xef, 0xbe}},
-		{"urlsafe", "----", []byte{0xfb, 0xef, 0xbe}},
-		{"std-padded", "++8=", []byte{0xfb, 0xef}},
-		{"stripped-padding", "++8", []byte{0xfb, 0xef}},
-		// url-safe '_' normalizes to '/' mid-decode without being
-		// mistaken for a path separator.
-		{"urlsafe-stripped", "_-8", []byte{0xff, 0xef}},
-		// A percent-escaped '/' survives because escapes are resolved
-		// after path splitting, never before.
-		{"escaped-slash-plus", "%2F%2B8%3D", []byte{0xff, 0xef}},
-		{"leading-path-slash", "/++8=", []byte{0xfb, 0xef}},
-	}
-	for _, tc := range cases {
+	for _, tc := range decodeGETPathCorpus {
 		t.Run(tc.name, func(t *testing.T) {
 			got, err := DecodeGETPath(tc.path)
+			if tc.want == nil {
+				if err == nil {
+					t.Fatalf("DecodeGETPath(%q) succeeded, want error", tc.path)
+				}
+				return
+			}
 			if err != nil {
 				t.Fatalf("DecodeGETPath(%q): %v", tc.path, err)
 			}
@@ -186,10 +200,43 @@ func TestDecodeGETPathVariants(t *testing.T) {
 			}
 		})
 	}
+}
 
-	for _, bad := range []string{"@@@@", "%zz", "a"} {
-		if _, err := DecodeGETPath(bad); err == nil {
-			t.Errorf("DecodeGETPath(%q) succeeded, want error", bad)
+// TestAppendDecodeGETPathMatchesDecode pins the zero-allocation decoder
+// to the reference one over the whole corpus, including append-to-prefix
+// and reused-capacity calling patterns.
+func TestAppendDecodeGETPathMatchesDecode(t *testing.T) {
+	scratch := make([]byte, 0, 64)
+	for _, tc := range decodeGETPathCorpus {
+		want, wantErr := DecodeGETPath(tc.path)
+		got, gotErr := AppendDecodeGETPath(nil, tc.path)
+		if (wantErr == nil) != (gotErr == nil) {
+			t.Fatalf("%s: error mismatch: DecodeGETPath=%v AppendDecodeGETPath=%v", tc.name, wantErr, gotErr)
+		}
+		if wantErr == nil && string(got) != string(want) {
+			t.Fatalf("%s: AppendDecodeGETPath = %x, want %x", tc.name, got, want)
+		}
+
+		prefix := []byte("pfx")
+		appended, err := AppendDecodeGETPath(prefix, tc.path)
+		if (wantErr == nil) != (err == nil) {
+			t.Fatalf("%s: append-form error mismatch: %v vs %v", tc.name, wantErr, err)
+		}
+		if err == nil && string(appended) != "pfx"+string(want) {
+			t.Fatalf("%s: append form = %q, want %q", tc.name, appended, "pfx"+string(want))
+		}
+
+		reused, err := AppendDecodeGETPath(scratch[:0], tc.path)
+		if (wantErr == nil) != (err == nil) {
+			t.Fatalf("%s: reused-scratch error mismatch: %v vs %v", tc.name, wantErr, err)
+		}
+		if err == nil {
+			if string(reused) != string(want) {
+				t.Fatalf("%s: reused scratch = %x, want %x", tc.name, reused, want)
+			}
+			if cap(reused) > cap(scratch) {
+				scratch = reused[:0]
+			}
 		}
 	}
 }

@@ -28,6 +28,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 
 	"github.com/netmeasure/muststaple/internal/clock"
 	"github.com/netmeasure/muststaple/internal/metrics"
@@ -56,10 +57,46 @@ type Handler struct {
 	single  *responder.Responder
 	tenants *Registry
 	routes  *routeCache
+	fast    *fastCache
 
 	clk             clock.Clock
 	reg             *metrics.Registry
 	maxRequestBytes int
+
+	// Hot-path counters, resolved once at construction: the per-request
+	// path must not pay a registry map lookup, and the serve-source
+	// counter name must not be concatenated per request. When no metrics
+	// registry is configured these are standalone counters (still
+	// readable through FastPathStats), so the hot path never branches on
+	// instrumentation.
+	cRequests, cGET, cPost *metrics.Counter
+	cSourceCache           *metrics.Counter
+	cFastHit, cFastMiss    *metrics.Counter
+	cFastEvict             *metrics.Counter
+}
+
+// initCounters resolves the hot-path counters, after options have run.
+func (h *Handler) initCounters() {
+	counter := func(name string) *metrics.Counter {
+		if h.reg != nil {
+			return h.reg.Counter(name)
+		}
+		return &metrics.Counter{}
+	}
+	h.cRequests = counter("ocspserver.requests")
+	h.cGET = counter("ocspserver.get")
+	h.cPost = counter("ocspserver.post")
+	h.cSourceCache = counter("ocspserver.source.cache")
+	h.cFastHit = counter("ocspserver.fastpath.hit")
+	h.cFastMiss = counter("ocspserver.fastpath.miss")
+	h.cFastEvict = counter("ocspserver.fastpath.evict")
+}
+
+// FastPathStats returns the GET fast-path memo's lifetime hit, miss, and
+// eviction counts. With WithMetrics these also appear in the registry
+// (and therefore /debug/vars) as ocspserver.fastpath.{hit,miss,evict}.
+func (h *Handler) FastPathStats() (hits, misses, evictions uint64) {
+	return uint64(h.cFastHit.Value()), uint64(h.cFastMiss.Value()), uint64(h.cFastEvict.Value())
 }
 
 // HandlerOption configures a Handler at construction.
@@ -84,20 +121,22 @@ func WithClock(clk clock.Clock) HandlerOption {
 
 // NewHandler fronts a single responder core.
 func NewHandler(r *responder.Responder, opts ...HandlerOption) *Handler {
-	h := &Handler{single: r, maxRequestBytes: DefaultMaxRequestBytes}
+	h := &Handler{single: r, fast: newFastCache(), maxRequestBytes: DefaultMaxRequestBytes}
 	for _, o := range opts {
 		o(h)
 	}
+	h.initCounters()
 	return h
 }
 
 // NewMultiTenantHandler fronts a registry of per-CA tenants, routing
 // each request by its issuer hash.
 func NewMultiTenantHandler(reg *Registry, opts ...HandlerOption) *Handler {
-	h := &Handler{tenants: reg, routes: newRouteCache(), maxRequestBytes: DefaultMaxRequestBytes}
+	h := &Handler{tenants: reg, routes: newRouteCache(), fast: newFastCache(), maxRequestBytes: DefaultMaxRequestBytes}
 	for _, o := range opts {
 		o(h)
 	}
+	h.initCounters()
 	return h
 }
 
@@ -121,13 +160,13 @@ func (h *Handler) clockFor(r *responder.Responder) clock.Clock {
 
 // ServeHTTP implements OCSP over HTTP for the serving tier.
 func (h *Handler) ServeHTTP(w http.ResponseWriter, req *http.Request) {
-	h.count("ocspserver.requests")
+	h.cRequests.Inc()
 	switch req.Method {
 	case http.MethodPost:
-		h.count("ocspserver.post")
+		h.cPost.Inc()
 		h.servePOST(w, req)
 	case http.MethodGet:
-		h.count("ocspserver.get")
+		h.cGET.Inc()
 		h.serveGET(w, req)
 	default:
 		h.count("ocspserver.rejected.method")
@@ -156,19 +195,48 @@ func (h *Handler) servePOST(w http.ResponseWriter, req *http.Request) {
 		http.Error(w, "request too large", http.StatusRequestEntityTooLarge)
 		return
 	}
-	h.respond(w, req, buf.Bytes())
+	h.respond(w, req, buf.Bytes(), "")
 }
 
+// Precomputed header values for the fast path: direct map assignment
+// with already-canonical keys skips http.Header.Set's per-call slice
+// allocation and key canonicalization. "Etag" is ETag's canonical MIME
+// form (what Set("ETag", ...) stores), so both paths share one map key.
+var (
+	contentTypeResponseVal = []string{ocsp.ContentTypeResponse}
+	sourceCacheVal         = []string{responder.SourceCache.String()}
+)
+
 func (h *Handler) serveGET(w http.ResponseWriter, req *http.Request) {
-	// EscapedPath keeps percent-escapes intact, so an escaped '/' inside
-	// the base64 is not mistaken for a path separator.
-	raw := req.URL.EscapedPath()
+	// The escaped path keeps percent-escapes intact, so an escaped '/'
+	// inside the base64 is not mistaken for a path separator. This is
+	// EscapedPath's semantics, read from the URL's fields directly:
+	// RawPath is set exactly when the request line's escaped form
+	// differs from the decoded path, and EscapedPath's revalidation of
+	// that invariant (already enforced by the server's URL parse)
+	// re-unescapes the path, allocating on every escaped request.
+	raw := req.URL.RawPath
+	if raw == "" {
+		raw = req.URL.Path
+	}
 	if len(raw) > maxGETPathBytes {
 		h.count("ocspserver.rejected.oversize")
 		http.Error(w, "request URI too long", http.StatusRequestURITooLong)
 		return
 	}
-	reqDER, err := ocsp.DecodeGETPath(raw)
+	if h.serveFast(w, raw) {
+		return
+	}
+	// Miss: decode into a pooled buffer. The decoded DER does not
+	// outlive respond (the responder and route caches copy what they
+	// keep), so the serving tier's steady-state miss path allocates no
+	// decode garbage either.
+	scratch := pkixutil.GetBytes()
+	defer pkixutil.PutBytes(scratch)
+	reqDER, err := ocsp.AppendDecodeGETPath((*scratch)[:0], raw)
+	if err == nil && cap(reqDER) > cap(*scratch) {
+		*scratch = reqDER[:0] // keep the grown backing array pooled
+	}
 	if err != nil || len(reqDER) == 0 {
 		// Undecodable paths get a well-formed OCSP malformedRequest
 		// answer with 200, not an HTTP error: OCSP clients understand
@@ -183,12 +251,56 @@ func (h *Handler) serveGET(w http.ResponseWriter, req *http.Request) {
 		http.Error(w, "request too large", http.StatusRequestEntityTooLarge)
 		return
 	}
-	h.respond(w, req, reqDER)
+	h.respond(w, req, reqDER, raw)
+}
+
+// serveFast serves a GET from the fast-path memo. A hit writes the
+// memoized body and headers without decoding, parsing, routing, or
+// formatting anything — zero allocations (BenchmarkServeGETHot enforces
+// this). Returns false (a recorded miss) when no current entry matches;
+// the caller then takes the slow path, which refills the memo.
+func (h *Handler) serveFast(w http.ResponseWriter, raw string) bool {
+	e := h.fast.get(fnv64str(raw), raw)
+	if e == nil {
+		h.cFastMiss.Inc()
+		return false
+	}
+	now := h.clockFor(e.tenant).Now()
+	nowNano := now.UnixNano()
+	win, gen := e.tenant.ServingEpoch(now)
+	if win != e.epochWindow || gen != e.epochGen || nowNano >= e.nextUpdate {
+		// The window rolled, a revocation landed, or the response
+		// expired: the entry is dead. The slow path overwrites it.
+		h.cFastMiss.Inc()
+		return false
+	}
+	h.cFastHit.Inc()
+	h.cSourceCache.Inc()
+	hdr := w.Header()
+	hdr["Content-Type"] = contentTypeResponseVal
+	hdr[responder.SourceHeader] = sourceCacheVal
+	secs := (e.nextUpdate - nowNano) / int64(time.Second)
+	cc := e.cc.Load()
+	if cc == nil || cc.secs != secs {
+		cc = &ccVal{secs: secs, vals: []string{cacheControlValue(secs)}}
+		e.cc.Store(cc)
+	}
+	hdr["Cache-Control"] = cc.vals
+	hdr["Expires"] = e.expires
+	hdr["Last-Modified"] = e.lastMod
+	hdr["Etag"] = e.etag
+	w.Write(e.der)
+	return true
+}
+
+func cacheControlValue(secs int64) string {
+	return "max-age=" + strconv.FormatInt(secs, 10) + ", public, no-transform, must-revalidate"
 }
 
 // respond routes the raw request DER to its tenant and frames the
-// result.
-func (h *Handler) respond(w http.ResponseWriter, req *http.Request, reqDER []byte) {
+// result. rawPath is the escaped GET path for memoizable requests, ""
+// for POSTs (whose responses RFC 5019 §6 forbids caching anyway).
+func (h *Handler) respond(w http.ResponseWriter, req *http.Request, reqDER []byte, rawPath string) {
 	r, ok := h.route(reqDER)
 	if !ok {
 		h.count("ocspserver.malformed")
@@ -200,6 +312,18 @@ func (h *Handler) respond(w http.ResponseWriter, req *http.Request, reqDER []byt
 		h.writeStatic(w, staticError(ocsp.StatusUnauthorized))
 		return
 	}
+	// Capture the tenant's serving epoch before generating: if the
+	// update window rolls (or a revocation lands) while Respond runs,
+	// the result is served but not memoized — an entry must never be
+	// published under an epoch it was not generated in.
+	memo := rawPath != "" && r.FastServeEligible()
+	var (
+		memoWin int64
+		memoGen uint64
+	)
+	if memo {
+		memoWin, memoGen = r.ServingEpoch(h.clockFor(r).Now())
+	}
 	res, err := r.Respond(req.Context(), reqDER)
 	if err != nil {
 		// The client canceled or timed out mid-request; nothing useful
@@ -207,7 +331,11 @@ func (h *Handler) respond(w http.ResponseWriter, req *http.Request, reqDER []byt
 		h.count("ocspserver.canceled")
 		return
 	}
-	h.count("ocspserver.source." + res.Source.String())
+	if res.Source == responder.SourceCache {
+		h.cSourceCache.Inc()
+	} else {
+		h.count("ocspserver.source." + res.Source.String())
+	}
 	hdr := w.Header()
 	hdr.Set("Content-Type", ocsp.ContentTypeResponse)
 	hdr.Set(responder.SourceHeader, res.Source.String())
@@ -219,12 +347,33 @@ func (h *Handler) respond(w http.ResponseWriter, req *http.Request, reqDER []byt
 	if req.Method == http.MethodGet && res.HasMeta && !res.Meta.NextUpdate.IsZero() {
 		now := h.clockFor(r).Now()
 		if maxAge := res.Meta.NextUpdate.Sub(now); maxAge > 0 {
-			hdr.Set("Cache-Control",
-				"max-age="+strconv.Itoa(int(maxAge.Seconds()))+", public, no-transform, must-revalidate")
-			hdr.Set("Expires", res.Meta.NextUpdate.UTC().Format(http.TimeFormat))
-			hdr.Set("Last-Modified", res.Meta.ThisUpdate.UTC().Format(http.TimeFormat))
+			secs := int64(maxAge / time.Second)
+			ccStr := cacheControlValue(secs)
+			expires := res.Meta.NextUpdate.UTC().Format(http.TimeFormat)
+			lastMod := res.Meta.ThisUpdate.UTC().Format(http.TimeFormat)
 			sum := sha1.Sum(res.DER)
-			hdr.Set("ETag", `"`+hex.EncodeToString(sum[:])+`"`)
+			etag := `"` + hex.EncodeToString(sum[:]) + `"`
+			hdr.Set("Cache-Control", ccStr)
+			hdr.Set("Expires", expires)
+			hdr.Set("Last-Modified", lastMod)
+			hdr.Set("ETag", etag)
+			if memo && !res.Malformed && res.Source != responder.SourceStatic {
+				if w2, g2 := r.ServingEpoch(now); w2 == memoWin && g2 == memoGen {
+					e := &fastEntry{
+						path:        rawPath,
+						tenant:      r,
+						epochWindow: memoWin,
+						epochGen:    memoGen,
+						nextUpdate:  res.Meta.NextUpdate.UnixNano(),
+						der:         res.DER,
+						expires:     []string{expires},
+						lastMod:     []string{lastMod},
+						etag:        []string{etag},
+					}
+					e.cc.Store(&ccVal{secs: secs, vals: []string{ccStr}})
+					h.cFastEvict.Add(h.fast.put(fnv64str(rawPath), e))
+				}
+			}
 		}
 	}
 	w.Write(res.DER)

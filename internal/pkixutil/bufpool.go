@@ -33,3 +33,32 @@ func PutBuffer(b *bytes.Buffer) {
 	}
 	bufPool.Put(b)
 }
+
+// The slice pool is the raw-[]byte sibling of the buffer pool, for hot
+// paths that decode into a caller-sized slice (append-style APIs) rather
+// than stream through a bytes.Buffer — most importantly the serving
+// tier's GET-path base64 decode, which runs once per cache-missing
+// request under load.
+
+var bytesPool = sync.Pool{New: func() any {
+	b := make([]byte, 0, 4096)
+	return &b
+}}
+
+// GetBytes returns a pooled byte slice with length 0. Callers must not
+// retain the slice (or any reslice of it) past PutBytes.
+func GetBytes() *[]byte {
+	b := bytesPool.Get().(*[]byte)
+	*b = (*b)[:0]
+	return b
+}
+
+// PutBytes returns a slice obtained from GetBytes to the pool. Callers
+// that grew the slice should store the grown slice back through the
+// pointer first, so the pool keeps the larger backing array.
+func PutBytes(b *[]byte) {
+	if b == nil || cap(*b) > maxPooledBuffer {
+		return
+	}
+	bytesPool.Put(b)
+}

@@ -403,6 +403,43 @@ func (r *Responder) CacheStats() (hits, misses uint64) {
 	return r.cache.hits.Load(), r.cache.misses.Load()
 }
 
+// ServingEpoch identifies the serving epoch at virtual time now for
+// transport-level memoization: the start of the current update window
+// (UnixNano) plus the revocation database's status generation. Two calls
+// returning equal pairs are guaranteed to produce byte-identical
+// responses for byte-identical requests on a FastServeEligible responder,
+// so a transport may replay a stored (response, headers) pair verbatim
+// while the epoch holds. The generation component is conservative: a
+// mid-window Revoke does not change a window-cached response's bytes
+// (§2.2 — stale status serves until rollover), but bumping the epoch on
+// it merely forces a refill that reproduces the same bytes.
+func (r *Responder) ServingEpoch(now time.Time) (window int64, gen uint64) {
+	if r.Profile.CacheResponses {
+		window = r.windowStart(now).UnixNano()
+	} else {
+		window = now.UnixNano()
+	}
+	if r.DB != nil {
+		gen = r.DB.Generation()
+	}
+	return window, gen
+}
+
+// FastServeEligible reports whether this responder's configuration admits
+// transport-level response memoization keyed on (request bytes, serving
+// epoch). Only window-cached, single-instance, well-formed-body profiles
+// qualify: on-demand signers key on the exact instant (nothing to replay
+// across requests), multi-instance farms are incoherent by design, and
+// malformed/error profiles may be time-windowed so their bodies cannot be
+// pinned to an update-window epoch.
+func (r *Responder) FastServeEligible() bool {
+	return !r.onDemandSign &&
+		r.Profile.CacheResponses &&
+		r.Profile.Instances <= 1 &&
+		r.Profile.Malformed == MalformedNone &&
+		r.Profile.ErrorStatus == ocsp.StatusSuccessful
+}
+
 func (r *Responder) signerAndCert() (crypto.Signer, *x509.Certificate) {
 	if r.Signer != nil && r.SignerCert != nil {
 		return r.Signer, r.SignerCert

@@ -565,3 +565,57 @@ func readAll(t testing.TB, resp *http.Response) []byte {
 	}
 	return buf.Bytes()
 }
+
+func TestServingEpoch(t *testing.T) {
+	f := newFixture(t)
+	r := f.responder(NewProfile(WithValidity(24*time.Hour), WithCachedResponses(12*time.Hour)))
+	// The responder phases its windows per host, so anchor safely inside
+	// one: a second past the start of the window containing t0.
+	now := r.windowStart(f.clk.Now()).Add(time.Second)
+
+	win1, gen1 := r.ServingEpoch(now)
+	win2, gen2 := r.ServingEpoch(now.Add(time.Minute))
+	if win1 != win2 || gen1 != gen2 {
+		t.Error("epoch changed within one update window")
+	}
+	// Crossing a window boundary changes the window half of the epoch.
+	win3, _ := r.ServingEpoch(now.Add(13 * time.Hour))
+	if win3 == win1 {
+		t.Error("epoch window did not advance across an update boundary")
+	}
+	// A database write (revocation) bumps the generation half.
+	f.db.Revoke(f.leaf.Certificate.SerialNumber, now, 1)
+	_, gen3 := r.ServingEpoch(now)
+	if gen3 == gen1 {
+		t.Error("epoch generation did not advance on revocation")
+	}
+
+	// An uncached responder's window moves with every instant: no two
+	// calls may share an epoch, so nothing gets memoized against it.
+	u := f.responder(NewProfile(WithValidity(24 * time.Hour)))
+	uw1, _ := u.ServingEpoch(now)
+	uw2, _ := u.ServingEpoch(now.Add(time.Nanosecond))
+	if uw1 == uw2 {
+		t.Error("uncached responder reused a serving epoch")
+	}
+}
+
+func TestFastServeEligible(t *testing.T) {
+	f := newFixture(t)
+	cached := NewProfile(WithValidity(24*time.Hour), WithCachedResponses(12*time.Hour))
+	if !f.responder(cached).FastServeEligible() {
+		t.Error("window-cached single-instance responder must be eligible")
+	}
+	cases := map[string]*Responder{
+		"uncached":   f.responder(NewProfile(WithValidity(24 * time.Hour))),
+		"on-demand":  New("ocsp.resp.test", f.ca, f.db, f.clk, cached, WithOnDemandSigning()),
+		"farm":       f.responder(NewProfile(WithValidity(24*time.Hour), WithCachedResponses(12*time.Hour), WithInstances(3, time.Hour))),
+		"malformed":  f.responder(NewProfile(WithValidity(24*time.Hour), WithCachedResponses(12*time.Hour), WithMalformed(MalformedTruncated))),
+		"error-stat": f.responder(NewProfile(WithValidity(24*time.Hour), WithCachedResponses(12*time.Hour), WithErrorStatus(ocsp.StatusTryLater))),
+	}
+	for name, r := range cases {
+		if r.FastServeEligible() {
+			t.Errorf("%s responder must not be fast-serve eligible", name)
+		}
+	}
+}

@@ -67,11 +67,51 @@ func appendObservation(b []byte, o *scanner.Observation) []byte {
 	return b
 }
 
+// internTable deduplicates decoded string fields across the records of
+// one scan. Observation streams repeat Vantage, Responder, Domain, and
+// Serial values heavily (a campaign has a handful of vantages and
+// responders, and retries repeat whole identities), so handing back one
+// shared string per distinct value cuts scan decoding from one
+// allocation per string field to one per distinct value. The map is
+// capped: a stream with unbounded distinct values (e.g. random serials)
+// degrades to plain allocation instead of growing the table forever.
+type internTable struct {
+	m map[string]string
+}
+
+// internTableCap bounds the distinct values remembered per scan. 4096
+// comfortably covers real campaigns (vantages × responders × domains in
+// the thousands) at well under a megabyte of table.
+const internTableCap = 4096
+
+func newInternTable() *internTable {
+	return &internTable{m: make(map[string]string, 64)}
+}
+
+// intern returns the canonical string for b, allocating only on first
+// sight. The m[string(b)] lookup compiles to a no-allocation map probe.
+func (t *internTable) intern(b []byte) string {
+	if s, ok := t.m[string(b)]; ok {
+		return s
+	}
+	s := string(b)
+	if len(t.m) < internTableCap {
+		t.m[s] = s
+	}
+	return s
+}
+
 // decodeObservation decodes a payload produced by appendObservation. It
 // never panics on corrupt input: every error is reported, including
 // trailing garbage (a strict codec keeps the fuzz round-trip exact).
 func decodeObservation(b []byte) (scanner.Observation, error) {
-	d := decoder{b: b}
+	return decodeObservationInterned(b, nil)
+}
+
+// decodeObservationInterned is decodeObservation with the scan-shared
+// intern table threaded through; it is nil for one-shot decodes.
+func decodeObservationInterned(b []byte, it *internTable) (scanner.Observation, error) {
+	d := decoder{b: b, intern: it}
 	var o scanner.Observation
 	o.At = d.time()
 	o.Vantage = d.string()
@@ -142,9 +182,10 @@ func appendTime(b []byte, t time.Time) []byte {
 // decoder is a cursor over an encoded payload. The first error sticks and
 // turns every later read into a no-op, so call sites stay linear.
 type decoder struct {
-	b   []byte
-	off int
-	err error
+	b      []byte
+	off    int
+	err    error
+	intern *internTable // nil: strings allocate per field
 }
 
 func (d *decoder) fail(format string, args ...any) {
@@ -188,9 +229,12 @@ func (d *decoder) string() string {
 		d.fail("string length %d exceeds remaining %d bytes", n, len(d.b)-d.off)
 		return ""
 	}
-	s := string(d.b[d.off : d.off+int(n)])
+	raw := d.b[d.off : d.off+int(n)]
 	d.off += int(n)
-	return s
+	if d.intern != nil {
+		return d.intern.intern(raw)
+	}
+	return string(raw)
 }
 
 // rawByte reads one uninterpreted byte (the corpus record's flag field).

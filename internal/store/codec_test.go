@@ -1,9 +1,11 @@
 package store
 
 import (
+	"fmt"
 	"reflect"
 	"testing"
 	"time"
+	"unsafe"
 
 	"github.com/netmeasure/muststaple/internal/ocsp"
 	"github.com/netmeasure/muststaple/internal/pkixutil"
@@ -149,4 +151,49 @@ func FuzzRecordRoundTrip(f *testing.F) {
 			t.Fatalf("value round trip unstable:\n got %+v\nwant %+v", again, got)
 		}
 	})
+}
+
+func TestInternTableDedupsAndCaps(t *testing.T) {
+	it := newInternTable()
+	a1 := it.intern([]byte("vantage-1"))
+	a2 := it.intern([]byte("vantage-1"))
+	if a1 != "vantage-1" || a2 != "vantage-1" {
+		t.Fatalf("intern returned %q, %q", a1, a2)
+	}
+	// Same backing string object, not just equal bytes.
+	if unsafe.StringData(a1) != unsafe.StringData(a2) {
+		t.Error("repeated intern did not return the shared string")
+	}
+	// Past the cap the table stops remembering but stays correct.
+	for i := 0; i < internTableCap+16; i++ {
+		v := []byte(fmt.Sprintf("v-%d", i))
+		if got := it.intern(v); got != string(v) {
+			t.Fatalf("intern(%q) = %q", v, got)
+		}
+	}
+	if len(it.m) > internTableCap {
+		t.Errorf("table grew to %d entries, cap is %d", len(it.m), internTableCap)
+	}
+}
+
+func TestDecodeObservationInternedMatchesPlain(t *testing.T) {
+	variant := fullObservation()
+	variant.Vantage = "ap-south"
+	variant.Serial = ""
+	obs := []scanner.Observation{fullObservation(), {}, variant, fullObservation()}
+	it := newInternTable()
+	for i, o := range obs {
+		payload := appendObservation(nil, &o)
+		plain, err := decodeObservation(payload)
+		if err != nil {
+			t.Fatalf("obs %d: %v", i, err)
+		}
+		interned, err := decodeObservationInterned(payload, it)
+		if err != nil {
+			t.Fatalf("obs %d interned: %v", i, err)
+		}
+		if !reflect.DeepEqual(plain, interned) {
+			t.Errorf("obs %d: interned decode diverges:\nplain    %+v\ninterned %+v", i, plain, interned)
+		}
+	}
 }

@@ -57,9 +57,15 @@ func (s *Store) Reader() *Reader {
 // everything inside the snapshot limits was durably committed, so a
 // framing or checksum failure here is data corruption and an error.
 func (r *Reader) Scan(fn func(scanner.Observation) error) error {
-	var buf []byte
+	// Scan-level scratch, shared by every segment: one payload buffer,
+	// one record-header buffer, and one string intern table, so steady
+	// state decoding allocates only for values the scan has never seen.
+	scratch := scanScratch{
+		hdr:    make([]byte, recordHeaderSize),
+		intern: newInternTable(),
+	}
 	for _, seg := range r.segs {
-		if err := scanReaderSegment(seg, &buf, fn); err != nil {
+		if err := scanReaderSegment(seg, &scratch, fn); err != nil {
 			if errors.Is(err, ErrStop) {
 				return nil
 			}
@@ -69,7 +75,13 @@ func (r *Reader) Scan(fn func(scanner.Observation) error) error {
 	return nil
 }
 
-func scanReaderSegment(seg readerSeg, buf *[]byte, fn func(scanner.Observation) error) error {
+type scanScratch struct {
+	buf    []byte
+	hdr    []byte
+	intern *internTable
+}
+
+func scanReaderSegment(seg readerSeg, scratch *scanScratch, fn func(scanner.Observation) error) error {
 	f, err := os.Open(seg.path)
 	if err != nil {
 		return err
@@ -81,7 +93,7 @@ func scanReaderSegment(seg readerSeg, buf *[]byte, fn func(scanner.Observation) 
 		return err
 	}
 	off := int64(segHeaderSize)
-	hdr := make([]byte, recordHeaderSize)
+	hdr := scratch.hdr
 	for off < seg.limit {
 		if _, err := io.ReadFull(lr, hdr); err != nil {
 			return fmt.Errorf("store: %s offset %d: truncated record header inside committed range: %w", seg.path, off, err)
@@ -91,17 +103,17 @@ func scanReaderSegment(seg readerSeg, buf *[]byte, fn func(scanner.Observation) 
 		if length == 0 || length > maxRecordSize {
 			return fmt.Errorf("store: %s offset %d: impossible record length %d", seg.path, off, length)
 		}
-		if int(length) > cap(*buf) {
-			*buf = make([]byte, length)
+		if int(length) > cap(scratch.buf) {
+			scratch.buf = make([]byte, length)
 		}
-		payload := (*buf)[:length]
+		payload := scratch.buf[:length]
 		if _, err := io.ReadFull(lr, payload); err != nil {
 			return fmt.Errorf("store: %s offset %d: truncated record inside committed range: %w", seg.path, off, err)
 		}
 		if crc32.Checksum(payload, crcTable) != sum {
 			return fmt.Errorf("store: %s offset %d: record failed its checksum", seg.path, off)
 		}
-		o, err := decodeObservation(payload)
+		o, err := decodeObservationInterned(payload, scratch.intern)
 		if err != nil {
 			return fmt.Errorf("store: %s offset %d: %w", seg.path, off, err)
 		}
