@@ -39,6 +39,11 @@
 #                 current one (via cmd/benchjson -compare); warns and
 #                 succeeds when either snapshot is missing, so fresh
 #                 clones and CI runs without archives don't fail.
+#   racecheck   — focused race-detector pass over the concurrent hot-path
+#                 packages (serving tier, load generator, responder,
+#                 scanner, store, engine core) under -short, so the
+#                 data-race gate on the paths the lint contracts annotate
+#                 runs in minutes, not the full-suite tier-2 budget.
 #   crash-recovery — end-to-end durability check: runs a campaign, kills
 #                 a second run mid-round via the store failpoint, resumes
 #                 it, and asserts the resumed figures match
@@ -46,7 +51,13 @@
 
 GO ?= go
 
-.PHONY: all tier1 tier2 loadcheck capacitycheck memcheck bench-guard bench bench-snapshot bench-compare crash-recovery vet fmt fmt-check lint
+# The concurrent hot-path packages: every package that either serves the
+# request path, drives load at it, or feeds it. racecheck and the
+# //lint:allocfree contracts (DESIGN.md §15) cover the same surface.
+RACE_PKGS = ./internal/ocspserver ./internal/loadgen ./internal/responder \
+	./internal/scanner ./internal/store ./internal/core
+
+.PHONY: all tier1 tier2 loadcheck capacitycheck memcheck racecheck bench-guard bench bench-snapshot bench-compare crash-recovery vet fmt fmt-check lint
 
 all: tier1
 
@@ -54,8 +65,13 @@ tier1: vet fmt-check lint
 	$(GO) build ./...
 	$(GO) test ./...
 
-tier2: vet lint loadcheck capacitycheck memcheck
+tier2: vet lint racecheck loadcheck capacitycheck memcheck
 	$(GO) test -race ./...
+
+# racecheck is the quick race gate: -short keeps each package's suite to
+# its fast paths, so the whole pass stays well under the full -race run.
+racecheck:
+	$(GO) test -race -short $(RACE_PKGS)
 
 # loadcheck boots a self-contained serving tier (own CA, loopback
 # listener) and drives a 2s open-loop burst; -check fails the run on
@@ -91,7 +107,8 @@ fmt:
 fmt-check: fmt
 
 # lint runs the repo's determinism/concurrency analyzers (internal/lint,
-# cmd/repolint). See DESIGN.md §10.
+# cmd/repolint). See DESIGN.md §10 and §15. Add -json for machine-readable
+# findings or -timing for per-analyzer wall time.
 lint:
 	$(GO) run ./cmd/repolint ./...
 

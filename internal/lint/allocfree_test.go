@@ -1,0 +1,27 @@
+package lint_test
+
+import (
+	"testing"
+
+	"github.com/netmeasure/muststaple/internal/lint"
+	"github.com/netmeasure/muststaple/internal/lint/linttest"
+)
+
+func TestAllocFreeFindings(t *testing.T) {
+	linttest.Run(t, lint.AllocFreeAnalyzer, "testdata/allocfree/bad", "example.com/repo/internal/ocspserver")
+}
+
+func TestAllocFreeSuppression(t *testing.T) {
+	linttest.Run(t, lint.AllocFreeAnalyzer, "testdata/allocfree/suppressed", "example.com/repo/internal/ocspserver")
+}
+
+func TestAllocFreeClean(t *testing.T) {
+	linttest.Run(t, lint.AllocFreeAnalyzer, "testdata/allocfree/clean", "example.com/repo/internal/ocspserver")
+}
+
+// TestAllocFreeRegression is the seeded regression: serveGET's shape
+// with the EscapedPath-per-request allocation reintroduced must fail
+// with a diagnostic naming the callee.
+func TestAllocFreeRegression(t *testing.T) {
+	linttest.Run(t, lint.AllocFreeAnalyzer, "testdata/allocfree/regression", "example.com/repo/internal/ocspserver")
+}

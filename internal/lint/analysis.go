@@ -22,15 +22,23 @@ import (
 	"go/types"
 )
 
-// Analyzer is one named check. Run inspects a single type-checked package
-// via the Pass and reports findings with Pass.Reportf.
+// Analyzer is one named check. Per-package analyzers set Run, which
+// inspects a single type-checked package via the Pass and reports
+// findings with Pass.Reportf. Dataflow analyzers whose invariant spans
+// packages (a field must be accessed atomically *everywhere*, a lock
+// order must be acyclic *module-wide*) set RunModule instead, which
+// receives every in-scope package at once.
 type Analyzer struct {
 	// Name identifies the analyzer in output and in //lint:allow comments.
 	Name string
 	// Doc is a one-paragraph description: the invariant guarded and why.
 	Doc string
-	// Run performs the check.
+	// Run performs the check on one package. Nil for module analyzers.
 	Run func(*Pass) error
+	// RunModule performs the check across every in-scope package in one
+	// call. Nil for per-package analyzers. Exactly one of Run/RunModule
+	// must be set.
+	RunModule func(*ModulePass) error
 }
 
 // Pass carries one package's syntax and type information to an analyzer.
@@ -42,8 +50,12 @@ type Pass struct {
 	Files []*ast.File
 	Pkg   *types.Package
 	Info  *types.Info
+	// Dir is the package's source directory (escape facts are produced by
+	// compiling it).
+	Dir string
 
-	report func(Diagnostic)
+	report  func(Diagnostic)
+	escapes func() (*EscapeFacts, error)
 }
 
 // Reportf records a finding at pos.
@@ -51,6 +63,58 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	p.report(Diagnostic{
 		Analyzer: p.Analyzer.Name,
 		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// ReportPosf records a finding at an already-resolved file position —
+// the shape escape-analysis facts arrive in, which have no token.Pos in
+// the pass's FileSet.
+func (p *Pass) ReportPosf(pos token.Position, format string, args ...any) {
+	p.report(Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      pos,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// EscapeFacts returns the compiler's escape-analysis verdicts for the
+// package under analysis (from `go build -gcflags=-m`), memoized per
+// package directory. Analyzers that consult it must tolerate an error:
+// a package that does not compile standalone simply has no facts.
+func (p *Pass) EscapeFacts() (*EscapeFacts, error) {
+	if p.escapes == nil {
+		return nil, fmt.Errorf("lint: no escape-analysis source configured for %s", p.Pkg.Path())
+	}
+	return p.escapes()
+}
+
+// ModulePass carries every in-scope package to a module-wide analyzer.
+type ModulePass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	// Pkgs are the packages the analyzer's config admits, in deterministic
+	// import-path order.
+	Pkgs []*LoadedPackage
+
+	report func(Diagnostic)
+}
+
+// Reportf records a finding at pos.
+func (p *ModulePass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// ReportPosf records a finding at an already-resolved position (used
+// when the position was captured in an earlier phase of the module walk).
+func (p *ModulePass) ReportPosf(pos token.Position, format string, args ...any) {
+	p.report(Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      pos,
 		Message:  fmt.Sprintf(format, args...),
 	})
 }

@@ -1,0 +1,201 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// AtomicSafeAnalyzer enforces all-or-nothing atomicity: once any code in
+// the module accesses a variable through sync/atomic (atomic.LoadInt32,
+// atomic.StoreInt64, atomic.CompareAndSwapUint64, ...), every access to
+// that variable anywhere in the module must be atomic too. A single
+// plain read racing one atomic store is undefined under the Go memory
+// model — the reader can observe a torn or stale value forever — and the
+// race detector only catches it on the schedules the tests happen to
+// drive. The fast-path memo and the sharded caches mix atomic fields
+// with mutex-guarded ones in the same structs, which is exactly where a
+// plain access slips in during review.
+//
+// The check is module-wide dataflow over two passes: pass one records
+// every variable whose address is taken inside a sync/atomic call (the
+// typed atomic.Int64/atomic.Pointer wrappers need no tracking — their
+// internals are unexported, so mixed access is unrepresentable); pass
+// two flags every other read, write, or address-of of those variables.
+// Initialization before publication (building a struct single-threaded
+// before handing it out) is the one legitimate mixed pattern, and it is
+// exactly what a reasoned //lint:allow atomicsafe annotation is for.
+var AtomicSafeAnalyzer = &Analyzer{
+	Name: "atomicsafe",
+	Doc: "a variable accessed via sync/atomic anywhere must be accessed atomically " +
+		"everywhere; plain reads and writes of atomic variables race",
+	RunModule: runAtomicSafe,
+}
+
+// atomicUse records where a variable was first seen inside a sync/atomic
+// call, for quoting in diagnostics.
+type atomicUse struct {
+	fn  string // the atomic function, e.g. "StoreInt32"
+	pos token.Position
+}
+
+func runAtomicSafe(mp *ModulePass) error {
+	// Pass one: every variable whose address feeds a sync/atomic call.
+	// Loader packages share one importer, so a field's *types.Var is
+	// identical across every package that touches it and map identity is
+	// the cross-package join.
+	tracked := make(map[*types.Var]atomicUse)
+	for _, p := range mp.Pkgs {
+		for _, f := range p.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				fn := atomicCallee(p.Info, call)
+				if fn == nil {
+					return true
+				}
+				for _, arg := range call.Args {
+					v := addressedVar(p.Info, arg)
+					if v == nil {
+						continue
+					}
+					if _, seen := tracked[v]; !seen {
+						tracked[v] = atomicUse{fn: fn.Name(), pos: mp.Fset.Position(arg.Pos())}
+					}
+				}
+				return true
+			})
+		}
+	}
+	if len(tracked) == 0 {
+		return nil
+	}
+
+	// Pass two: every other use of a tracked variable. Uses inside a
+	// sync/atomic call's arguments are the sanctioned ones; everything
+	// else is a plain access.
+	for _, p := range mp.Pkgs {
+		for _, f := range p.Files {
+			checkAtomicFile(mp, p, f, tracked)
+		}
+	}
+	return nil
+}
+
+// atomicCallee returns the sync/atomic package function a call invokes,
+// or nil. Methods on the typed wrappers (atomic.Int64.Load, ...) return
+// nil: the wrapper's field is private, so no plain access can exist.
+func atomicCallee(info *types.Info, call *ast.CallExpr) *types.Func {
+	fn := calleeOf(info, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+		return nil
+	}
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		return nil
+	}
+	return fn
+}
+
+// addressedVar resolves &expr to the field or variable whose address is
+// taken, or nil when arg is not a simple address-of.
+func addressedVar(info *types.Info, arg ast.Expr) *types.Var {
+	u, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+	if !ok || u.Op != token.AND {
+		return nil
+	}
+	switch x := ast.Unparen(u.X).(type) {
+	case *ast.Ident:
+		v, _ := info.Uses[x].(*types.Var)
+		return v
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[x]; ok {
+			v, _ := sel.Obj().(*types.Var)
+			return v
+		}
+		v, _ := info.Uses[x.Sel].(*types.Var)
+		return v
+	}
+	return nil
+}
+
+// checkAtomicFile reports the plain accesses of tracked variables in one
+// file. A use is sanctioned iff it lies inside an argument of a
+// sync/atomic call; writes (assignment targets, ++/--) are distinguished
+// from reads in the message because a racing plain write is the worse bug.
+func checkAtomicFile(mp *ModulePass, p *LoadedPackage, f *ast.File, tracked map[*types.Var]atomicUse) {
+	// Spans of sync/atomic call arguments: uses inside them are atomic.
+	var sanctioned []span
+	ast.Inspect(f, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok && atomicCallee(p.Info, call) != nil {
+			for _, arg := range call.Args {
+				sanctioned = append(sanctioned, span{arg.Pos(), arg.End()})
+			}
+		}
+		return true
+	})
+	// Assignment targets and ++/-- operands, for read/write classification.
+	writes := make(map[ast.Expr]bool)
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				writes[ast.Unparen(lhs)] = true
+			}
+		case *ast.IncDecStmt:
+			writes[ast.Unparen(n.X)] = true
+		}
+		return true
+	})
+
+	report := func(use ast.Expr, v *types.Var) {
+		if inSpans(sanctioned, use.Pos()) {
+			return
+		}
+		kind := "read of"
+		if writes[use] {
+			kind = "write to"
+		}
+		first := tracked[v]
+		mp.Reportf(use.Pos(),
+			"plain %s %s, which is accessed via atomic.%s at %s:%d; mixed plain/atomic access races — use sync/atomic here or suppress with a reason",
+			kind, v.Name(), first.fn, shortPath(first.pos.Filename), first.pos.Line)
+	}
+
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SelectorExpr:
+			if sel, ok := p.Info.Selections[n]; ok {
+				if v, ok := sel.Obj().(*types.Var); ok {
+					if _, hit := tracked[v]; hit {
+						report(n, v)
+					}
+					return false // don't re-report via the Sel ident
+				}
+			}
+		case *ast.Ident:
+			if v, ok := p.Info.Uses[n].(*types.Var); ok {
+				if _, hit := tracked[v]; hit {
+					report(n, v)
+				}
+			}
+		case *ast.KeyValueExpr:
+			// A keyed composite literal writing a tracked field is a plain
+			// write too; the key ident resolves through Uses below, so just
+			// descend.
+		}
+		return true
+	})
+}
+
+type span struct{ lo, hi token.Pos }
+
+func inSpans(spans []span, p token.Pos) bool {
+	for _, s := range spans {
+		if p >= s.lo && p < s.hi {
+			return true
+		}
+	}
+	return false
+}

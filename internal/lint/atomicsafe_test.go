@@ -1,0 +1,20 @@
+package lint_test
+
+import (
+	"testing"
+
+	"github.com/netmeasure/muststaple/internal/lint"
+	"github.com/netmeasure/muststaple/internal/lint/linttest"
+)
+
+func TestAtomicSafeFindings(t *testing.T) {
+	linttest.Run(t, lint.AtomicSafeAnalyzer, "testdata/atomicsafe/bad", "example.com/repo/internal/metrics")
+}
+
+func TestAtomicSafeSuppression(t *testing.T) {
+	linttest.Run(t, lint.AtomicSafeAnalyzer, "testdata/atomicsafe/suppressed", "example.com/repo/internal/metrics")
+}
+
+func TestAtomicSafeClean(t *testing.T) {
+	linttest.Run(t, lint.AtomicSafeAnalyzer, "testdata/atomicsafe/clean", "example.com/repo/internal/metrics")
+}

@@ -50,6 +50,14 @@ type AnalyzerConfig struct {
 //     truncates the certificate corpus, and the load generator
 //     (loadgen), where one silently undercounts failures and inflates
 //     the measured capacity.
+//   - allocfree guards the internal/ tree: the //lint:allocfree
+//     contracts live on the serving hot paths (ocspserver fast path,
+//     responder cached path, store scan decode), and escape analysis is
+//     only consulted in packages that declare a contract.
+//   - atomicsafe, lockorder, and leakcheck are module-wide (everywhere,
+//     including cmd/): a plain access races an atomic one wherever it
+//     lives, a lock cycle spans packages by nature, and leaked
+//     goroutines in a main() are leaks all the same.
 func DefaultConfig() *Config {
 	return &Config{Analyzers: map[string]AnalyzerConfig{
 		"wallclock": {
@@ -70,6 +78,9 @@ func DefaultConfig() *Config {
 				".../internal/world", ".../internal/census",
 				".../internal/loadgen",
 			},
+		},
+		"allocfree": {
+			Only: []string{".../internal/..."},
 		},
 	}}
 }

@@ -1,0 +1,84 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"path/filepath"
+)
+
+// Shared dataflow helpers for the function-granular analyzers
+// (allocfree, atomicsafe, lockorder, leakcheck): directive detection on
+// declarations and type-resolved callee lookup.
+
+// hasDirective reports whether the doc comment group carries the given
+// machine directive (e.g. //lint:allocfree) as a line of its own.
+// Trailing text after a space is tolerated so a directive can carry a
+// short note, but //lint:allocfreeX does not match //lint:allocfree.
+func hasDirective(doc *ast.CommentGroup, directive string) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		if c.Text == directive {
+			return true
+		}
+		if len(c.Text) > len(directive) && c.Text[:len(directive)] == directive {
+			switch c.Text[len(directive)] {
+			case ' ', '\t':
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// calleeOf resolves the function or method a call statically invokes,
+// through the type information so aliased imports and method sets do not
+// confuse it. It returns nil for builtins, conversions, and dynamic
+// calls through function values (whose allocation behaviour the
+// compiler's escape facts cover instead).
+func calleeOf(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := info.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok {
+			fn, _ := sel.Obj().(*types.Func)
+			return fn
+		}
+		// Package-qualified call: pkg.Func.
+		fn, _ := info.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+// builtinName returns the name of the builtin a call expression invokes
+// ("append", "make", ...), or "" when the callee is not a builtin.
+func builtinName(info *types.Info, fun ast.Expr) string {
+	id, ok := ast.Unparen(fun).(*ast.Ident)
+	if !ok {
+		return ""
+	}
+	if b, ok := info.Uses[id].(*types.Builtin); ok {
+		return b.Name()
+	}
+	return ""
+}
+
+// shortPath reduces an absolute filename to its basename for quoting
+// inside diagnostic messages (the position prefix already carries the
+// full path of the primary site).
+func shortPath(filename string) string {
+	return filepath.Base(filename)
+}
+
+// isStringType reports whether t's underlying type is string.
+func isStringType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}

@@ -1,0 +1,285 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// LeakCheckAnalyzer flags goroutines with no termination path and
+// time.Ticker/time.Timer values that are never stopped. A goroutine
+// whose body loops forever without a return, break, channel receive,
+// select, or context poll can never be shut down: every campaign,
+// serving-tier test, and benchmark that starts one leaks it, and at the
+// load generator's fleet sizes leaked goroutines distort the next
+// measurement's scheduler behavior. Unstopped tickers pin a runtime
+// timer (and their goroutine's wakeups) until GC finds them — in a
+// process that runs many campaigns back-to-back they accumulate.
+//
+// The check is per-package dataflow over the spawned body: `go` on a
+// function literal or a same-package function/method is resolved to its
+// body, and each unconditional `for` loop in it must contain termination
+// evidence — a return or break, a channel receive (<-ch, including
+// select and range-over-channel), or a context.Context method call
+// (ctx.Err polling). Tickers and timers must have a Stop call on the
+// same variable in the constructing function; handing the value away (a
+// return, field store, call argument, or channel send) transfers
+// ownership and ends the check.
+var LeakCheckAnalyzer = &Analyzer{
+	Name: "leakcheck",
+	Doc: "goroutines must have a termination path (return/break, channel receive, " +
+		"select, or ctx poll in every unconditional loop) and time.Ticker/time.Timer " +
+		"values must be stopped or handed off",
+	RunModule: runLeakCheck,
+}
+
+func runLeakCheck(mp *ModulePass) error {
+	for _, p := range mp.Pkgs {
+		decls := packageFuncDecls(p)
+		for _, f := range p.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.GoStmt:
+					checkGoStmt(mp, p, n, decls)
+				case *ast.FuncDecl:
+					if n.Body != nil {
+						checkTimerOwnership(mp, p, n.Body)
+					}
+				case *ast.FuncLit:
+					checkTimerOwnership(mp, p, n.Body)
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// packageFuncDecls indexes the package's function and method declarations
+// by their object, so `go pkgFunc(...)` and `go recv.method(...)` resolve
+// to bodies.
+func packageFuncDecls(p *LoadedPackage) map[types.Object]*ast.FuncDecl {
+	decls := make(map[types.Object]*ast.FuncDecl)
+	for _, f := range p.Files {
+		for _, d := range f.Decls {
+			if fn, ok := d.(*ast.FuncDecl); ok && fn.Body != nil {
+				if obj := p.Info.Defs[fn.Name]; obj != nil {
+					decls[obj] = fn
+				}
+			}
+		}
+	}
+	return decls
+}
+
+// checkGoStmt resolves the spawned body and reports unconditional loops
+// with no termination evidence.
+func checkGoStmt(mp *ModulePass, p *LoadedPackage, g *ast.GoStmt, decls map[types.Object]*ast.FuncDecl) {
+	var body *ast.BlockStmt
+	name := "goroutine"
+	switch fun := ast.Unparen(g.Call.Fun).(type) {
+	case *ast.FuncLit:
+		body = fun.Body
+	default:
+		callee := calleeOf(p.Info, g.Call)
+		if callee == nil {
+			return // dynamic call; nothing to inspect
+		}
+		decl, ok := decls[callee]
+		if !ok {
+			return // body lives in another package; checked there if spawned there
+		}
+		body = decl.Body
+		name = callee.Name()
+	}
+	forEachUnconditionalLoop(body, func(loop *ast.ForStmt) {
+		if loopHasTermination(p.Info, loop) {
+			return
+		}
+		mp.Reportf(g.Pos(),
+			"%s loops forever with no termination path (no return, break, channel receive, select, or ctx poll in the loop); plumb a ctx or done channel so it can be stopped",
+			name)
+	})
+}
+
+// forEachUnconditionalLoop visits every `for { ... }` (no condition) in
+// body, without descending into nested function literals (their spawner
+// is responsible for them).
+func forEachUnconditionalLoop(body *ast.BlockStmt, fn func(*ast.ForStmt)) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.ForStmt:
+			if n.Cond == nil && n.Init == nil && n.Post == nil {
+				fn(n)
+			}
+		}
+		return true
+	})
+}
+
+// loopHasTermination reports whether the loop body contains any exit
+// evidence: a return or break, a channel receive (unary <-, select, or
+// range over a channel), or a call to a context.Context method. Nested
+// function literals are not entered.
+func loopHasTermination(info *types.Info, loop *ast.ForStmt) bool {
+	found := false
+	ast.Inspect(loop.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.ReturnStmt:
+			found = true
+		case *ast.BranchStmt:
+			if n.Tok == token.BREAK || n.Tok == token.GOTO {
+				found = true
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				found = true
+			}
+		case *ast.SelectStmt:
+			found = true
+		case *ast.RangeStmt:
+			if t := info.TypeOf(n.X); t != nil {
+				if _, isChan := t.Underlying().(*types.Chan); isChan {
+					found = true
+				}
+			}
+		case *ast.CallExpr:
+			if sel, ok := n.Fun.(*ast.SelectorExpr); ok {
+				if t := info.TypeOf(sel.X); t != nil && isContextType(t) {
+					found = true
+				}
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// checkTimerOwnership reports time.NewTicker/NewTimer results with no
+// Stop call in the constructing function and no ownership transfer. The
+// walk is per function body; nested literals are visited as their own
+// functions by the caller, so each New binding is checked exactly once,
+// in the body that performs it.
+func checkTimerOwnership(mp *ModulePass, p *LoadedPackage, body *ast.BlockStmt) {
+	type binding struct {
+		v    *types.Var
+		kind string
+		pos  token.Pos
+	}
+	var bindings []binding
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok && n.Pos() != body.Pos() {
+			return false
+		}
+		assign, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for i, rhs := range assign.Rhs {
+			kind := timerConstructor(p.Info, rhs)
+			if kind == "" || i >= len(assign.Lhs) {
+				continue
+			}
+			id, ok := assign.Lhs[i].(*ast.Ident)
+			if !ok {
+				continue // stored straight into a field or index: handed off
+			}
+			v, _ := p.Info.Defs[id].(*types.Var)
+			if v == nil {
+				v, _ = p.Info.Uses[id].(*types.Var)
+			}
+			if v != nil {
+				bindings = append(bindings, binding{v: v, kind: kind, pos: rhs.Pos()})
+			}
+		}
+		return true
+	})
+	for _, b := range bindings {
+		stopped, transferred := timerDisposition(p.Info, body, b.v)
+		if !stopped && !transferred {
+			mp.Reportf(b.pos,
+				"time.%s result is never stopped in this function; the timer leaks until GC — defer %s.Stop() or hand the value off",
+				b.kind, b.v.Name())
+		}
+	}
+}
+
+// timerConstructor reports which timer constructor the expression calls:
+// "NewTicker", "NewTimer", or "".
+func timerConstructor(info *types.Info, expr ast.Expr) string {
+	call, ok := ast.Unparen(expr).(*ast.CallExpr)
+	if !ok {
+		return ""
+	}
+	fn := calleeOf(info, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "time" {
+		return ""
+	}
+	if fn.Name() == "NewTicker" || fn.Name() == "NewTimer" {
+		return fn.Name()
+	}
+	return ""
+}
+
+// timerDisposition scans every use of v in the function body (nested
+// literals included — a deferred closure calling Stop counts) and
+// reports whether the timer is stopped and whether its value escapes the
+// function's ownership: returned, assigned elsewhere, passed as an
+// argument, sent on a channel, or stored in a composite.
+func timerDisposition(info *types.Info, body *ast.BlockStmt, v *types.Var) (stopped, transferred bool) {
+	usesVar := func(e ast.Expr) bool {
+		id, ok := ast.Unparen(e).(*ast.Ident)
+		return ok && info.Uses[id] == v
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if sel, ok := n.Fun.(*ast.SelectorExpr); ok && usesVar(sel.X) {
+				if sel.Sel.Name == "Stop" {
+					stopped = true
+				}
+				return true
+			}
+			for _, arg := range n.Args {
+				if usesVar(arg) {
+					transferred = true
+				}
+			}
+		case *ast.ReturnStmt:
+			for _, r := range n.Results {
+				if usesVar(r) {
+					transferred = true
+				}
+			}
+		case *ast.SendStmt:
+			if usesVar(n.Value) {
+				transferred = true
+			}
+		case *ast.AssignStmt:
+			for _, r := range n.Rhs {
+				if usesVar(r) {
+					transferred = true
+				}
+			}
+		case *ast.CompositeLit:
+			for _, el := range n.Elts {
+				if kv, ok := el.(*ast.KeyValueExpr); ok {
+					if usesVar(kv.Value) {
+						transferred = true
+					}
+				} else if usesVar(el) {
+					transferred = true
+				}
+			}
+		}
+		return true
+	})
+	return stopped, transferred
+}

@@ -1,0 +1,20 @@
+package lint_test
+
+import (
+	"testing"
+
+	"github.com/netmeasure/muststaple/internal/lint"
+	"github.com/netmeasure/muststaple/internal/lint/linttest"
+)
+
+func TestLeakCheckFindings(t *testing.T) {
+	linttest.Run(t, lint.LeakCheckAnalyzer, "testdata/leakcheck/bad", "example.com/repo/internal/loadgen")
+}
+
+func TestLeakCheckSuppression(t *testing.T) {
+	linttest.Run(t, lint.LeakCheckAnalyzer, "testdata/leakcheck/suppressed", "example.com/repo/internal/loadgen")
+}
+
+func TestLeakCheckClean(t *testing.T) {
+	linttest.Run(t, lint.LeakCheckAnalyzer, "testdata/leakcheck/clean", "example.com/repo/internal/loadgen")
+}

@@ -39,6 +39,9 @@ type Loader struct {
 	mu    sync.Mutex
 	pkgs  map[string]*loadPkg // by resolved import path
 	byDir map[string]*loadPkg // by source directory, for vendor ImportMaps
+
+	escMu   sync.Mutex
+	escapes map[string]*escapeResult // -gcflags=-m verdicts, by package dir
 }
 
 // loadPkg mirrors the subset of `go list -json` output the loader needs,

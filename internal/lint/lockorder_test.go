@@ -1,0 +1,20 @@
+package lint_test
+
+import (
+	"testing"
+
+	"github.com/netmeasure/muststaple/internal/lint"
+	"github.com/netmeasure/muststaple/internal/lint/linttest"
+)
+
+func TestLockOrderFindings(t *testing.T) {
+	linttest.Run(t, lint.LockOrderAnalyzer, "testdata/lockorder/bad", "example.com/repo/internal/store")
+}
+
+func TestLockOrderSuppression(t *testing.T) {
+	linttest.Run(t, lint.LockOrderAnalyzer, "testdata/lockorder/suppressed", "example.com/repo/internal/store")
+}
+
+func TestLockOrderClean(t *testing.T) {
+	linttest.Run(t, lint.LockOrderAnalyzer, "testdata/lockorder/clean", "example.com/repo/internal/store")
+}

@@ -1,6 +1,9 @@
 package lint
 
-// All returns every analyzer in the suite, in reporting order.
+// All returns every analyzer in the suite, in reporting order: the six
+// AST-level checks from PR 4, then the dataflow-aware layer (allocfree,
+// atomicsafe, lockorder, leakcheck) guarding the serving hot paths'
+// zero-allocation contracts and the module's concurrency invariants.
 func All() []*Analyzer {
 	return []*Analyzer{
 		WallclockAnalyzer,
@@ -9,5 +12,9 @@ func All() []*Analyzer {
 		LockSafeAnalyzer,
 		CtxFirstAnalyzer,
 		ErrCheckHotAnalyzer,
+		AllocFreeAnalyzer,
+		AtomicSafeAnalyzer,
+		LockOrderAnalyzer,
+		LeakCheckAnalyzer,
 	}
 }

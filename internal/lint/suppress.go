@@ -3,6 +3,7 @@ package lint
 import (
 	"go/ast"
 	"go/token"
+	"path/filepath"
 	"strings"
 )
 
@@ -13,7 +14,11 @@ import (
 // on the flagged line, or alone on the line directly above it, silences
 // that analyzer's findings for that line. The reason is mandatory: a
 // suppression without one is itself reported, so every exemption in the
-// tree carries its justification next to the code.
+// tree carries its justification next to the code. A bare directive is a
+// finding even when it suppresses nothing — copied-in fixture code must
+// not smuggle reasonless exemptions into the tree — except under
+// internal/lint/testdata, where fixtures deliberately carry bare
+// directives to exercise this very rule.
 
 const allowPrefix = "//lint:allow"
 
@@ -22,13 +27,27 @@ type allowDirective struct {
 	analyzer string
 	reason   string
 	pos      token.Position
+	// matched records whether any diagnostic resolved against this
+	// directive; an unmatched bare directive is reported by sweepBareAllows.
+	matched bool
 }
 
-// collectAllows gathers the directives of every file in the pass, keyed
-// by "filename:line" for both the directive's own line and the line
-// below it (so a directive suppresses findings on either).
-func collectAllows(fset *token.FileSet, files []*ast.File) map[string][]*allowDirective {
-	allows := make(map[string][]*allowDirective)
+// allowSet is every //lint:allow directive of one or more packages: the
+// byLine index resolves diagnostics (a directive suppresses its own line
+// and the line below), and the ordered all list drives the bare-directive
+// sweep.
+type allowSet struct {
+	byLine map[string][]*allowDirective
+	all    []*allowDirective
+}
+
+// collectAllows gathers the directives of the given files into dst
+// (allocating it on first use), keyed by "filename:line" for both the
+// directive's own line and the line below it.
+func collectAllows(dst *allowSet, fset *token.FileSet, files []*ast.File) {
+	if dst.byLine == nil {
+		dst.byLine = make(map[string][]*allowDirective)
+	}
 	for _, f := range files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
@@ -45,14 +64,14 @@ func collectAllows(fset *token.FileSet, files []*ast.File) map[string][]*allowDi
 					reason:   strings.TrimSpace(reason),
 					pos:      fset.Position(c.Pos()),
 				}
+				dst.all = append(dst.all, d)
 				for _, line := range []int{d.pos.Line, d.pos.Line + 1} {
 					key := lineKey(d.pos.Filename, line)
-					allows[key] = append(allows[key], d)
+					dst.byLine[key] = append(dst.byLine[key], d)
 				}
 			}
 		}
 	}
-	return allows
 }
 
 func lineKey(filename string, line int) string {
@@ -76,8 +95,9 @@ func itoa(n int) string {
 // applyAllows filters diagnostics through the directives: a matching
 // directive with a reason drops the finding; a matching directive with no
 // reason converts the finding into a "suppression needs a reason" one at
-// the same site, so the gate still fails.
-func applyAllows(diags []Diagnostic, allows map[string][]*allowDirective) []Diagnostic {
+// the same site, so the gate still fails. Matched directives are marked,
+// so sweepBareAllows can report the unmatched bare remainder.
+func applyAllows(diags []Diagnostic, allows *allowSet) []Diagnostic {
 	var kept []Diagnostic
 	for _, d := range diags {
 		dir := matchAllow(allows, d)
@@ -95,11 +115,49 @@ func applyAllows(diags []Diagnostic, allows map[string][]*allowDirective) []Diag
 	return kept
 }
 
-func matchAllow(allows map[string][]*allowDirective, d Diagnostic) *allowDirective {
-	for _, dir := range allows[lineKey(d.Pos.Filename, d.Pos.Line)] {
+func matchAllow(allows *allowSet, d Diagnostic) *allowDirective {
+	for _, dir := range allows.byLine[lineKey(d.Pos.Filename, d.Pos.Line)] {
 		if dir.analyzer == d.Analyzer {
+			dir.matched = true
 			return dir
 		}
 	}
 	return nil
+}
+
+// sweepBareAllows reports every reasonless directive that suppressed
+// nothing — dead weight at best, a copied-in fixture exemption waiting to
+// hide a real finding at worst. The linttest fixture tree is the single
+// exemption: fixtures under internal/lint/testdata carry bare directives
+// on purpose, to pin the "suppressed without a reason" conversion.
+func sweepBareAllows(allows *allowSet) []Diagnostic {
+	var out []Diagnostic
+	for _, dir := range allows.all {
+		if dir.reason != "" || dir.matched || fixtureExempt(dir.pos.Filename) {
+			continue
+		}
+		name := dir.analyzer
+		if name == "" {
+			name = "<analyzer>"
+		}
+		out = append(out, Diagnostic{
+			Analyzer: "allow",
+			Pos:      dir.pos,
+			Message:  "bare //lint:allow " + dir.analyzer + " suppresses nothing here and carries no reason; delete it or write //lint:allow " + name + " <why this site is exempt>",
+		})
+	}
+	return out
+}
+
+// fixtureExempt reports whether filename lies in the linttest fixture
+// tree (internal/lint/testdata), the only place bare directives are
+// legitimate. The path is resolved against the working directory so both
+// the production runner (absolute paths from `go list`) and the fixture
+// harness (testdata-relative paths) agree.
+func fixtureExempt(filename string) bool {
+	abs, err := filepath.Abs(filename)
+	if err != nil {
+		abs = filename
+	}
+	return strings.Contains(filepath.ToSlash(abs), "/internal/lint/testdata/")
 }

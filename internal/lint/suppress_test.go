@@ -1,0 +1,121 @@
+package lint
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// collectFrom parses src as a single file named filename and returns its
+// directive set, exercising the same collection path the runner uses.
+func collectFrom(t *testing.T, filename, src string) *allowSet {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, filename, src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse %s: %v", filename, err)
+	}
+	var allows allowSet
+	collectAllows(&allows, fset, []*ast.File{f})
+	return &allows
+}
+
+// A bare directive that suppresses nothing is itself a finding — fixture
+// code copied out of testdata must not smuggle reasonless exemptions into
+// the tree.
+func TestSweepBareAllowsReportsUnmatchedDirective(t *testing.T) {
+	allows := collectFrom(t, "pkg.go", `package p
+
+//lint:allow wallclock
+var x int
+`)
+	diags := sweepBareAllows(allows)
+	if len(diags) != 1 {
+		t.Fatalf("want 1 bare-allow finding, got %d: %v", len(diags), diags)
+	}
+	if !strings.Contains(diags[0].Message, "suppresses nothing") {
+		t.Errorf("unexpected message: %s", diags[0].Message)
+	}
+	if diags[0].Analyzer != "allow" {
+		t.Errorf("analyzer = %q, want %q", diags[0].Analyzer, "allow")
+	}
+}
+
+// A reasoned directive is never swept, matched or not: the reason is the
+// author's claim that the exemption is deliberate.
+func TestSweepBareAllowsSkipsReasonedDirective(t *testing.T) {
+	allows := collectFrom(t, "pkg.go", `package p
+
+//lint:allow wallclock the scheduler interface requires a real deadline here
+var x int
+`)
+	if diags := sweepBareAllows(allows); len(diags) != 0 {
+		t.Fatalf("want no findings for a reasoned directive, got %v", diags)
+	}
+}
+
+// A bare directive that matched a diagnostic is handled by applyAllows
+// (converted to "suppressed without a reason"), not double-reported by
+// the sweep.
+func TestSweepBareAllowsSkipsMatchedDirective(t *testing.T) {
+	allows := collectFrom(t, "pkg.go", `package p
+
+var x = f() //lint:allow wallclock
+`)
+	d := Diagnostic{
+		Analyzer: "wallclock",
+		Pos:      token.Position{Filename: "pkg.go", Line: 3, Column: 9},
+		Message:  "time.Now in deterministic code",
+	}
+	kept := applyAllows([]Diagnostic{d}, allows)
+	if len(kept) != 1 || !strings.Contains(kept[0].Message, "suppressed without a reason") {
+		t.Fatalf("want the bare-directive conversion, got %v", kept)
+	}
+	if diags := sweepBareAllows(allows); len(diags) != 0 {
+		t.Fatalf("matched directive must not also be swept, got %v", diags)
+	}
+}
+
+// The bare-directive exemption is scoped to the linttest fixture tree
+// only: internal/lint/testdata paths are exempt, and every other path —
+// including look-alikes such as a testdata directory elsewhere or a
+// package merely named lint — is swept.
+func TestFixtureExemptScopedToLintTestdata(t *testing.T) {
+	cases := []struct {
+		filename string
+		exempt   bool
+	}{
+		{"/repo/internal/lint/testdata/wallclock/bad/bad.go", true},
+		{"/repo/internal/lint/testdata/atomicsafe/suppressed/suppressed.go", true},
+		{"/repo/internal/store/testdata/fixture.go", false},
+		{"/repo/internal/lint/runner.go", false},
+		{"/repo/internal/lint/testdata.go", false},
+		{"/repo/other/lint/testdata/f.go", false},
+		{"/repo/internal/linty/testdata/f.go", false},
+	}
+	for _, c := range cases {
+		if got := fixtureExempt(c.filename); got != c.exempt {
+			t.Errorf("fixtureExempt(%q) = %v, want %v", c.filename, got, c.exempt)
+		}
+	}
+}
+
+// End to end through the sweep: a bare unmatched directive inside the
+// fixture tree is silent, the same directive anywhere else is reported.
+func TestSweepBareAllowsExemptsFixtureTreeOnly(t *testing.T) {
+	const src = `package p
+
+//lint:allow maporder
+var x int
+`
+	fixture := collectFrom(t, "/repo/internal/lint/testdata/maporder/bad/bad.go", src)
+	if diags := sweepBareAllows(fixture); len(diags) != 0 {
+		t.Fatalf("fixture-tree bare directive must be exempt, got %v", diags)
+	}
+	production := collectFrom(t, "/repo/internal/scanner/client.go", src)
+	if diags := sweepBareAllows(production); len(diags) != 1 {
+		t.Fatalf("production bare directive must be swept, got %v", diags)
+	}
+}

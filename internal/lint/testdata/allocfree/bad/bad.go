@@ -1,0 +1,80 @@
+// Package bad exercises the allocfree analyzer's positive findings:
+// compiler-confirmed escapes, string conversions that reach the heap,
+// concatenation, fmt calls, unannotated string-returning callees,
+// capacity-less appends, and goroutine spawns.
+package bad
+
+import "fmt"
+
+// Globals keep results alive so escape analysis cannot elide them.
+var (
+	sink     any
+	sinkStr  string
+	sinkInts []int
+)
+
+type payload struct {
+	id   int
+	name string
+}
+
+func describe(p *payload) string {
+	return p.name
+}
+
+// Escaping leaks a composite literal to a global: the compiler's own
+// verdict is the finding.
+//
+//lint:allocfree
+func Escaping(n int) {
+	p := &payload{id: n} // want "escapes to heap"
+	sink = p
+}
+
+// Convert stores a []byte-to-string conversion, so the conversion's
+// backing array must be heap-allocated.
+//
+//lint:allocfree
+func Convert(b []byte) {
+	sinkStr = string(b) // want "escapes to heap"
+}
+
+// Concat builds a transient string; even non-escaping concatenation
+// allocates past the runtime's 32-byte stack buffer.
+//
+//lint:allocfree
+func Concat(a, b string) int {
+	s := a + b // want "string concatenation allocates"
+	return len(s)
+}
+
+// Format pays fmt's format state plus the boxing of n into an
+// interface argument (the compiler reports the latter escaping).
+//
+//lint:allocfree
+func Format(n int) {
+	fmt.Println("n =", n) // want "fmt.Println allocates" "escapes to heap" "escapes to heap"
+}
+
+// Lookup calls an unannotated callee that returns a fresh string — the
+// allocation escape analysis cannot see from the caller.
+//
+//lint:allocfree
+func Lookup(p *payload) {
+	sinkStr = describe(p) // want "call to .*describe returns a string"
+}
+
+// Grow appends into a destination with no visible capacity management.
+//
+//lint:allocfree
+func Grow(xs []int, v int) {
+	sinkInts = append(xs, v) // want "append without capacity evidence"
+}
+
+// Spawn starts a goroutine per call: a fresh stack, plus the closure
+// the compiler reports escaping.
+//
+//lint:allocfree
+func Spawn(ch chan int) {
+	go func() { ch <- 1 }() // want "go statement allocates" "escapes to heap"
+}

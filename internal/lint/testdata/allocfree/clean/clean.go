@@ -1,0 +1,91 @@
+// Package clean satisfies the allocfree contract: compiler-elided
+// conversions, pooled-buffer appends, capacity-sized scratch slices,
+// annotated callees, constant concatenation, and non-escaping locals
+// all pass, and an unannotated function may allocate freely.
+package clean
+
+type table struct {
+	m map[string]string
+}
+
+type cursor struct {
+	vals []int
+	i    int
+}
+
+// probe looks a []byte key up without materializing a string: the
+// compiler elides the conversion for the map access.
+//
+//lint:allocfree
+func (t *table) probe(b []byte) (string, bool) {
+	v, ok := t.m[string(b)]
+	return v, ok
+}
+
+// fill reuses a pooled buffer's capacity via the reslice idiom.
+//
+//lint:allocfree
+func fill(dst []byte, b byte) []byte {
+	return append(dst[:0], b, b)
+}
+
+// sum uses a capacity-sized, non-escaping scratch slice: the make stays
+// on the stack and the appends have visible headroom.
+//
+//lint:allocfree
+func sum(vals []int) int {
+	buf := make([]int, 0, 8)
+	for _, v := range vals {
+		if v > 0 {
+			buf = append(buf, v)
+		}
+	}
+	n := 0
+	for _, v := range buf {
+		n += v
+	}
+	return n
+}
+
+// head returns a substring — slicing a string shares its backing array.
+//
+//lint:allocfree
+func head(s string) string {
+	if len(s) > 4 {
+		return s[:4]
+	}
+	return s
+}
+
+// label calls an annotated callee: the contract composes, so the
+// string-returning call is trusted here and checked at head's own
+// definition.
+//
+//lint:allocfree
+func label(s string) int {
+	const prefix = "ocsp" + "/" // constant concatenation folds away
+	return len(prefix) + len(head(s))
+}
+
+// scan iterates through a non-escaping cursor: the composite literal
+// stays on the stack.
+//
+//lint:allocfree
+func scan(vals []int) int {
+	c := cursor{vals: vals}
+	n := 0
+	for c.i < len(c.vals) {
+		n += c.vals[c.i]
+		c.i++
+	}
+	return n
+}
+
+// Build is unannotated: it may allocate freely without findings.
+func Build(keys []string) *table {
+	t := &table{m: make(map[string]string, len(keys))}
+	for _, k := range keys {
+		t.m[k] = k + "!"
+	}
+	return t
+}

@@ -1,0 +1,37 @@
+// Package regression pins the serving-tier bug that motivated the
+// allocfree contract. PR 6 replaced req.URL.EscapedPath() with a direct
+// RawPath read in serveGET because EscapedPath re-validates and
+// re-escapes the path, allocating a fresh string on every
+// percent-escaped request. This fixture is serveGET's shape with the
+// regression reintroduced; the analyzer must name the callee, because
+// the allocation happens inside net/url where caller-side escape
+// analysis cannot see it.
+package regression
+
+import "net/url"
+
+const maxGETPathBytes = 4096
+
+type handler struct {
+	hits int
+}
+
+// serveGET is the fixture copy of the serving tier's GET entry point
+// with the pre-PR-6 EscapedPath call restored.
+//
+//lint:allocfree
+func (h *handler) serveGET(u *url.URL) bool {
+	raw := u.EscapedPath() // want "call to .*EscapedPath returns a string"
+	if len(raw) > maxGETPathBytes {
+		return false
+	}
+	h.hits++
+	return h.serveFast(raw)
+}
+
+// serveFast stands in for the fast-path memo probe.
+//
+//lint:allocfree
+func (h *handler) serveFast(raw string) bool {
+	return len(raw) > 0
+}

@@ -1,0 +1,39 @@
+// Package suppressed shows reasoned allocfree exemptions — amortized
+// or cold-path allocations the author has justified site-by-site — and
+// pins the rule that a bare suppression is itself a finding.
+package suppressed
+
+import "strconv"
+
+type entry struct {
+	secs int64
+	val  string
+}
+
+var current *entry
+
+// Refresh re-formats a header value at most once per second: the
+// allocation is amortized across every request served in that second,
+// which is the justification the suppression carries.
+//
+//lint:allocfree
+func Refresh(secs int64) *entry {
+	e := current
+	if e != nil && e.secs == secs {
+		return e
+	}
+	e = &entry{secs: secs, val: strconv.FormatInt(secs, 10)} //lint:allow allocfree re-formatted at most once per second per entry, amortized across all hits
+	current = e
+	return e
+}
+
+// Bare carries a suppression with no reason: the finding is converted,
+// not silenced, so the gate still fails.
+//
+//lint:allocfree
+func Bare(n int64) *entry {
+	//lint:allow allocfree
+	e := &entry{secs: n} // want "suppressed without a reason"
+	current = e
+	return e
+}

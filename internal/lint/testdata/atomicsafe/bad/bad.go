@@ -1,0 +1,40 @@
+// Package bad exercises the atomicsafe analyzer's positive findings:
+// plain reads and writes of fields and package variables that other code
+// accesses through sync/atomic.
+package bad
+
+import "sync/atomic"
+
+type counter struct {
+	hits  int64
+	total int64
+}
+
+// Inc establishes hits as an atomic field.
+func (c *counter) Inc() {
+	atomic.AddInt64(&c.hits, 1)
+	c.total++ // total is never touched atomically: no finding
+}
+
+// Read races Inc: the plain load can observe a stale value forever.
+func (c *counter) Read() int64 {
+	return c.hits // want "plain read of hits"
+}
+
+// Reset races Inc the other way: a plain store can be torn against the
+// atomic add.
+func (c *counter) Reset() {
+	c.hits = 0 // want "plain write to hits"
+}
+
+var ready int32
+
+// Publish establishes ready as an atomic package variable.
+func Publish() {
+	atomic.StoreInt32(&ready, 1)
+}
+
+// Poll mixes in a plain read of the same variable.
+func Poll() bool {
+	return ready == 1 // want "plain read of ready"
+}

@@ -1,0 +1,39 @@
+// Package clean satisfies atomicsafe: typed atomic wrappers (whose
+// internals cannot be accessed plainly), variables that are atomic
+// everywhere, and mutex-guarded fields never touched by sync/atomic.
+package clean
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+type stats struct {
+	hits atomic.Uint64 // typed wrapper: safe by construction
+	n    int64         // accessed only via sync/atomic below
+
+	mu    sync.Mutex
+	plain int64 // accessed only under mu, never atomically
+}
+
+func (s *stats) Inc() {
+	s.hits.Add(1)
+	atomic.AddInt64(&s.n, 1)
+}
+
+func (s *stats) N() int64 {
+	return atomic.LoadInt64(&s.n)
+}
+
+func (s *stats) Bump() {
+	s.mu.Lock()
+	s.plain++
+	s.mu.Unlock()
+}
+
+func (s *stats) Snapshot() (uint64, int64) {
+	s.mu.Lock()
+	p := s.plain
+	s.mu.Unlock()
+	return s.hits.Load(), p
+}

@@ -1,0 +1,29 @@
+// Package suppressed shows the one legitimate mixed-access pattern —
+// initialization before publication — carried by a reasoned suppression,
+// and pins the rule that a bare suppression is itself a finding.
+package suppressed
+
+import "sync/atomic"
+
+type gauge struct {
+	val int64
+}
+
+// Set is the atomic access that makes val a tracked variable.
+func (g *gauge) Set(v int64) {
+	atomic.StoreInt64(&g.val, v)
+}
+
+// New builds the gauge single-threaded before any other goroutine can
+// see it; the plain write cannot race and says so.
+func New(v int64) *gauge {
+	g := &gauge{}
+	g.val = v //lint:allow atomicsafe not yet published; New builds the gauge single-threaded before returning it
+	return g
+}
+
+// Peek carries a bare suppression: converted, not silenced.
+func (g *gauge) Peek() int64 {
+	//lint:allow atomicsafe
+	return g.val // want "suppressed without a reason"
+}

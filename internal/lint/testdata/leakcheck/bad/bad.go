@@ -1,0 +1,52 @@
+// Package bad exercises the leakcheck analyzer's positive findings:
+// goroutines that loop forever with no termination path (inline
+// literals and named same-package functions) and tickers that are never
+// stopped.
+package bad
+
+import "time"
+
+var sink int
+
+func work() { sink++ }
+
+// Spawn leaks an anonymous goroutine: the loop has no exit.
+func Spawn() {
+	go func() { // want "loops forever with no termination path"
+		for {
+			work()
+		}
+	}()
+}
+
+// pump loops forever; it is fine as a function (callers may want that),
+// but spawning it with no stop signal leaks it.
+func pump(n *int) {
+	for {
+		*n++
+	}
+}
+
+// SpawnNamed leaks pump.
+func SpawnNamed(n *int) {
+	go pump(n) // want "pump loops forever with no termination path"
+}
+
+// Tick never stops its ticker: the runtime timer leaks until GC.
+func Tick(n int) {
+	t := time.NewTicker(time.Second) // want "NewTicker result is never stopped"
+	for i := 0; i < n; i++ {
+		<-t.C
+	}
+}
+
+// Wait never stops its timer on the early-return path or any other.
+func Wait(ch chan int) int {
+	t := time.NewTimer(time.Minute) // want "NewTimer result is never stopped"
+	select {
+	case v := <-ch:
+		return v
+	case <-t.C:
+		return 0
+	}
+}

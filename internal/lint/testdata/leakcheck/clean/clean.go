@@ -1,0 +1,74 @@
+// Package clean satisfies leakcheck: goroutines with select/receive/ctx
+// termination paths, range-over-channel workers (closed by producers),
+// stopped tickers and timers, and ownership handoffs.
+package clean
+
+import (
+	"context"
+	"time"
+)
+
+var sink int
+
+func work() { sink++ }
+
+// SpawnSelect owns a ticker inside the goroutine, stops it, and exits on
+// the stop channel.
+func SpawnSelect(stop chan struct{}) {
+	go func() {
+		t := time.NewTicker(time.Second)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				work()
+			case <-stop:
+				return
+			}
+		}
+	}()
+}
+
+// SpawnCtx polls its context: a termination path.
+func SpawnCtx(ctx context.Context) {
+	go func() {
+		for {
+			if ctx.Err() != nil {
+				return
+			}
+			work()
+		}
+	}()
+}
+
+// Drain ranges over a channel: producers close it, the goroutine ends.
+func Drain(ch chan int) {
+	go func() {
+		for v := range ch {
+			sink += v
+		}
+	}()
+}
+
+// Sleep stops its timer on every path.
+func Sleep(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// Handoff transfers ownership: the caller stops it.
+func Handoff(d time.Duration) *time.Timer {
+	t := time.NewTimer(d)
+	return t
+}
+
+// Bounded goroutines terminate on their own: no loop, no finding.
+func Bounded(res chan<- int) {
+	go func() { res <- 1 }()
+}

@@ -1,0 +1,28 @@
+// Package suppressed shows reasoned leakcheck exemptions —
+// process-lifetime goroutines that are stopped by exit, by design — and
+// pins the rule that a bare suppression is itself a finding.
+package suppressed
+
+var sink int
+
+func work() { sink++ }
+
+// Background runs for the life of the process on purpose; the
+// suppression says so.
+func Background() {
+	go func() { //lint:allow leakcheck process-lifetime sampler by design; stopped by process exit
+		for {
+			work()
+		}
+	}()
+}
+
+// Bare carries a suppression with no reason: converted, not silenced.
+func Bare() {
+	//lint:allow leakcheck
+	go func() { // want "suppressed without a reason"
+		for {
+			work()
+		}
+	}()
+}

@@ -1,0 +1,43 @@
+// Package bad exercises the lockorder analyzer's positive findings: a
+// two-lock cycle split across two functions (the deadlock no single
+// function exhibits) and a same-class double acquisition.
+package bad
+
+import "sync"
+
+type index struct{ mu sync.Mutex }
+
+type journal struct{ mu sync.Mutex }
+
+type system struct {
+	idx index
+	jnl journal
+}
+
+// flush acquires idx before jnl.
+func (s *system) flush() {
+	s.idx.mu.Lock()
+	defer s.idx.mu.Unlock()
+	s.jnl.mu.Lock() // want "lock order cycle"
+	defer s.jnl.mu.Unlock()
+}
+
+// compact acquires jnl before idx: the reverse order. The cycle is
+// reported once, at its deterministically-first edge (in flush).
+func (s *system) compact() {
+	s.jnl.mu.Lock()
+	defer s.jnl.mu.Unlock()
+	s.idx.mu.Lock()
+	s.idx.mu.Unlock()
+}
+
+type shard struct{ mu sync.Mutex }
+
+// merge locks two instances of the same lock class with no tiebreak
+// order: two goroutines merging (a,b) and (b,a) deadlock.
+func merge(a, b *shard) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	b.mu.Lock() // want "acquired while already held"
+	defer b.mu.Unlock()
+}

@@ -1,0 +1,45 @@
+// Package clean satisfies lockorder: every multi-lock path acquires in
+// one consistent order, single-lock critical sections are unordered by
+// definition, and local mutexes have no cross-function identity.
+package clean
+
+import "sync"
+
+type index struct{ mu sync.Mutex }
+
+type journal struct{ mu sync.Mutex }
+
+type system struct {
+	idx index
+	jnl journal
+}
+
+// flush and compact agree: idx before jnl, always.
+func (s *system) flush() {
+	s.idx.mu.Lock()
+	defer s.idx.mu.Unlock()
+	s.jnl.mu.Lock()
+	defer s.jnl.mu.Unlock()
+}
+
+func (s *system) compact() {
+	s.idx.mu.Lock()
+	s.jnl.mu.Lock()
+	s.jnl.mu.Unlock()
+	s.idx.mu.Unlock()
+}
+
+// probe releases idx before taking jnl: no nesting, no edge.
+func (s *system) probe() {
+	s.idx.mu.Lock()
+	s.idx.mu.Unlock()
+	s.jnl.mu.Lock()
+	s.jnl.mu.Unlock()
+}
+
+// local mutexes are skipped: no stable identity across functions.
+func scratch() {
+	var mu sync.Mutex
+	mu.Lock()
+	defer mu.Unlock()
+}

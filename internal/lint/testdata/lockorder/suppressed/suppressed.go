@@ -1,0 +1,28 @@
+// Package suppressed shows a reasoned lockorder exemption — a
+// same-class double acquisition whose callers guarantee an index order —
+// and pins the rule that a bare suppression is itself a finding.
+package suppressed
+
+import "sync"
+
+type shard struct{ mu sync.Mutex }
+
+// mergeOrdered's callers always pass shards in ascending index order, so
+// the same-class double lock has a consistent global order after all.
+func mergeOrdered(lo, hi *shard) {
+	lo.mu.Lock()
+	defer lo.mu.Unlock()
+	hi.mu.Lock() //lint:allow lockorder callers pass shards in ascending index order; see mergeAll
+	defer hi.mu.Unlock()
+}
+
+type cell struct{ mu sync.Mutex }
+
+// swap carries a bare suppression: converted, not silenced.
+func swap(a, b *cell) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	//lint:allow lockorder
+	b.mu.Lock() // want "suppressed without a reason"
+	defer b.mu.Unlock()
+}

@@ -82,6 +82,7 @@ func newFastCache() *fastCache {
 	return c
 }
 
+//lint:allocfree
 func (c *fastCache) shardFor(h uint64) *fastShard {
 	return &c.shards[(h^(h>>32))&(fastShards-1)]
 }
@@ -89,6 +90,8 @@ func (c *fastCache) shardFor(h uint64) *fastShard {
 // get returns the entry stored under h whose path matches exactly.
 // Validity (epoch match, NextUpdate) is the caller's check — it needs
 // the tenant clock, which the cache does not own.
+//
+//lint:allocfree
 func (c *fastCache) get(h uint64, path string) *fastEntry {
 	s := c.shardFor(h)
 	s.mu.Lock()
@@ -122,6 +125,8 @@ func (c *fastCache) put(h uint64, e *fastEntry) (evicted int64) {
 
 // fnv64str is fnv64 for strings (FNV-1a, the repo's shared constants),
 // avoiding a []byte conversion on the per-request path.
+//
+//lint:allocfree
 func fnv64str(s string) uint64 {
 	h := uint64(14695981039346656037)
 	for i := 0; i < len(s); i++ {

@@ -68,12 +68,15 @@ func newResponseCache() *responseCache {
 	return c
 }
 
+//lint:allocfree
 func (c *responseCache) shardFor(h uint64) *respShard {
 	return &c.shards[(h^(h>>32))&(respCacheShards-1)]
 }
 
 // get returns the cached response for key, confirming the stored request
 // bytes, and records the hit or miss.
+//
+//lint:allocfree
 func (c *responseCache) get(key respKey, reqDER []byte) ([]byte, Meta, bool) {
 	s := c.shardFor(key.hash)
 	s.mu.Lock()
@@ -112,6 +115,8 @@ func (c *responseCache) put(key respKey, reqDER, der []byte, meta Meta) {
 
 // fnv64 hashes the raw request bytes (FNV-1a, same constants as
 // internal/netsim and internal/scanner use for their deterministic hashes).
+//
+//lint:allocfree
 func fnv64(b []byte) uint64 {
 	h := uint64(14695981039346656037)
 	for i := 0; i < len(b); i++ {

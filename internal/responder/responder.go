@@ -611,6 +611,8 @@ func (r *Responder) respond(reqDER []byte) (der []byte, meta Meta, hasMeta, ok b
 // revocations included — §2.2); on-demand responders key on the exact
 // instant plus the database's status generation, memoizing only the
 // same-tick fan-out across vantage points.
+//
+//lint:allocfree
 func (r *Responder) cacheKeyFor(reqDER []byte, now time.Time) (respKey, bool) {
 	if r.onDemandSign {
 		return respKey{}, false
