@@ -22,6 +22,12 @@
 #                 offered rate until the p99 SLO breaks) and fails when
 #                 the discovered ceiling is below -min-capacity — 2× the
 #                 PR 6 fixed-rate 2000 req/s baseline.
+#   staplecheck — tier-2 telemetry-ingestion gate: staplereport
+#                 -ingestcheck floods the Expect-Staple report collector
+#                 in-process (decode + shard + aggregate + persist) and
+#                 fails below 20k reports/s or above the heap bound,
+#                 then an ocspload -stapleserve burst exercises the same
+#                 path over a real loopback socket.
 #   memcheck    — tier-2 streaming-construction guard: runs the same quick
 #                 cmd/repro pipeline at -world-scale 1 and 10 and fails if
 #                 the 10× world's heap high-water mark exceeds ~1.5× the 1×
@@ -33,7 +39,7 @@
 #                 open-loop run against a real loopback serving tier
 #                 (p50/p99/p999 over the socket) plus a closed-loop
 #                 capacity search (max sustainable req/s under the p99
-#                 SLO), and archives the results as BENCH_PR8.json (via
+#                 SLO), and archives the results as BENCH_PR10.json (via
 #                 cmd/benchjson).
 #   bench-compare — diffs the previous archived snapshot against the
 #                 current one (via cmd/benchjson -compare); warns and
@@ -55,9 +61,9 @@ GO ?= go
 # request path, drives load at it, or feeds it. racecheck and the
 # //lint:allocfree contracts (DESIGN.md §15) cover the same surface.
 RACE_PKGS = ./internal/ocspserver ./internal/loadgen ./internal/responder \
-	./internal/scanner ./internal/store ./internal/core
+	./internal/scanner ./internal/store ./internal/core ./internal/expectstaple
 
-.PHONY: all tier1 tier2 loadcheck capacitycheck memcheck racecheck bench-guard bench bench-snapshot bench-compare crash-recovery vet fmt fmt-check lint
+.PHONY: all tier1 tier2 loadcheck capacitycheck staplecheck memcheck racecheck bench-guard bench bench-snapshot bench-compare crash-recovery vet fmt fmt-check lint
 
 all: tier1
 
@@ -65,7 +71,7 @@ tier1: vet fmt-check lint
 	$(GO) build ./...
 	$(GO) test ./...
 
-tier2: vet lint racecheck loadcheck capacitycheck memcheck
+tier2: vet lint racecheck loadcheck capacitycheck staplecheck memcheck
 	$(GO) test -race ./...
 
 # racecheck is the quick race gate: -short keeps each package's suite to
@@ -85,6 +91,14 @@ loadcheck:
 capacitycheck:
 	$(GO) run ./cmd/ocspload -selfserve -capacity -slo 25ms -probe-duration 2s \
 		-start-rate 1000 -max-rate 65536 -check -min-capacity 4000
+
+# staplecheck gates the violation-report ingestion tier: the in-process
+# flood must sustain >= 20k reports/s inside a bounded heap, and the
+# socket path must absorb a short open-loop burst with no errors.
+staplecheck:
+	$(GO) run ./cmd/staplereport -ingestcheck -reports 200000 -workers 8 \
+		-min-rate 20000 -max-heap-mb 128
+	$(GO) run ./cmd/ocspload -stapleserve -rate 2000 -duration 2s -check
 
 # memcheck asserts the fixed-memory property of streaming world
 # construction: a 10× world must not grow the heap high-water mark past
@@ -128,10 +142,12 @@ bench-snapshot:
 	  $(GO) test -run - -bench BenchmarkClientCaches ./internal/scanner ; \
 	  $(GO) run ./cmd/ocspload -selfserve -rate 2000 -duration 5s -bench ServingTierLoad ; \
 	  $(GO) run ./cmd/ocspload -selfserve -capacity -slo 25ms -probe-duration 2s \
-		-start-rate 1000 -max-rate 65536 -bench ServingTierCapacity ; } | $(GO) run ./cmd/benchjson > BENCH_PR8.json
+		-start-rate 1000 -max-rate 65536 -bench ServingTierCapacity ; \
+	  $(GO) run ./cmd/staplereport -ingestcheck -reports 200000 -workers 8 \
+		-min-rate 0 -max-heap-mb 0 -bench StapleIngest ; } | $(GO) run ./cmd/benchjson > BENCH_PR10.json
 
-BENCH_BASE ?= BENCH_PR7.json
-BENCH_HEAD ?= BENCH_PR8.json
+BENCH_BASE ?= BENCH_PR8.json
+BENCH_HEAD ?= BENCH_PR10.json
 
 bench-compare:
 	@if [ ! -f "$(BENCH_BASE)" ] || [ ! -f "$(BENCH_HEAD)" ]; then \

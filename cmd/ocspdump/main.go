@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"crypto"
 	"encoding/base64"
 	"flag"
@@ -153,8 +154,11 @@ func runDemo() {
 	}
 	fmt.Print(ocsp.FormatRequest(req))
 	fmt.Println()
-	body, _ := r.RespondDER(reqDER)
-	resp, err := ocsp.ParseResponse(body)
+	res, err := r.Respond(context.Background(), reqDER)
+	if err != nil {
+		fail("%v", err)
+	}
+	resp, err := ocsp.ParseResponse(res.DER)
 	if err != nil {
 		fail("%v", err)
 	}

@@ -16,10 +16,18 @@
 // lives in internal/loadgen.FindCapacity; its progress is mirrored into
 // the selfserve tier's /debug/vars.
 //
+// With -stapleserve it boots a loopback Expect-Staple report collector
+// and adds it to the workload as a weighted POST-body target, so the
+// telemetry ingestion path can be loaded alone or mixed with OCSP
+// serving (-selfserve -stapleserve -staple-weight 1 approximates one
+// violation report per N status lookups).
+//
 // Usage:
 //
 //	ocspload -selfserve -rate 2000 -duration 5s -get 0.5 [-bench]
 //	ocspload -selfserve -capacity -slo 25ms -probe-duration 2s [-check -min-capacity 4000]
+//	ocspload -stapleserve -rate 5000 -duration 5s -check
+//	ocspload -selfserve -stapleserve -staple-weight 2 -rate 2000 -duration 5s
 //	ocspload -url http://localhost:8889 -issuer ca.pem -serial 12345 -rate 500 -duration 10s
 //
 // -bench emits `go test -bench`-style lines that cmd/benchjson converts
@@ -37,10 +45,13 @@ import (
 	"flag"
 	"fmt"
 	"math/big"
+	"net"
+	"net/http"
 	"os"
 	"time"
 
 	"github.com/netmeasure/muststaple/internal/clock"
+	"github.com/netmeasure/muststaple/internal/expectstaple"
 	"github.com/netmeasure/muststaple/internal/loadgen"
 	"github.com/netmeasure/muststaple/internal/metrics"
 	"github.com/netmeasure/muststaple/internal/ocsp"
@@ -67,6 +78,9 @@ func main() {
 		bench     = flag.String("bench", "", "emit a benchjson-compatible line under this benchmark name")
 		check     = flag.Bool("check", false, "exit nonzero on zero throughput or any 5xx/transport error")
 
+		stapleserve  = flag.Bool("stapleserve", false, "boot a loopback Expect-Staple report collector and include it in the workload")
+		stapleWeight = flag.Int("staple-weight", 1, "relative weight of the report-collector target (with -stapleserve)")
+
 		capacity    = flag.Bool("capacity", false, "closed-loop capacity search instead of a fixed-rate run")
 		slo         = flag.Duration("slo", 25*time.Millisecond, "latency SLO at -quantile for -capacity probes")
 		quantile    = flag.Float64("quantile", 0.99, "latency quantile compared against -slo")
@@ -80,6 +94,7 @@ func main() {
 	var (
 		targets []loadgen.Target
 		tier    *selfServeTier
+		staples *stapleTier
 	)
 	switch {
 	case *selfserve:
@@ -93,8 +108,21 @@ func main() {
 			fail("%v", err)
 		}
 		targets = []loadgen.Target{t}
+	case *stapleserve:
+		// Report-collector-only workload; no OCSP targets.
 	default:
-		fail("need -selfserve or -url")
+		fail("need -selfserve, -stapleserve, or -url")
+	}
+	if *stapleserve {
+		staples = buildStapleServe()
+		defer staples.shutdown()
+		targets = append(targets, loadgen.Target{
+			URL:         staples.url,
+			ReqDER:      staples.body,
+			ContentType: expectstaple.ContentTypeReport,
+			Weight:      *stapleWeight,
+		})
+		fmt.Fprintf(os.Stderr, "ocspload: report collector at %s (weight %d)\n", staples.url, *stapleWeight)
 	}
 
 	base := loadgen.Config{
@@ -156,12 +184,60 @@ func main() {
 		fmt.Fprintf(os.Stderr, "ocspload: fast path: %d hits, %d misses, %d evictions\n",
 			hits, misses, evictions)
 	}
+	if staples != nil {
+		fmt.Fprintf(os.Stderr, "ocspload: collector: %d accepted, %d dropped\n",
+			staples.collector.Accepted(), staples.collector.Dropped())
+	}
 	if *bench != "" {
 		emitBench(*bench, res)
 	}
 	if *check && (res.Completed == 0 || res.Status5xx > 0 || res.TransportErrors > 0) {
 		fail("check failed: completed=%d 5xx=%d transport-errors=%d",
 			res.Completed, res.Status5xx, res.TransportErrors)
+	}
+	if *check && staples != nil && staples.collector.Accepted() == 0 {
+		fail("check failed: collector accepted no reports")
+	}
+}
+
+// stapleTier is the loopback Expect-Staple report collector the
+// -stapleserve mode loads, mirroring selfServeTier for the telemetry
+// ingestion path.
+type stapleTier struct {
+	collector *expectstaple.Collector
+	url       string
+	body      []byte
+	shutdown  func()
+}
+
+// buildStapleServe boots a report collector on an ephemeral loopback
+// port and pre-encodes one canonical violation report as the POST body.
+func buildStapleServe() *stapleTier {
+	collector := expectstaple.NewCollector(expectstaple.WithQueueDepth(1 << 15))
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		fail("stapleserve listen: %v", err)
+	}
+	srv := &http.Server{Handler: collector}
+	go srv.Serve(ln) //lint:allow errcheck-hot returns ErrServerClosed at shutdown
+	body := expectstaple.AppendReport(nil, &expectstaple.Report{
+		At:        time.Now().UTC(),
+		Host:      "load.example.test",
+		Vantage:   "loopback",
+		Violation: expectstaple.ViolationMissing,
+		Enforce:   true,
+	})
+	shutdown := func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx) //lint:allow errcheck-hot best-effort drain at process exit
+		collector.Close()
+	}
+	return &stapleTier{
+		collector: collector,
+		url:       "http://" + ln.Addr().String() + "/expect-staple",
+		body:      body,
+		shutdown:  shutdown,
 	}
 }
 

@@ -1,6 +1,7 @@
 package browser
 
 import (
+	"context"
 	"crypto"
 	"crypto/tls"
 	"crypto/x509"
@@ -80,11 +81,11 @@ func NewHarness(start time.Time) (*Harness, error) {
 	if err != nil {
 		return nil, err
 	}
-	staple, ok := h.responder.RespondDER(reqDER)
-	if !ok {
+	res, err := h.responder.Respond(context.Background(), reqDER)
+	if err != nil || res.Malformed {
 		return nil, errors.New("browser: harness responder misbehaved")
 	}
-	h.staple = staple
+	h.staple = res.DER
 	return h, nil
 }
 
@@ -104,8 +105,11 @@ func (h *Harness) fallback(leaf, issuer *x509.Certificate) error {
 		return err
 	}
 	h.ocspHits.Add(1)
-	body, _ := h.responder.RespondDER(reqDER)
-	resp, err := ocsp.ParseResponse(body)
+	res, err := h.responder.Respond(context.Background(), reqDER)
+	if err != nil {
+		return err
+	}
+	resp, err := ocsp.ParseResponse(res.DER)
 	if err != nil {
 		return err
 	}

@@ -1,0 +1,58 @@
+package browser
+
+import (
+	"time"
+
+	"github.com/netmeasure/muststaple/internal/webserver"
+)
+
+// KnownStapleHosts is a user agent's Known Expect-Staple Hosts list: the
+// sites whose Expect-Staple header the UA has seen, each remembered for
+// the policy's max-age from the moment it was last noted. Expiry is
+// purely a function of (notedAt, MaxAge, now) so a simulated fleet of
+// these lists is deterministic under a virtual clock.
+//
+// The list is not safe for concurrent use; each simulated UA owns its
+// own, matching how real browsers keep per-profile state.
+type KnownStapleHosts struct {
+	hosts map[string]notedPolicy
+}
+
+type notedPolicy struct {
+	policy  webserver.ExpectStaple
+	notedAt time.Time
+}
+
+// NewKnownStapleHosts returns an empty list.
+func NewKnownStapleHosts() *KnownStapleHosts {
+	return &KnownStapleHosts{hosts: make(map[string]notedPolicy)}
+}
+
+// Note records (or refreshes) host's policy as seen at now. A max-age of
+// zero removes the host — the header's way of un-enrolling a site.
+func (k *KnownStapleHosts) Note(host string, p webserver.ExpectStaple, now time.Time) {
+	if p.MaxAge <= 0 {
+		delete(k.hosts, host)
+		return
+	}
+	k.hosts[host] = notedPolicy{policy: p, notedAt: now}
+}
+
+// Lookup returns the policy noted for host if it has not expired by now.
+// An expired entry is dropped on the way out, keeping the list's size
+// proportional to live policies.
+func (k *KnownStapleHosts) Lookup(host string, now time.Time) (webserver.ExpectStaple, bool) {
+	n, ok := k.hosts[host]
+	if !ok {
+		return webserver.ExpectStaple{}, false
+	}
+	if now.Sub(n.notedAt) >= n.policy.MaxAge {
+		delete(k.hosts, host)
+		return webserver.ExpectStaple{}, false
+	}
+	return n.policy, true
+}
+
+// Len reports how many hosts are currently noted (expired entries that
+// have not been looked up since expiring still count; Lookup prunes).
+func (k *KnownStapleHosts) Len() int { return len(k.hosts) }

@@ -1,0 +1,55 @@
+package browser
+
+import (
+	"testing"
+	"time"
+
+	"github.com/netmeasure/muststaple/internal/webserver"
+)
+
+func TestKnownStapleHosts(t *testing.T) {
+	t0 := time.Date(2018, 6, 1, 0, 0, 0, 0, time.UTC)
+	k := NewKnownStapleHosts()
+
+	if _, ok := k.Lookup("a.test", t0); ok {
+		t.Fatal("lookup on empty set succeeded")
+	}
+
+	pol := webserver.ExpectStaple{MaxAge: time.Hour, ReportURI: "http://r.test/es", Enforce: true}
+	k.Note("a.test", pol, t0)
+	got, ok := k.Lookup("a.test", t0.Add(30*time.Minute))
+	if !ok {
+		t.Fatal("noted policy not found inside max-age")
+	}
+	if got != pol {
+		t.Fatalf("policy mutated: %+v", got)
+	}
+
+	// Expiry is exact: at max-age the entry is gone, and the lookup
+	// prunes it.
+	if _, ok := k.Lookup("a.test", t0.Add(time.Hour)); ok {
+		t.Fatal("policy survived past max-age")
+	}
+	if k.Len() != 0 {
+		t.Fatalf("expired entry not pruned; Len = %d", k.Len())
+	}
+
+	// Re-noting refreshes the window and replaces the policy.
+	k.Note("a.test", pol, t0)
+	pol2 := webserver.ExpectStaple{MaxAge: 2 * time.Hour, ReportURI: "http://r2.test/es"}
+	k.Note("a.test", pol2, t0.Add(50*time.Minute))
+	got, ok = k.Lookup("a.test", t0.Add(90*time.Minute))
+	if !ok || got != pol2 {
+		t.Fatalf("re-note did not replace the policy: %+v ok=%v", got, ok)
+	}
+
+	// A max-age of zero (or negative) is a removal, per the draft's
+	// "max-age=0 clears the pin" semantics.
+	k.Note("a.test", webserver.ExpectStaple{MaxAge: 0}, t0.Add(time.Hour))
+	if _, ok := k.Lookup("a.test", t0.Add(time.Hour)); ok {
+		t.Fatal("max-age=0 did not clear the entry")
+	}
+	if k.Len() != 0 {
+		t.Fatalf("Len = %d after clear", k.Len())
+	}
+}

@@ -1,6 +1,7 @@
 package chaincheck
 
 import (
+	"context"
 	"crypto"
 	"crypto/x509"
 	"errors"
@@ -81,7 +82,7 @@ func (f *fixture) fetch(cert, issuer *x509.Certificate) ([]byte, error) {
 	default:
 		return nil, errors.New("no responder for issuer")
 	}
-	der, ok := r.RespondDER(reqDER)
+	der, ok := respondDER(r, reqDER)
 	if !ok {
 		return nil, errors.New("malformed body")
 	}
@@ -255,4 +256,14 @@ func TestElementStatusStrings(t *testing.T) {
 			t.Errorf("%d = %q", int(s), s.String())
 		}
 	}
+}
+
+// respondDER adapts context-first Respond to the (body, ok) shape the
+// fixture uses.
+func respondDER(r *responder.Responder, reqDER []byte) ([]byte, bool) {
+	res, err := r.Respond(context.Background(), reqDER)
+	if err != nil {
+		return nil, false
+	}
+	return res.DER, !res.Malformed
 }

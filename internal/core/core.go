@@ -156,6 +156,7 @@ func Experiments() []string {
 		"sec4", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8",
 		"fig9", "ondemand", "table1", "fig10", "table2", "fig11",
 		"fig12", "table3", "cdn", "hardfail", "latency", "vulnwindow",
+		"expectstaple",
 	}
 }
 
@@ -213,6 +214,8 @@ func (r *Runner) dispatch(ctx context.Context, name string) error {
 		return r.runTable3()
 	case "cdn":
 		return r.runCDN(ctx)
+	case "expectstaple":
+		return r.runExpectStaple(ctx)
 	default:
 		return fmt.Errorf("core: unknown experiment %q (have %v)", name, Experiments())
 	}

@@ -28,7 +28,7 @@ func tinyConfig() world.Config {
 
 func TestExperimentNames(t *testing.T) {
 	names := Experiments()
-	if len(names) != 20 {
+	if len(names) != 21 {
 		t.Fatalf("experiments = %d", len(names))
 	}
 	var sb strings.Builder

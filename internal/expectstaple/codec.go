@@ -1,0 +1,360 @@
+// Package expectstaple implements the Expect-Staple telemetry pipeline
+// end to end: sites advertise the policy (internal/webserver's
+// ExpectStaple header), a simulated user-agent fleet evaluates every
+// handshake against the staple-validity rules and emits canonical
+// violation reports, and a production-grade HTTP collector ingests,
+// aggregates, and persists them. The pipeline answers the question the
+// paper gestures at — would operators have detected their stapling
+// misconfiguration before committing to Must-Staple? — by measuring
+// detection latency per misconfiguration class over the synthetic
+// world's §5.2 failure schedules.
+package expectstaple
+
+import (
+	"encoding/binary"
+	"fmt"
+	"time"
+)
+
+// ContentTypeReport is the media type of a POSTed violation report (the
+// draft uses JSON; this reproduction's canonical form is the binary
+// codec below, which is what the collector's zero-allocation hot path
+// decodes).
+const ContentTypeReport = "application/expect-staple-report"
+
+// Violation classifies what a Known-Expect-Staple-Host handshake got
+// wrong, refining browser.StapleStatus with the server-side distinction
+// between a plain expired window and responder-outage staleness.
+type Violation int
+
+const (
+	// ViolationMissing: the handshake carried no staple at all.
+	ViolationMissing Violation = iota
+	// ViolationExpired: the staple's validity window excludes the
+	// handshake time (expired or not yet valid) while the site's
+	// upstream refresh is healthy — the responder serves windows that
+	// cannot be stapled freshly (future thisUpdate, non-overlapping
+	// validity).
+	ViolationExpired
+	// ViolationStale: an expired staple served while the site's
+	// refresh is failing — the server is knowingly serving its last
+	// response through a responder outage.
+	ViolationStale
+	// ViolationMalformed: the staple does not parse, carries a bad
+	// signature, or answers about the wrong certificate.
+	ViolationMalformed
+	// ViolationRevoked: a validly signed staple reporting Revoked was
+	// served anyway.
+	ViolationRevoked
+
+	// NumViolations bounds the enum for per-class accumulators.
+	NumViolations int = iota
+)
+
+func (v Violation) String() string {
+	switch v {
+	case ViolationMissing:
+		return "missing-staple"
+	case ViolationExpired:
+		return "expired-window"
+	case ViolationStale:
+		return "outage-staleness"
+	case ViolationMalformed:
+		return "malformed-response"
+	case ViolationRevoked:
+		return "revoked-but-served"
+	}
+	return fmt.Sprintf("violation(%d)", int(v))
+}
+
+// Report is one canonical Expect-Staple violation report — what a user
+// agent POSTs to a site's report-uri after a Known-Expect-Staple-Host
+// handshake broke the staple promise.
+type Report struct {
+	// At is the handshake time as the UA saw it.
+	At time.Time
+	// Host is the violating site.
+	Host string
+	// Vantage is the UA's region (the paper's six measurement regions
+	// double as the fleet's client locations).
+	Vantage string
+	// Client is the reporting UA's stable fleet identity.
+	Client uint64
+	// Violation is the observed failure class.
+	Violation Violation
+	// Enforce records the policy mode the UA had noted for the host.
+	Enforce bool
+	// ThisUpdate/NextUpdate are the served staple's validity window;
+	// zero when no parseable staple arrived.
+	ThisUpdate, NextUpdate time.Time
+}
+
+// Wire format: uvarint codec version, then (uvarint tag, value) fields
+// in strictly ascending tag order. Ascending-only tags make duplicate
+// and out-of-order fields — the classic report-spoofing malformations —
+// detectable without a seen-set, and unknown tags are rejected outright:
+// an ingestion endpoint on the open Internet cannot afford a lenient
+// parse. At, Host, and Violation are required; the rest default to zero
+// when omitted. AppendReport always writes every field, so the encoding
+// of a Report is canonical (DecodeReport∘AppendReport round-trips
+// byte-exactly; FuzzReportDecode pins this).
+const reportCodecVersion = 1
+
+const (
+	tagAt = 1 + iota
+	tagHost
+	tagVantage
+	tagClient
+	tagViolation
+	tagEnforce
+	tagThisUpdate
+	tagNextUpdate
+	tagEnd // first unassigned tag
+)
+
+// AppendReport appends the canonical encoding of r to b.
+func AppendReport(b []byte, r *Report) []byte {
+	b = binary.AppendUvarint(b, reportCodecVersion)
+	b = binary.AppendUvarint(b, tagAt)
+	b = appendTime(b, r.At)
+	b = binary.AppendUvarint(b, tagHost)
+	b = appendString(b, r.Host)
+	b = binary.AppendUvarint(b, tagVantage)
+	b = appendString(b, r.Vantage)
+	b = binary.AppendUvarint(b, tagClient)
+	b = binary.AppendUvarint(b, r.Client)
+	b = binary.AppendUvarint(b, tagViolation)
+	b = binary.AppendUvarint(b, uint64(r.Violation))
+	b = binary.AppendUvarint(b, tagEnforce)
+	b = appendBool(b, r.Enforce)
+	b = binary.AppendUvarint(b, tagThisUpdate)
+	b = appendTime(b, r.ThisUpdate)
+	b = binary.AppendUvarint(b, tagNextUpdate)
+	b = appendTime(b, r.NextUpdate)
+	return b
+}
+
+// DecodeReport decodes one report payload. It never panics on corrupt
+// input; truncation, trailing bytes, duplicate or out-of-order tags,
+// unknown tags, and missing required fields are all reported as errors.
+func DecodeReport(b []byte) (Report, error) {
+	return decodeReportInterned(b, nil)
+}
+
+// decodeReportInterned is DecodeReport with the collector's intern table
+// threaded through. Report streams repeat Host and Vantage values
+// heavily (a fleet has few regions and a site under violation is
+// reported by thousands of clients), so interning cuts the steady-state
+// decode to zero allocations — the collector hot path's contract.
+//
+//lint:allocfree
+func decodeReportInterned(b []byte, it *internTable) (Report, error) {
+	d := decoder{b: b, intern: it}
+	if v := d.uvarint(); d.err == nil && v != reportCodecVersion {
+		//lint:allow allocfree version-mismatch error path, never taken in the steady state
+		return Report{}, fmt.Errorf("expectstaple: report codec version %d, want %d", v, reportCodecVersion)
+	}
+	var (
+		r    Report
+		seen uint32
+		prev uint64
+	)
+	for d.err == nil && d.off < len(d.b) {
+		tag := d.uvarint()
+		if d.err != nil {
+			break
+		}
+		if tag <= prev {
+			d.fail("duplicate or out-of-order tag %d after %d", tag, prev) //lint:allow allocfree malformed-report error path; a valid stream never boxes these
+			break
+		}
+		prev = tag
+		switch tag {
+		case tagAt:
+			r.At = d.time()
+		case tagHost:
+			r.Host = d.string()
+		case tagVantage:
+			r.Vantage = d.string()
+		case tagClient:
+			r.Client = d.uvarint()
+		case tagViolation:
+			v := d.uvarint()
+			if d.err == nil && v >= uint64(NumViolations) {
+				d.fail("unknown violation %d", v) //lint:allow allocfree malformed-report error path; a valid stream never boxes this
+			}
+			r.Violation = Violation(v)
+		case tagEnforce:
+			r.Enforce = d.bool()
+		case tagThisUpdate:
+			r.ThisUpdate = d.time()
+		case tagNextUpdate:
+			r.NextUpdate = d.time()
+		default:
+			d.fail("unknown tag %d", tag) //lint:allow allocfree malformed-report error path; a valid stream never boxes this
+		}
+		seen |= 1 << tag
+	}
+	if d.err != nil {
+		return Report{}, d.err
+	}
+	const required = 1<<tagAt | 1<<tagHost | 1<<tagViolation
+	if seen&required != required {
+		//lint:allow allocfree corrupt-report error path; the steady-state ingest never reaches it
+		return Report{}, fmt.Errorf("expectstaple: report missing required fields (seen %#x)", seen)
+	}
+	return r, nil
+}
+
+func appendString(b []byte, s string) []byte {
+	b = binary.AppendUvarint(b, uint64(len(s)))
+	return append(b, s...)
+}
+
+func appendBool(b []byte, v bool) []byte {
+	if v {
+		return append(b, 1)
+	}
+	return append(b, 0)
+}
+
+// appendTime encodes a time as a presence byte plus varint UnixNano,
+// matching the observation store's convention (the zero time.Time is
+// outside the UnixNano range and round-trips to exactly time.Time{}).
+func appendTime(b []byte, t time.Time) []byte {
+	if t.IsZero() {
+		return append(b, 0)
+	}
+	b = append(b, 1)
+	return binary.AppendVarint(b, t.UnixNano())
+}
+
+// internTable deduplicates decoded string fields across the reports of
+// one ingest stream, allocating only on first sight of a value. The map
+// is capped so a hostile stream of distinct hostnames degrades to plain
+// allocation instead of growing the table forever.
+type internTable struct {
+	m map[string]string
+}
+
+const internTableCap = 4096
+
+func newInternTable() *internTable {
+	return &internTable{m: make(map[string]string, 64)}
+}
+
+// intern returns the canonical string for b. The m[string(b)] lookup
+// compiles to a no-allocation map probe.
+//
+//lint:allocfree
+func (t *internTable) intern(b []byte) string {
+	if s, ok := t.m[string(b)]; ok {
+		return s
+	}
+	s := string(b) //lint:allow allocfree first sight of a value only; the capped table amortizes this to zero across a stream
+	if len(t.m) < internTableCap {
+		t.m[s] = s
+	}
+	return s
+}
+
+// decoder is a sticky-error cursor over an encoded payload, mirroring
+// the observation store's codec discipline.
+type decoder struct {
+	b      []byte
+	off    int
+	err    error
+	intern *internTable // nil: strings allocate per field
+}
+
+func (d *decoder) fail(format string, args ...any) {
+	if d.err == nil {
+		d.err = fmt.Errorf("expectstaple: "+format, args...)
+	}
+}
+
+func (d *decoder) uvarint() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.b[d.off:])
+	if n <= 0 {
+		d.fail("bad uvarint at offset %d", d.off)
+		return 0
+	}
+	d.off += n
+	return v
+}
+
+func (d *decoder) varint() int64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(d.b[d.off:])
+	if n <= 0 {
+		d.fail("bad varint at offset %d", d.off)
+		return 0
+	}
+	d.off += n
+	return v
+}
+
+// string reads a length-prefixed string. With an intern table threaded
+// (the collector hot path), a previously seen value is a zero-allocation
+// map probe.
+//
+//lint:allocfree
+func (d *decoder) string() string {
+	n := d.uvarint()
+	if d.err != nil {
+		return ""
+	}
+	if n > uint64(len(d.b)-d.off) {
+		d.fail("string length %d exceeds remaining %d bytes", n, len(d.b)-d.off) //lint:allow allocfree corrupt-report error path; the steady-state ingest never reaches it
+		return ""
+	}
+	raw := d.b[d.off : d.off+int(n)]
+	d.off += int(n)
+	if d.intern != nil {
+		return d.intern.intern(raw) //lint:allow allocfree the inlined intern allocates on first sight only; the capped table amortizes it to zero across a stream
+	}
+	return string(raw) //lint:allow allocfree one-shot decode path (nil intern table); the collector threads the table and hits the zero-alloc probe
+}
+
+func (d *decoder) bool() bool {
+	if d.err != nil {
+		return false
+	}
+	if d.off >= len(d.b) {
+		d.fail("truncated bool at offset %d", d.off)
+		return false
+	}
+	v := d.b[d.off]
+	d.off++
+	if v > 1 {
+		d.fail("bad bool byte %d at offset %d", v, d.off-1)
+		return false
+	}
+	return v == 1
+}
+
+func (d *decoder) time() time.Time {
+	if d.err != nil {
+		return time.Time{}
+	}
+	if d.off >= len(d.b) {
+		d.fail("truncated time at offset %d", d.off)
+		return time.Time{}
+	}
+	presence := d.b[d.off]
+	d.off++
+	switch presence {
+	case 0:
+		return time.Time{}
+	case 1:
+		return time.Unix(0, d.varint()).UTC()
+	default:
+		d.fail("bad time presence byte %d at offset %d", presence, d.off-1)
+		return time.Time{}
+	}
+}

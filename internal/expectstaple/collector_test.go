@@ -1,0 +1,206 @@
+package expectstaple
+
+import (
+	"bytes"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+)
+
+func postReport(t *testing.T, c *Collector, method, contentType string, body []byte) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest(method, "http://reports.test/expect-staple", bytes.NewReader(body))
+	if contentType != "" {
+		req.Header.Set("Content-Type", contentType)
+	}
+	rr := httptest.NewRecorder()
+	c.ServeHTTP(rr, req)
+	return rr
+}
+
+func validReportBytes(host string, v Violation, at time.Time) []byte {
+	return AppendReport(nil, &Report{At: at, Host: host, Vantage: "Oregon", Violation: v, Enforce: true})
+}
+
+func TestCollectorPolicing(t *testing.T) {
+	c := NewCollector()
+	defer c.Close()
+	body := validReportBytes("a.test", ViolationMissing, time.Unix(1000, 0).UTC())
+
+	if rr := postReport(t, c, http.MethodGet, ContentTypeReport, body); rr.Code != http.StatusMethodNotAllowed {
+		t.Fatalf("GET: got %d, want 405", rr.Code)
+	} else if rr.Header().Get("Allow") != "POST" {
+		t.Fatalf("GET: Allow header %q, want POST", rr.Header().Get("Allow"))
+	}
+	if rr := postReport(t, c, http.MethodPost, "application/json", body); rr.Code != http.StatusUnsupportedMediaType {
+		t.Fatalf("wrong media type: got %d, want 415", rr.Code)
+	}
+	if rr := postReport(t, c, http.MethodPost, ContentTypeReport, make([]byte, DefaultMaxReportBytes+1)); rr.Code != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized: got %d, want 413", rr.Code)
+	}
+	if rr := postReport(t, c, http.MethodPost, ContentTypeReport, []byte{0xff, 0xff}); rr.Code != http.StatusBadRequest {
+		t.Fatalf("malformed: got %d, want 400", rr.Code)
+	}
+	if rr := postReport(t, c, http.MethodPost, ContentTypeReport, body); rr.Code != http.StatusAccepted {
+		t.Fatalf("valid: got %d, want 202", rr.Code)
+	}
+	// Media-type parameters are tolerated.
+	if rr := postReport(t, c, http.MethodPost, ContentTypeReport+"; charset=binary", body); rr.Code != http.StatusAccepted {
+		t.Fatalf("media type with parameter: got %d, want 202", rr.Code)
+	}
+	if got := c.Accepted(); got != 2 {
+		t.Fatalf("Accepted = %d, want 2", got)
+	}
+}
+
+func TestCollectorAggregationAndSink(t *testing.T) {
+	var sink memorySink
+	c := NewCollector(WithSink(&sink), WithShards(4), WithQueueDepth(64))
+
+	base := time.Unix(10_000, 0).UTC()
+	const perHost = 25
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			for j := 0; j < perHost; j++ {
+				host := fmt.Sprintf("site-%d.test", worker%4)
+				v := Violation(j % NumViolations)
+				body := validReportBytes(host, v, base.Add(time.Duration(j)*time.Minute))
+				if rr := postReport(t, c, http.MethodPost, ContentTypeReport, body); rr.Code != http.StatusAccepted {
+					t.Errorf("post: got %d, want 202", rr.Code)
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	c.Close()
+
+	// Closed collector sheds with 503.
+	if rr := postReport(t, c, http.MethodPost, ContentTypeReport, validReportBytes("late.test", ViolationMissing, base)); rr.Code != http.StatusServiceUnavailable {
+		t.Fatalf("post after close: got %d, want 503", rr.Code)
+	}
+
+	snap := c.Snapshot()
+	if len(snap) != 4 {
+		t.Fatalf("snapshot has %d hosts, want 4", len(snap))
+	}
+	for i, hs := range snap {
+		if want := fmt.Sprintf("site-%d.test", i); hs.Host != want {
+			t.Fatalf("snapshot[%d].Host = %q, want %q (sorted)", i, hs.Host, want)
+		}
+		if hs.Total != 2*perHost {
+			t.Fatalf("%s: Total = %d, want %d", hs.Host, hs.Total, 2*perHost)
+		}
+		if hs.Enforced != hs.Total {
+			t.Fatalf("%s: Enforced = %d, want %d", hs.Host, hs.Enforced, hs.Total)
+		}
+		var sum uint64
+		for _, n := range hs.ByViolation {
+			sum += n
+		}
+		if sum != hs.Total {
+			t.Fatalf("%s: violation counts sum to %d, want %d", hs.Host, sum, hs.Total)
+		}
+		if !hs.First.Equal(base) {
+			t.Fatalf("%s: First = %v, want %v", hs.Host, hs.First, base)
+		}
+		if want := base.Add((perHost - 1) * time.Minute); !hs.Last.Equal(want) {
+			t.Fatalf("%s: Last = %v, want %v", hs.Host, hs.Last, want)
+		}
+	}
+
+	// Every accepted report reached the sink, and each persisted payload
+	// still decodes.
+	if int64(len(sink.payloads)) != c.Accepted() {
+		t.Fatalf("sink holds %d payloads, accepted %d", len(sink.payloads), c.Accepted())
+	}
+	for _, p := range sink.payloads {
+		if _, err := DecodeReport(p); err != nil {
+			t.Fatalf("persisted payload does not decode: %v", err)
+		}
+	}
+	if c.Dropped() != 0 {
+		t.Fatalf("Dropped = %d, want 0", c.Dropped())
+	}
+}
+
+func TestCollectorQueueShed(t *testing.T) {
+	// A single depth-1 shard under a concurrent flood: every request must
+	// resolve to 202 or 503, and the counters must account for each one.
+	c := NewCollector(WithShards(1), WithQueueDepth(1))
+	body := validReportBytes("flood.test", ViolationMissing, time.Unix(1, 0).UTC())
+	const n = 200
+	var wg sync.WaitGroup
+	codes := make([]int, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			codes[i] = postReport(t, c, http.MethodPost, ContentTypeReport, body).Code
+		}(i)
+	}
+	wg.Wait()
+	c.Close()
+	var accepted, shed int64
+	for _, code := range codes {
+		switch code {
+		case http.StatusAccepted:
+			accepted++
+		case http.StatusServiceUnavailable:
+			shed++
+		default:
+			t.Fatalf("unexpected status %d", code)
+		}
+	}
+	if accepted != c.Accepted() || shed != c.Dropped() {
+		t.Fatalf("accounting mismatch: saw %d/%d accepted/shed, counters say %d/%d",
+			accepted, shed, c.Accepted(), c.Dropped())
+	}
+	var total uint64
+	for _, hs := range c.Snapshot() {
+		total += hs.Total
+	}
+	if total != uint64(accepted) {
+		t.Fatalf("snapshot totals %d, accepted %d", total, accepted)
+	}
+}
+
+type memorySink struct {
+	mu       sync.Mutex
+	payloads [][]byte
+}
+
+func (s *memorySink) Append(p []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.payloads = append(s.payloads, append([]byte(nil), p...))
+	return nil
+}
+
+func BenchmarkCollectorIngest(b *testing.B) {
+	c := NewCollector(WithQueueDepth(1 << 16))
+	defer c.Close()
+	body := validReportBytes("bench.test", ViolationExpired, time.Unix(1000, 0).UTC())
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		req := httptest.NewRequest(http.MethodPost, "http://reports.test/expect-staple", nil)
+		req.Header.Set("Content-Type", ContentTypeReport)
+		for pb.Next() {
+			req.Body = nopCloser{bytes.NewReader(body)}
+			rr := httptest.NewRecorder()
+			c.ServeHTTP(rr, req)
+			if rr.Code != http.StatusAccepted && rr.Code != http.StatusServiceUnavailable {
+				b.Fatalf("status %d", rr.Code)
+			}
+		}
+	})
+}
+
+type nopCloser struct{ *bytes.Reader }
+
+func (nopCloser) Close() error { return nil }

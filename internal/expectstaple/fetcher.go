@@ -1,0 +1,44 @@
+package expectstaple
+
+import (
+	"crypto"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"github.com/netmeasure/muststaple/internal/clock"
+	"github.com/netmeasure/muststaple/internal/netsim"
+	"github.com/netmeasure/muststaple/internal/ocsp"
+	"github.com/netmeasure/muststaple/internal/pki"
+	"github.com/netmeasure/muststaple/internal/webserver"
+)
+
+// NetworkFetcher builds a webserver.Fetcher that POSTs the leaf's OCSP
+// request to its AIA responder URL through the simulated network, from
+// the site's vantage at the virtual clock's current time — so the
+// world's outage schedule (DNS failures, backend windows) hits the
+// site's staple refresh exactly as it hits the paper's probes.
+func NetworkFetcher(net *netsim.Network, vantage netsim.Vantage, clk clock.Clock, leaf *pki.Leaf) (webserver.Fetcher, error) {
+	url := pki.OCSPURL(leaf.Certificate)
+	if url == "" {
+		return nil, errors.New("expectstaple: leaf has no OCSP URL")
+	}
+	req, err := ocsp.NewRequest(leaf.Certificate, leaf.Issuer.Certificate, crypto.SHA1)
+	if err != nil {
+		return nil, err
+	}
+	reqDER, err := req.Marshal()
+	if err != nil {
+		return nil, err
+	}
+	return func() ([]byte, error) {
+		res, err := net.DoSimple(vantage, clk.Now(), http.MethodPost, url, ocsp.ContentTypeRequest, reqDER)
+		if err != nil {
+			return nil, err
+		}
+		if res.Status != http.StatusOK {
+			return nil, fmt.Errorf("expectstaple: responder HTTP %d", res.Status)
+		}
+		return res.Body, nil
+	}, nil
+}

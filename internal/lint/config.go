@@ -76,7 +76,7 @@ func DefaultConfig() *Config {
 				".../internal/ocsp", ".../internal/crl",
 				".../internal/store", ".../internal/ocspserver",
 				".../internal/world", ".../internal/census",
-				".../internal/loadgen",
+				".../internal/loadgen", ".../internal/expectstaple",
 			},
 		},
 		"allocfree": {

@@ -49,6 +49,7 @@ func TestDefaultConfigScopes(t *testing.T) {
 		{"errcheck-hot", mod + "/internal/world", true},
 		{"errcheck-hot", mod + "/internal/census", true},
 		{"errcheck-hot", mod + "/internal/loadgen", true},
+		{"errcheck-hot", mod + "/internal/expectstaple", true},
 		{"errcheck-hot", mod + "/internal/report", false},
 	}
 	for _, c := range cases {

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -15,16 +16,27 @@ import (
 	"github.com/netmeasure/muststaple/internal/ocsp"
 )
 
-// Target is one pre-marshaled OCSP request aimed at a responder URL.
-// Marshaling happens once, outside the timed loop: the generator measures
-// the server, not the client's DER encoder.
+// Target is one pre-marshaled request body aimed at a URL. Marshaling
+// happens once, outside the timed loop: the generator measures the
+// server, not the client's encoder.
 type Target struct {
-	// URL is the responder base URL (no trailing path).
+	// URL is the endpoint base URL (no trailing path).
 	URL string
-	// ReqDER is the marshaled OCSP request.
+	// ReqDER is the marshaled request body (an OCSP request by default;
+	// any opaque payload when ContentType is set).
 	ReqDER []byte
 	// GETPath caches EncodeGETPath(ReqDER); Run fills it when empty.
+	// Unused when ContentType is set.
 	GETPath string
+	// Weight is the target's share of the request stream relative to the
+	// other targets' weights; 0 counts as 1. A mixed workload — e.g. OCSP
+	// serving at weight 9 alongside a violation-report endpoint at weight
+	// 1 — stays a pure function of the seed.
+	Weight int
+	// ContentType switches the target to a generic POST-body workload:
+	// every request is a POST of ReqDER with this media type (GETFraction
+	// does not apply). Empty means the OCSP GET/POST request semantics.
+	ContentType string
 }
 
 // Config shapes a run.
@@ -59,11 +71,12 @@ type Config struct {
 // Result aggregates a run.
 type Result struct {
 	// Scheduled is the number of requests the timetable called for;
-	// Completed is how many returned HTTP 200 with a body.
+	// Completed is how many returned a 2xx status with a drained body
+	// (200 from a responder, 202 from a report collector).
 	Scheduled uint64
 	Completed uint64
 	// TransportErrors are connect/timeout/read failures; HTTPErrors are
-	// non-200 statuses, with Status5xx the subset ≥ 500.
+	// non-2xx statuses, with Status5xx the subset ≥ 500.
 	TransportErrors uint64
 	HTTPErrors      uint64
 	Status5xx       uint64
@@ -139,10 +152,26 @@ func Run(ctx context.Context, cfg Config, targets []Target) (*Result, error) {
 			},
 		}
 	}
+	// Prefix-sum the target weights once; per-request selection is a
+	// draw against the cumulative table. All-default weights degenerate
+	// to the old uniform pick.
+	cum := make([]uint64, len(targets))
+	var totalWeight uint64
 	for i := range targets {
-		if targets[i].GETPath == "" {
+		if targets[i].GETPath == "" && targets[i].ContentType == "" {
 			targets[i].GETPath = ocsp.EncodeGETPath(targets[i].ReqDER)
 		}
+		w := targets[i].Weight
+		if w <= 0 {
+			w = 1
+		}
+		totalWeight += uint64(w)
+		cum[i] = totalWeight
+	}
+	pick := func(draw uint64) *Target {
+		x := draw % totalWeight
+		i := sort.Search(len(cum), func(i int) bool { return x < cum[i] })
+		return &targets[i]
 	}
 
 	total := uint64(float64(cfg.Rate) * cfg.Duration.Seconds())
@@ -171,8 +200,8 @@ func Run(ctx context.Context, cfg Config, targets []Target) (*Result, error) {
 			slot := &results[w]
 			for j := range jobs {
 				draw := splitmix64(cfg.Seed ^ j.index)
-				tgt := &targets[int(draw>>32)%len(targets)]
-				isGET := float64(draw&0xffffffff)/float64(1<<32) < cfg.GETFraction
+				tgt := pick(draw >> 32)
+				isGET := tgt.ContentType == "" && float64(draw&0xffffffff)/float64(1<<32) < cfg.GETFraction
 
 				rctx, cancel := context.WithTimeout(ctx, timeout)
 				var (
@@ -184,7 +213,11 @@ func Run(ctx context.Context, cfg Config, targets []Target) (*Result, error) {
 				} else {
 					httpReq, err = http.NewRequestWithContext(rctx, http.MethodPost, tgt.URL, bytes.NewReader(tgt.ReqDER))
 					if httpReq != nil {
-						httpReq.Header.Set("Content-Type", ocsp.ContentTypeRequest)
+						ct := tgt.ContentType
+						if ct == "" {
+							ct = ocsp.ContentTypeRequest
+						}
+						httpReq.Header.Set("Content-Type", ct)
 					}
 				}
 				if err != nil {
@@ -206,7 +239,7 @@ func Run(ctx context.Context, cfg Config, targets []Target) (*Result, error) {
 					continue
 				}
 				lat := clk.Now().Sub(j.scheduled)
-				if resp.StatusCode != http.StatusOK {
+				if resp.StatusCode < 200 || resp.StatusCode > 299 {
 					httpErrs.Add(1)
 					if resp.StatusCode >= 500 {
 						status5xx.Add(1)

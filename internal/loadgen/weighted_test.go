@@ -1,0 +1,103 @@
+package loadgen
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/netmeasure/muststaple/internal/expectstaple"
+)
+
+// TestWeightedPostBodyWorkload drives a report-collector endpoint
+// alongside a plain endpoint with a 1:3 weight split: the ContentType
+// target must always POST with its media type, and the weighted pick
+// must roughly honor the ratio while staying a pure function of the
+// seed.
+func TestWeightedPostBodyWorkload(t *testing.T) {
+	var reportHits, otherHits atomic.Uint64
+	collector := expectstaple.NewCollector()
+	defer collector.Close()
+	reportSrv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if ct := r.Header.Get("Content-Type"); ct != expectstaple.ContentTypeReport {
+			t.Errorf("report target sent Content-Type %q", ct)
+		}
+		if r.Method != http.MethodPost {
+			t.Errorf("report target sent %s", r.Method)
+		}
+		reportHits.Add(1)
+		collector.ServeHTTP(w, r)
+	}))
+	defer reportSrv.Close()
+	otherSrv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		otherHits.Add(1)
+		io.Copy(io.Discard, r.Body) //lint:allow errcheck-hot test server drain
+		w.WriteHeader(http.StatusOK)
+	}))
+	defer otherSrv.Close()
+
+	body := expectstaple.AppendReport(nil, &expectstaple.Report{
+		At: time.Unix(1_600_000_000, 0).UTC(), Host: "w.test", Violation: expectstaple.ViolationMissing,
+	})
+	targets := []Target{
+		{URL: reportSrv.URL, ReqDER: body, ContentType: expectstaple.ContentTypeReport, Weight: 1},
+		// The "other" endpoint accepts anything; give it a tiny DER-ish
+		// body and let GETs flow too (weight 3).
+		{URL: otherSrv.URL, ReqDER: []byte{0x30, 0x03, 0x0a, 0x01, 0x00}, Weight: 3},
+	}
+	res, err := Run(context.Background(), Config{
+		Rate: 400, Duration: time.Second, Workers: 8, GETFraction: 0.5, Seed: 11,
+	}, targets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed != res.Scheduled {
+		t.Fatalf("completed %d of %d (transport %d, http %d)",
+			res.Completed, res.Scheduled, res.TransportErrors, res.HTTPErrors)
+	}
+	rh, oh := reportHits.Load(), otherHits.Load()
+	if rh+oh != res.Scheduled {
+		t.Fatalf("hits %d+%d != scheduled %d", rh, oh, res.Scheduled)
+	}
+	// 1:3 split over 400 draws: the report share should be near 100.
+	if rh < 60 || rh > 140 {
+		t.Fatalf("report target got %d of %d requests; weighted pick broken", rh, res.Scheduled)
+	}
+	if int64(rh) != collector.Accepted() {
+		t.Fatalf("collector accepted %d of %d report POSTs", collector.Accepted(), rh)
+	}
+
+	// Same seed, same split.
+	reportHits.Store(0)
+	otherHits.Store(0)
+	if _, err := Run(context.Background(), Config{
+		Rate: 400, Duration: time.Second, Workers: 8, GETFraction: 0.5, Seed: 11,
+	}, targets); err != nil {
+		t.Fatal(err)
+	}
+	if got := reportHits.Load(); got != rh {
+		t.Fatalf("seeded weighted split changed: %d vs %d", got, rh)
+	}
+}
+
+func TestWeightDefaultsUniform(t *testing.T) {
+	// Zero weights behave as weight 1: with two equal targets the split
+	// is near 50/50.
+	var a, b atomic.Uint64
+	srvA := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) { a.Add(1) }))
+	defer srvA.Close()
+	srvB := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) { b.Add(1) }))
+	defer srvB.Close()
+	body := []byte{0x30, 0x00}
+	if _, err := Run(context.Background(), Config{
+		Rate: 400, Duration: time.Second, Workers: 8, Seed: 3,
+	}, []Target{{URL: srvA.URL, ReqDER: body}, {URL: srvB.URL, ReqDER: body}}); err != nil {
+		t.Fatal(err)
+	}
+	if an := a.Load(); an < 140 || an > 260 {
+		t.Fatalf("uniform split badly skewed: %d vs %d", a.Load(), b.Load())
+	}
+}

@@ -1,0 +1,120 @@
+package report
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"github.com/netmeasure/muststaple/internal/expectstaple"
+)
+
+// StapleDetection folds an Expect-Staple report stream into per-host
+// detection-latency state: the arrival time of the first report, the
+// arrival time of the Kth report (time-to-confident-detection — one
+// report can be a flaky client, K concurring reports are a
+// misconfiguration), and counts by violation class. State is a few
+// words per host and per violation class, so folding a paper-scale
+// report log costs fixed memory.
+type StapleDetection struct {
+	// K is the confidence threshold for ConfidentAt (default 10).
+	K     int
+	hosts map[string]*hostDetection
+}
+
+type hostDetection struct {
+	total       uint64
+	byViolation [expectstaple.NumViolations]uint64
+	firstAt     time.Time
+	kthAt       time.Time
+	enforced    uint64
+}
+
+// NewStapleDetection returns an accumulator with confidence threshold k
+// (k <= 0 selects the default of 10).
+func NewStapleDetection(k int) *StapleDetection {
+	if k <= 0 {
+		k = 10
+	}
+	return &StapleDetection{K: k, hosts: make(map[string]*hostDetection)}
+}
+
+// Fold absorbs one report. Reports must arrive in log order (the
+// collector's arrival order); first/Kth tracking relies on it.
+func (d *StapleDetection) Fold(r expectstaple.Report) {
+	h := d.hosts[r.Host]
+	if h == nil {
+		h = &hostDetection{}
+		d.hosts[r.Host] = h
+	}
+	h.total++
+	h.byViolation[r.Violation]++
+	if r.Enforce {
+		h.enforced++
+	}
+	if h.total == 1 {
+		h.firstAt = r.At
+	}
+	if h.total == uint64(d.K) {
+		h.kthAt = r.At
+	}
+}
+
+// StapleSite describes one simulated site for the rendered table.
+type StapleSite struct {
+	Host  string
+	Class string
+	// Onset is when the misconfiguration began; zero for a site
+	// expected to stay compliant.
+	Onset time.Time
+}
+
+// ExpectStaple renders the detection-latency table: for each site, the
+// report volume, the dominant violation class, and how long after the
+// misconfiguration's onset the first and the Kth report arrived — the
+// paper-facing answer to "would Expect-Staple telemetry have caught
+// this before Must-Staple made it a hard failure?".
+func ExpectStaple(w io.Writer, d *StapleDetection, sites []StapleSite, stats expectstaple.SimStats) {
+	header(w, "Expect-Staple: violation reporting and detection latency")
+	fmt.Fprintf(w, "fleet: %d rounds, %d site visits, %d reports emitted, %d delivered, %d lost\n",
+		stats.Rounds, stats.Handshakes, stats.Reports, stats.Delivered, stats.Failed)
+	fmt.Fprintf(w, "%-22s %-22s %8s  %-18s %14s %14s\n",
+		"class", "host", "reports", "dominant", "first-report", fmt.Sprintf("%d-confident", d.K))
+
+	ordered := append([]StapleSite(nil), sites...)
+	sort.Slice(ordered, func(i, j int) bool { return ordered[i].Class < ordered[j].Class })
+	for _, s := range ordered {
+		h := d.hosts[s.Host]
+		if h == nil || h.total == 0 {
+			fmt.Fprintf(w, "%-22s %-22s %8d  %-18s %14s %14s\n", s.Class, s.Host, 0, "-", "never", "never")
+			continue
+		}
+		dom, domCount := 0, uint64(0)
+		for v, c := range h.byViolation {
+			if c > domCount {
+				dom, domCount = v, c
+			}
+		}
+		fmt.Fprintf(w, "%-22s %-22s %8d  %-18s %14s %14s\n",
+			s.Class, s.Host, h.total, expectstaple.Violation(dom).String(),
+			sinceOnset(s.Onset, h.firstAt), sinceOnset(s.Onset, h.kthAt))
+	}
+}
+
+// sinceOnset formats a detection latency relative to the class onset.
+func sinceOnset(onset, at time.Time) string {
+	if at.IsZero() {
+		return "never"
+	}
+	if onset.IsZero() {
+		return "n/a"
+	}
+	delta := at.Sub(onset)
+	if delta < 0 {
+		// Reports before the scheduled onset mean the class was
+		// congenitally broken; render the absolute latency from the
+		// first possible round instead of a negative.
+		return at.UTC().Format("01-02 15:04")
+	}
+	return delta.String()
+}

@@ -1,0 +1,84 @@
+package report
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/netmeasure/muststaple/internal/expectstaple"
+)
+
+func TestStapleDetectionFold(t *testing.T) {
+	onset := time.Date(2018, 5, 1, 0, 0, 0, 0, time.UTC)
+	d := NewStapleDetection(3)
+	for i := 0; i < 5; i++ {
+		d.Fold(expectstaple.Report{
+			At:        onset.Add(time.Duration(i+1) * time.Hour),
+			Host:      "bad.test",
+			Violation: expectstaple.ViolationMissing,
+			Enforce:   true,
+		})
+	}
+	h := d.hosts["bad.test"]
+	if h.total != 5 {
+		t.Fatalf("total = %d", h.total)
+	}
+	if !h.firstAt.Equal(onset.Add(time.Hour)) {
+		t.Fatalf("firstAt = %v", h.firstAt)
+	}
+	if !h.kthAt.Equal(onset.Add(3 * time.Hour)) {
+		t.Fatalf("kthAt = %v (K=3)", h.kthAt)
+	}
+	if h.enforced != 5 || h.byViolation[expectstaple.ViolationMissing] != 5 {
+		t.Fatalf("counts: %+v", h)
+	}
+}
+
+func TestExpectStapleRendering(t *testing.T) {
+	onset := time.Date(2018, 5, 1, 0, 0, 0, 0, time.UTC)
+	d := NewStapleDetection(2)
+	d.Fold(expectstaple.Report{At: onset.Add(2 * time.Hour), Host: "bad.test", Violation: expectstaple.ViolationExpired})
+	d.Fold(expectstaple.Report{At: onset.Add(5 * time.Hour), Host: "bad.test", Violation: expectstaple.ViolationExpired})
+	d.Fold(expectstaple.Report{At: onset.Add(6 * time.Hour), Host: "bad.test", Violation: expectstaple.ViolationMissing})
+
+	sites := []StapleSite{
+		{Host: "good.test", Class: "healthy"},
+		{Host: "bad.test", Class: "expired-window", Onset: onset},
+	}
+	var sb strings.Builder
+	ExpectStaple(&sb, d, sites, expectstaple.SimStats{Rounds: 10, Handshakes: 100, Reports: 3, Delivered: 3})
+	out := sb.String()
+
+	for _, want := range []string{
+		"expired-window", "bad.test", "expired-window",
+		"2h0m0s", // first report latency
+		"5h0m0s", // 2-confident latency
+		"never",  // healthy site never reported
+		"2-confident",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("rendered output missing %q:\n%s", want, out)
+		}
+	}
+	// The dominant class is the majority violation.
+	if !strings.Contains(out, "expired-staple") && !strings.Contains(out, expectstaple.ViolationExpired.String()) {
+		t.Fatalf("dominant violation missing:\n%s", out)
+	}
+}
+
+func TestSinceOnset(t *testing.T) {
+	onset := time.Date(2018, 5, 1, 0, 0, 0, 0, time.UTC)
+	if got := sinceOnset(onset, time.Time{}); got != "never" {
+		t.Errorf("zero at: %q", got)
+	}
+	if got := sinceOnset(time.Time{}, onset); got != "n/a" {
+		t.Errorf("zero onset: %q", got)
+	}
+	if got := sinceOnset(onset, onset.Add(90*time.Minute)); got != "1h30m0s" {
+		t.Errorf("positive delta: %q", got)
+	}
+	// Reports predating the onset render as an absolute timestamp.
+	if got := sinceOnset(onset, onset.Add(-time.Hour)); got != "04-30 23:00" {
+		t.Errorf("negative delta: %q", got)
+	}
+}

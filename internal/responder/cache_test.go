@@ -40,7 +40,7 @@ func TestCachedStaleUntilNextUpdate(t *testing.T) {
 	reqDER, id := f.request(t)
 
 	f.clk.Set(t0.Add(10 * time.Minute))
-	before := firstBody(r.RespondDER(reqDER))
+	before := firstBody(respondDER(r, reqDER))
 	if mustParse(t, before).Find(id).Status != ocsp.Good {
 		t.Fatal("pre-revocation status should be good")
 	}
@@ -48,7 +48,7 @@ func TestCachedStaleUntilNextUpdate(t *testing.T) {
 	// Revoke mid-window: the pre-generated response must keep serving.
 	f.db.Revoke(f.leaf.Certificate.SerialNumber, f.clk.Now(), pkixutil.ReasonKeyCompromise)
 	f.clk.Advance(30 * time.Minute)
-	stale := firstBody(r.RespondDER(reqDER))
+	stale := firstBody(respondDER(r, reqDER))
 	if !bytes.Equal(before, stale) {
 		t.Error("mid-window revocation must not change the cached response bytes")
 	}
@@ -62,7 +62,7 @@ func TestCachedStaleUntilNextUpdate(t *testing.T) {
 	// Next epoch: the window rolls over and the revocation surfaces.
 	windowStart := r.windowStart(f.clk.Now())
 	f.clk.Set(windowStart.Add(2*time.Hour + time.Minute))
-	fresh := mustParse(t, firstBody(r.RespondDER(reqDER)))
+	fresh := mustParse(t, firstBody(respondDER(r, reqDER)))
 	if fresh.Find(id).Status != ocsp.Revoked {
 		t.Errorf("next-epoch status = %v, want revoked", fresh.Find(id).Status)
 	}
@@ -87,27 +87,27 @@ func TestCachedStaleWithTransientMalformedWindow(t *testing.T) {
 	// Outage fully inside the current update window.
 	r.Profile.MalformedWindows = []Window{{From: windowStart.Add(time.Hour), To: windowStart.Add(2 * time.Hour)}}
 
-	good := firstBody(r.RespondDER(reqDER))
+	good := firstBody(respondDER(r, reqDER))
 	if mustParse(t, good).Find(id).Status != ocsp.Good {
 		t.Fatal("pre-outage status should be good")
 	}
 	f.db.Revoke(f.leaf.Certificate.SerialNumber, f.clk.Now(), pkixutil.ReasonKeyCompromise)
 
 	f.clk.Set(windowStart.Add(90 * time.Minute))
-	if body, ok := r.RespondDER(reqDER); ok || string(body) != "0" {
+	if body, ok := respondDER(r, reqDER); ok || string(body) != "0" {
 		t.Fatalf("inside outage window: want \"0\" body, got ok=%v body=%q", ok, body)
 	}
 
 	// Recovered, same update window: stale cached bytes, still good.
 	f.clk.Set(windowStart.Add(3 * time.Hour))
-	recovered := firstBody(r.RespondDER(reqDER))
+	recovered := firstBody(respondDER(r, reqDER))
 	if !bytes.Equal(good, recovered) {
 		t.Error("post-outage same-window response must be the cached bytes")
 	}
 
 	// Next update window: revocation finally visible.
 	f.clk.Set(windowStart.Add(4*time.Hour + time.Minute))
-	if st := mustParse(t, firstBody(r.RespondDER(reqDER))).Find(id).Status; st != ocsp.Revoked {
+	if st := mustParse(t, firstBody(respondDER(r, reqDER))).Find(id).Status; st != ocsp.Revoked {
 		t.Errorf("next-window status = %v, want revoked", st)
 	}
 }
@@ -121,12 +121,12 @@ func TestOnDemandRevokeSameInstant(t *testing.T) {
 	r := f.responder(Profile{})
 	reqDER, id := f.request(t)
 
-	a := mustParse(t, firstBody(r.RespondDER(reqDER)))
+	a := mustParse(t, firstBody(respondDER(r, reqDER)))
 	if a.Find(id).Status != ocsp.Good {
 		t.Fatal("initial status should be good")
 	}
 	// Same-instant repeat is memoized bytes.
-	a2 := firstBody(r.RespondDER(reqDER))
+	a2 := firstBody(respondDER(r, reqDER))
 	if !bytes.Equal(a.Raw, a2) {
 		t.Error("same-instant repeat should serve identical bytes")
 	}
@@ -136,7 +136,7 @@ func TestOnDemandRevokeSameInstant(t *testing.T) {
 
 	// Revoke without advancing the clock: the memoized entry must die.
 	f.db.Revoke(f.leaf.Certificate.SerialNumber, t0, pkixutil.ReasonKeyCompromise)
-	b := mustParse(t, firstBody(r.RespondDER(reqDER)))
+	b := mustParse(t, firstBody(respondDER(r, reqDER)))
 	if b.Find(id).Status != ocsp.Revoked {
 		t.Errorf("post-revoke same-instant status = %v, want revoked", b.Find(id).Status)
 	}
@@ -149,7 +149,7 @@ func TestOnDemandSigningBypassesCache(t *testing.T) {
 	r := New("ocsp.resp.test", f.ca, f.db, f.clk, Profile{}, WithOnDemandSigning())
 	reqDER, _ := f.request(t)
 	for i := 0; i < 3; i++ {
-		if _, ok := r.RespondDER(reqDER); !ok {
+		if _, ok := respondDER(r, reqDER); !ok {
 			t.Fatal("respond failed")
 		}
 	}
@@ -181,15 +181,15 @@ func TestCachedVsOnDemandSigningEquivalence(t *testing.T) {
 			reqDER, _ := f.request(t)
 
 			for i := 0; i < 10; i++ {
-				a := firstBody(cached.RespondDER(reqDER))
-				b := firstBody(signer.RespondDER(reqDER))
+				a := firstBody(respondDER(cached, reqDER))
+				b := firstBody(respondDER(signer, reqDER))
 				if !bytes.Equal(a, b) {
 					t.Fatalf("step %d: cached and per-scan-signed DER differ (%d vs %d bytes)", i, len(a), len(b))
 				}
 				// Repeat at the same instant: the cached twin should now
 				// be serving from memory, still byte-identical.
 				if i > 2 {
-					if a2 := firstBody(cached.RespondDER(reqDER)); !bytes.Equal(a2, b) {
+					if a2 := firstBody(respondDER(cached, reqDER)); !bytes.Equal(a2, b) {
 						t.Fatalf("step %d: cache-hit bytes diverge", i)
 					}
 				}
@@ -237,7 +237,7 @@ func TestResponderCacheRaceStress(t *testing.T) {
 					return
 				default:
 				}
-				der, ok := r.RespondDER(req)
+				der, ok := respondDER(r, req)
 				if !ok || len(der) == 0 {
 					t.Errorf("goroutine %d: bad response at iter %d", g, i)
 					return

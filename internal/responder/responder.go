@@ -540,30 +540,6 @@ func (r *Responder) Respond(ctx context.Context, reqDER []byte) (Result, error) 
 	return Result{DER: der, Meta: meta, HasMeta: hasMeta, Source: src, Malformed: !ok}, nil
 }
 
-// RespondDER is the pre-redesign context-free API: the response body plus
-// a boolean that is false when the body is a profile-injected malformed
-// blob rather than DER.
-//
-// Deprecated: use Respond. This wrapper exists so pre-redesign callers
-// migrate mechanically; it adds no behavior.
-func (r *Responder) RespondDER(reqDER []byte) ([]byte, bool) {
-	der, _, _, ok, _ := r.respond(reqDER)
-	return der, ok
-}
-
-// RespondMeta is RespondDER plus the response's validity metadata; meta
-// is nil for malformed bodies and OCSP error responses.
-//
-// Deprecated: use Respond, whose Result carries the same metadata
-// without the pointer.
-func (r *Responder) RespondMeta(reqDER []byte) ([]byte, *Meta, bool) {
-	der, meta, hasMeta, ok, _ := r.respond(reqDER)
-	if !hasMeta {
-		return der, nil, ok
-	}
-	return der, &meta, ok
-}
-
 // respond is the responder hot path. Within one update window an unchanged
 // status yields a byte-identical signed response, so the fast path hashes
 // the raw request bytes, keys them with the current epoch, and serves the

@@ -2,6 +2,7 @@ package responder
 
 import (
 	"bytes"
+	"context"
 	"crypto"
 	"crypto/x509"
 	"math/big"
@@ -71,7 +72,7 @@ func TestGoodResponse(t *testing.T) {
 	f := newFixture(t)
 	r := f.responder(Profile{})
 	reqDER, id := f.request(t)
-	der, ok := r.RespondDER(reqDER)
+	der, ok := respondDER(r, reqDER)
 	if !ok {
 		t.Fatal("well-behaved responder returned a malformed body")
 	}
@@ -102,7 +103,7 @@ func TestRevokedResponse(t *testing.T) {
 	f.db.Revoke(f.leaf.Certificate.SerialNumber, revokedAt, pkixutil.ReasonKeyCompromise)
 	r := f.responder(Profile{})
 	reqDER, id := f.request(t)
-	der, _ := r.RespondDER(reqDER)
+	der, _ := respondDER(r, reqDER)
 	resp := mustParse(t, der)
 	single := resp.Find(id)
 	if single.Status != ocsp.Revoked {
@@ -124,7 +125,7 @@ func TestUnknownSerial(t *testing.T) {
 		t.Fatal(err)
 	}
 	reqDER, _ := req.Marshal()
-	der, _ := r.RespondDER(reqDER)
+	der, _ := respondDER(r, reqDER)
 	resp := mustParse(t, der)
 	if resp.Responses[0].Status != ocsp.Unknown {
 		t.Errorf("status = %v, want unknown for unissued serial", resp.Responses[0].Status)
@@ -143,7 +144,7 @@ func TestWrongIssuerGetsUnknown(t *testing.T) {
 		t.Fatal(err)
 	}
 	reqDER, _ := req.Marshal()
-	der, _ := r.RespondDER(reqDER)
+	der, _ := respondDER(r, reqDER)
 	resp := mustParse(t, der)
 	if resp.Responses[0].Status != ocsp.Unknown {
 		t.Errorf("status = %v, want unknown for foreign issuer", resp.Responses[0].Status)
@@ -161,7 +162,7 @@ func TestMalformedProfiles(t *testing.T) {
 	}
 	for kind, wantBody := range cases {
 		r := f.responder(Profile{Malformed: kind})
-		body, ok := r.RespondDER(reqDER)
+		body, ok := respondDER(r, reqDER)
 		if ok {
 			t.Errorf("%v: expected malformed flag", kind)
 		}
@@ -182,15 +183,15 @@ func TestMalformedWindowed(t *testing.T) {
 	r := f.responder(Profile{Malformed: MalformedZero, MalformedWindows: []Window{outage}})
 	reqDER, _ := f.request(t)
 
-	if _, ok := r.RespondDER(reqDER); !ok {
+	if _, ok := respondDER(r, reqDER); !ok {
 		t.Error("before window: response should be well-formed")
 	}
 	f.clk.Set(t0.Add(98 * time.Hour))
-	if body, ok := r.RespondDER(reqDER); ok || string(body) != "0" {
+	if body, ok := respondDER(r, reqDER); ok || string(body) != "0" {
 		t.Errorf("inside window: want \"0\" body, got ok=%v body=%q", ok, body)
 	}
 	f.clk.Set(t0.Add(103 * time.Hour))
-	if _, ok := r.RespondDER(reqDER); !ok {
+	if _, ok := respondDER(r, reqDER); !ok {
 		t.Error("after window: response should be well-formed again")
 	}
 }
@@ -199,7 +200,7 @@ func TestSerialMismatchProfile(t *testing.T) {
 	f := newFixture(t)
 	r := f.responder(Profile{SerialMismatch: true})
 	reqDER, id := f.request(t)
-	der, _ := r.RespondDER(reqDER)
+	der, _ := respondDER(r, reqDER)
 	resp := mustParse(t, der)
 	if resp.Find(id) != nil {
 		t.Error("mismatching responder should not cover the requested serial")
@@ -213,7 +214,7 @@ func TestBadSignatureProfile(t *testing.T) {
 	f := newFixture(t)
 	r := f.responder(Profile{BadSignature: true})
 	reqDER, _ := f.request(t)
-	der, ok := r.RespondDER(reqDER)
+	der, ok := respondDER(r, reqDER)
 	if !ok {
 		t.Fatal("bad-signature responses must still be structurally valid")
 	}
@@ -227,7 +228,7 @@ func TestBlankNextUpdateProfile(t *testing.T) {
 	f := newFixture(t)
 	r := f.responder(Profile{BlankNextUpdate: true})
 	reqDER, id := f.request(t)
-	der, _ := r.RespondDER(reqDER)
+	der, _ := respondDER(r, reqDER)
 	resp := mustParse(t, der)
 	if resp.Find(id).HasNextUpdate() {
 		t.Error("nextUpdate should be blank")
@@ -240,14 +241,14 @@ func TestThisUpdateOffsets(t *testing.T) {
 
 	// Zero margin: thisUpdate == request time (17.2% of responders).
 	r := f.responder(Profile{NoDefaultMargin: true})
-	resp := mustParse(t, firstBody(r.RespondDER(reqDER)))
+	resp := mustParse(t, firstBody(respondDER(r, reqDER)))
 	if !resp.Find(id).ThisUpdate.Equal(t0) {
 		t.Errorf("zero-margin thisUpdate = %v, want %v", resp.Find(id).ThisUpdate, t0)
 	}
 
 	// Future thisUpdate (3% of responders): response not yet valid.
 	r = f.responder(Profile{ThisUpdateOffset: -30 * time.Minute, NoDefaultMargin: true})
-	resp = mustParse(t, firstBody(r.RespondDER(reqDER)))
+	resp = mustParse(t, firstBody(respondDER(r, reqDER)))
 	single := resp.Find(id)
 	if !single.ThisUpdate.After(t0) {
 		t.Errorf("future thisUpdate = %v, want after %v", single.ThisUpdate, t0)
@@ -263,7 +264,7 @@ func TestHugeValidity(t *testing.T) {
 	v := 1251 * 24 * time.Hour
 	r := f.responder(Profile{Validity: v})
 	reqDER, id := f.request(t)
-	resp := mustParse(t, firstBody(r.RespondDER(reqDER)))
+	resp := mustParse(t, firstBody(respondDER(r, reqDER)))
 	single := resp.Find(id)
 	if got := single.NextUpdate.Sub(single.ThisUpdate); got != v {
 		t.Errorf("validity = %v, want %v", got, v)
@@ -274,7 +275,7 @@ func TestExtraSerials(t *testing.T) {
 	f := newFixture(t)
 	r := f.responder(Profile{ExtraSerials: 19})
 	reqDER, id := f.request(t)
-	resp := mustParse(t, firstBody(r.RespondDER(reqDER)))
+	resp := mustParse(t, firstBody(respondDER(r, reqDER)))
 	if len(resp.Responses) != 20 {
 		t.Fatalf("responses = %d, want 20", len(resp.Responses))
 	}
@@ -288,7 +289,7 @@ func TestSuperfluousCerts(t *testing.T) {
 	extra := []*x509.Certificate{f.ca.Certificate, f.leaf.Certificate}
 	r := f.responder(Profile{SuperfluousCerts: extra})
 	reqDER, _ := f.request(t)
-	resp := mustParse(t, firstBody(r.RespondDER(reqDER)))
+	resp := mustParse(t, firstBody(respondDER(r, reqDER)))
 	if len(resp.Certificates) != 2 {
 		t.Errorf("embedded certs = %d, want 2", len(resp.Certificates))
 	}
@@ -302,7 +303,7 @@ func TestErrorStatusProfile(t *testing.T) {
 	f := newFixture(t)
 	r := f.responder(Profile{ErrorStatus: ocsp.StatusTryLater})
 	reqDER, _ := f.request(t)
-	resp := mustParse(t, firstBody(r.RespondDER(reqDER)))
+	resp := mustParse(t, firstBody(respondDER(r, reqDER)))
 	if resp.Status != ocsp.StatusTryLater {
 		t.Errorf("status = %v, want tryLater", resp.Status)
 	}
@@ -311,7 +312,7 @@ func TestErrorStatusProfile(t *testing.T) {
 func TestMalformedRequestGetsErrorResponse(t *testing.T) {
 	f := newFixture(t)
 	r := f.responder(Profile{})
-	der, ok := r.RespondDER([]byte("junk"))
+	der, ok := respondDER(r, []byte("junk"))
 	if !ok {
 		t.Fatal("error response should be well-formed DER")
 	}
@@ -327,9 +328,9 @@ func TestCachedResponses(t *testing.T) {
 	reqDER, id := f.request(t)
 
 	f.clk.Set(t0.Add(10 * time.Minute))
-	a := mustParse(t, firstBody(r.RespondDER(reqDER)))
+	a := mustParse(t, firstBody(respondDER(r, reqDER)))
 	f.clk.Set(t0.Add(70 * time.Minute))
-	b := mustParse(t, firstBody(r.RespondDER(reqDER)))
+	b := mustParse(t, firstBody(respondDER(r, reqDER)))
 	// Same update window: identical bytes, identical producedAt.
 	if !bytes.Equal(a.Raw, b.Raw) {
 		t.Error("same-window cached responses should be byte-identical")
@@ -345,7 +346,7 @@ func TestCachedResponses(t *testing.T) {
 
 	// Next window: fresh response.
 	f.clk.Set(t0.Add(2*time.Hour + time.Minute))
-	c := mustParse(t, firstBody(r.RespondDER(reqDER)))
+	c := mustParse(t, firstBody(respondDER(r, reqDER)))
 	if c.ProducedAt.Equal(a.ProducedAt) {
 		t.Error("new window should produce a new response")
 	}
@@ -358,9 +359,9 @@ func TestOnDemandResponses(t *testing.T) {
 	f := newFixture(t)
 	r := f.responder(Profile{})
 	reqDER, _ := f.request(t)
-	a := mustParse(t, firstBody(r.RespondDER(reqDER)))
+	a := mustParse(t, firstBody(respondDER(r, reqDER)))
 	f.clk.Advance(time.Minute)
-	b := mustParse(t, firstBody(r.RespondDER(reqDER)))
+	b := mustParse(t, firstBody(respondDER(r, reqDER)))
 	if !b.ProducedAt.After(a.ProducedAt) {
 		t.Error("on-demand producedAt should track the clock")
 	}
@@ -382,7 +383,7 @@ func TestMultiInstanceSkew(t *testing.T) {
 	seen := make(map[time.Time]bool)
 	for i := 0; i < 40; i++ {
 		f.clk.Advance(time.Minute)
-		resp := mustParse(t, firstBody(r.RespondDER(reqDER)))
+		resp := mustParse(t, firstBody(respondDER(r, reqDER)))
 		seen[resp.ProducedAt] = true
 	}
 	if len(seen) < 2 {
@@ -398,7 +399,7 @@ func TestStatusOverrides(t *testing.T) {
 	f.db.Revoke(serial, t0.Add(-time.Hour), pkixutil.ReasonAbsent)
 	r := f.responder(Profile{StatusOverrides: map[string]ocsp.CertStatus{serial.String(): ocsp.Good}})
 	reqDER, id := f.request(t)
-	resp := mustParse(t, firstBody(r.RespondDER(reqDER)))
+	resp := mustParse(t, firstBody(respondDER(r, reqDER)))
 	if resp.Find(id).Status != ocsp.Good {
 		t.Errorf("override should force Good, got %v", resp.Find(id).Status)
 	}
@@ -412,7 +413,7 @@ func TestRevocationTimeSkewAndReasonDrop(t *testing.T) {
 	skew := 9 * time.Hour // msocsp-style lag
 	r := f.responder(Profile{RevocationTimeSkew: skew, DropReasonCodes: true})
 	reqDER, id := f.request(t)
-	resp := mustParse(t, firstBody(r.RespondDER(reqDER)))
+	resp := mustParse(t, firstBody(respondDER(r, reqDER)))
 	single := resp.Find(id)
 	if !single.RevokedAt.Equal(revokedAt.Add(skew)) {
 		t.Errorf("revokedAt = %v, want %v", single.RevokedAt, revokedAt.Add(skew))
@@ -432,7 +433,7 @@ func TestDelegatedResponder(t *testing.T) {
 	r.Signer = delegate.Key
 	r.SignerCert = delegate.Certificate
 	reqDER, _ := f.request(t)
-	resp := mustParse(t, firstBody(r.RespondDER(reqDER)))
+	resp := mustParse(t, firstBody(respondDER(r, reqDER)))
 	if len(resp.Certificates) == 0 {
 		t.Fatal("delegated responder must embed its certificate")
 	}
@@ -618,4 +619,15 @@ func TestFastServeEligible(t *testing.T) {
 			t.Errorf("%s responder must not be fast-serve eligible", name)
 		}
 	}
+}
+
+// respondDER adapts context-first Respond to the historical (body, ok)
+// shape the tests assert against; ok is false when the body is a
+// profile-injected malformed blob.
+func respondDER(r *Responder, reqDER []byte) ([]byte, bool) {
+	res, err := r.Respond(context.Background(), reqDER)
+	if err != nil {
+		return nil, false
+	}
+	return res.DER, !res.Malformed
 }

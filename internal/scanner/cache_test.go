@@ -26,7 +26,7 @@ func responseBody(t testing.TB, w *world) []byte {
 	if err != nil {
 		t.Fatal(err)
 	}
-	body, ok := r.RespondDER(der)
+	body, ok := respondDER(r, der)
 	if !ok {
 		t.Fatal("responder declined request")
 	}
@@ -189,4 +189,14 @@ func BenchmarkClientCaches(b *testing.B) {
 			}
 		}
 	})
+}
+
+// respondDER adapts context-first Respond to the (body, ok) shape this
+// test asserts against.
+func respondDER(r *responder.Responder, reqDER []byte) ([]byte, bool) {
+	res, err := r.Respond(context.Background(), reqDER)
+	if err != nil {
+		return nil, false
+	}
+	return res.DER, !res.Malformed
 }

@@ -98,6 +98,25 @@ func CorrectPolicy() Policy {
 	}
 }
 
+// StaleServingCDNPolicy models a serve-stale-while-revalidating CDN
+// stapling tier: refresh on a fixed cadence like Apache, but keep serving
+// the last response — even past its nextUpdate — while the upstream
+// responder is failing. During a long responder outage this is the
+// configuration that staples expired responses indefinitely (the
+// responder-outage staleness class of the Expect-Staple telemetry
+// pipeline), where Apache staples nothing and Nginx withholds the expired
+// staple.
+func StaleServingCDNPolicy() Policy {
+	return Policy{
+		Name:                 "cdn-serve-stale",
+		Prefetch:             true,
+		PauseFirstConnection: true,
+		RespectNextUpdate:    false,
+		RetainOnError:        true,
+		CacheLifetime:        time.Hour,
+	}
+}
+
 // Fetcher obtains a fresh OCSP response DER for the server's certificate.
 // Implementations fetch over HTTP from the CA's responder; tests inject
 // failures.
@@ -122,11 +141,18 @@ type Engine struct {
 	Fetch  Fetcher
 	Clock  clock.Clock
 
-	mu          sync.Mutex
-	cached      *staple
-	lastAttempt time.Time
-	fetchCount  int
-	asyncWG     sync.WaitGroup
+	// ExpectStaple, when non-nil, is the site's Expect-Staple policy: the
+	// engine advertises it on every response (see ExpectStapleHeaderValue)
+	// so user agents note the host and report staple violations to its
+	// report-uri.
+	ExpectStaple *ExpectStaple
+
+	mu             sync.Mutex
+	cached         *staple
+	lastAttempt    time.Time
+	fetchCount     int
+	lastRefreshErr error
+	asyncWG        sync.WaitGroup
 }
 
 // NewEngine builds an engine; Start must be called before serving.
@@ -165,6 +191,7 @@ func (e *Engine) refreshLocked() error {
 	e.lastAttempt = e.Clock.Now()
 	der, err := e.Fetch()
 	if err != nil {
+		e.lastRefreshErr = err
 		if !e.Policy.RetainOnError {
 			// Apache: drop the old response entirely.
 			e.cached = nil
@@ -174,10 +201,12 @@ func (e *Engine) refreshLocked() error {
 	parsed, perr := ocsp.ParseResponse(der)
 	if perr != nil || parsed.Status != ocsp.StatusSuccessful || len(parsed.Responses) == 0 {
 		if e.Policy.RetainOnError {
-			return fmt.Errorf("webserver: upstream returned unusable response")
+			e.lastRefreshErr = fmt.Errorf("webserver: upstream returned unusable response")
+			return e.lastRefreshErr
 		}
 		// Apache: cache and staple the error response itself.
 		e.cached = &staple{der: der, fetchedAt: e.Clock.Now(), isError: true}
+		e.lastRefreshErr = nil
 		return nil
 	}
 	e.cached = &staple{
@@ -185,7 +214,19 @@ func (e *Engine) refreshLocked() error {
 		nextUpdate: parsed.Responses[0].NextUpdate,
 		fetchedAt:  e.Clock.Now(),
 	}
+	e.lastRefreshErr = nil
 	return nil
+}
+
+// RefreshFailing reports whether the engine's most recent upstream fetch
+// failed — the server-side signal that a stale staple is being served
+// because the responder is unreachable, not because the server never
+// refreshes. Violation classification uses it to tell responder-outage
+// staleness from a plain expired window.
+func (e *Engine) RefreshFailing() bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.lastRefreshErr != nil
 }
 
 // refreshDueLocked decides whether the policy wants a refresh now.
